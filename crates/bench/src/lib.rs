@@ -1,0 +1,30 @@
+//! Shared helpers for the reproduction binaries.
+
+use staged_storage::{BufferPool, Catalog, MemDisk};
+use std::sync::Arc;
+
+/// Print a separator headline.
+pub fn headline(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Render one numeric table row.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:>14}");
+    for c in cells {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+/// A fresh in-memory catalog with the given buffer-pool size (frames).
+pub fn mem_catalog(frames: usize) -> Arc<Catalog> {
+    Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), frames)))
+}
+
+/// A catalog whose disk charges `latency_us` per page I/O (for I/O-bound
+/// experiments).
+pub fn slow_catalog(frames: usize, latency_us: u64) -> Arc<Catalog> {
+    let disk = MemDisk::new().with_latency(std::time::Duration::from_micros(latency_us));
+    Arc::new(Catalog::new(BufferPool::new(Arc::new(disk), frames)))
+}

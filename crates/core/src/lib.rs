@@ -1,0 +1,60 @@
+//! # staged-core — the staging runtime
+//!
+//! This crate implements the primary contribution of *"A Case for Staged
+//! Database Systems"* (Harizopoulos & Ailamaki, CIDR 2003): a server design
+//! in which the software is broken into self-contained **stages** connected
+//! by **queues**. Work travels between stages as **packets** that carry a
+//! query's state (its *backpack*). Each stage owns its data structures, has
+//! its own worker-thread pool and makes local scheduling decisions; a global
+//! scheduler arbitrates the CPU between stages.
+//!
+//! The crate provides two runtimes:
+//!
+//! * [`runtime::StagedRuntime`] — a production, OS-threaded runtime. Each
+//!   stage gets a bounded [`queue::StageQueue`] and a resizable worker pool.
+//!   Full queues exert **back-pressure**: `enqueue` blocks the producer, so
+//!   demand beyond capacity conditions the pipeline instead of collapsing it
+//!   (paper §4.1.1). On an SMP this is the natural "stage per CPU" mapping of
+//!   paper §5.3.
+//! * [`coop::CoopExecutor`] — a deterministic, virtual-time, single-CPU
+//!   cooperative executor used to study the scheduling trade-off of paper
+//!   §4.2. It charges an explicit *module load time* `l_i` whenever the CPU
+//!   switches to a stage whose common working set is not cached, and runs one
+//!   of the [`policy::Policy`] disciplines (PS, FCFS, non-gated, D-gated,
+//!   T-gated(k)).
+//!
+//! The [`tune`] module implements the self-tuning loop sketched in paper
+//! §4.4: per-stage monitoring feeds an autotuner that resizes worker pools.
+//!
+//! The crate is dependency-light and knows nothing about databases; the
+//! `staged-server` crate assembles an actual DBMS from it.
+
+pub mod coop;
+pub mod error;
+pub mod monitor;
+pub mod packet;
+pub mod policy;
+pub mod queue;
+pub mod runtime;
+pub mod stage;
+pub mod tune;
+
+pub use error::{EnqueueError, StageError};
+pub use packet::{ClientInfo, Packet, QueryId, RouteInfo};
+pub use policy::Policy;
+pub use queue::StageQueue;
+pub use runtime::{RuntimeBuilder, StagedRuntime};
+pub use stage::{StageCtx, StageId, StageLogic, StageSpec};
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::coop::{CoopConfig, CoopExecutor, Job, SegKind, Segment};
+    pub use crate::error::{EnqueueError, StageError};
+    pub use crate::monitor::StageStats;
+    pub use crate::packet::{ClientInfo, Packet, QueryId, RouteInfo};
+    pub use crate::policy::Policy;
+    pub use crate::queue::StageQueue;
+    pub use crate::runtime::{RuntimeBuilder, StagedRuntime};
+    pub use crate::stage::{StageCtx, StageId, StageLogic, StageSpec};
+    pub use crate::tune::{AutoTuner, TuneConfig};
+}

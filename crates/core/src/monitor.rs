@@ -1,0 +1,152 @@
+//! Per-stage monitoring.
+//!
+//! "Each stage provides its own monitoring and self-tuning mechanism. The
+//! utilization of both the system's hardware resources and software
+//! components (at a stage granularity) can be exploited during the
+//! self-tuning process" (paper §5.2). These counters are the raw material
+//! for the autotuner in [`crate::tune`] and for the monitoring tables the
+//! benchmarks print.
+
+use crate::queue::QueueStats;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Live counters attached to one stage.
+#[derive(Debug, Default)]
+pub struct StageMonitor {
+    processed: AtomicU64,
+    errors: AtomicU64,
+    busy_nanos: AtomicU64,
+    idle_polls: AtomicU64,
+    io_blocked_nanos: AtomicU64,
+    pub(crate) active_workers: AtomicUsize,
+}
+
+impl StageMonitor {
+    /// Record a successfully processed packet and the time spent on it.
+    pub fn record_processed(&self, busy: Duration) {
+        self.processed.fetch_add(1, Ordering::Relaxed);
+        self.busy_nanos.fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record a packet whose processing failed.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an idle poll (worker woke up to an empty queue).
+    pub fn record_idle_poll(&self) {
+        self.idle_polls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record time a worker spent blocked on (simulated or real) I/O. Stage
+    /// logic calls this around its I/O so the autotuner can size the pool by
+    /// I/O frequency, as §5.1(1) prescribes.
+    pub fn record_io_blocked(&self, blocked: Duration) {
+        self.io_blocked_nanos.fetch_add(blocked.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Packets processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Errors so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Total busy time in nanoseconds.
+    pub fn busy_nanos(&self) -> u64 {
+        self.busy_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Total I/O-blocked time in nanoseconds.
+    pub fn io_blocked_nanos(&self) -> u64 {
+        self.io_blocked_nanos.load(Ordering::Relaxed)
+    }
+}
+
+/// Immutable snapshot of one stage's state, as reported by the runtime.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct StageStats {
+    /// Stage name.
+    pub name: String,
+    /// Stage id.
+    pub stage_id: usize,
+    /// Packets processed successfully.
+    pub processed: u64,
+    /// Packets whose processing returned an error.
+    pub errors: u64,
+    /// Cumulative busy time, nanoseconds.
+    pub busy_nanos: u64,
+    /// Cumulative simulated/real I/O blocked time, nanoseconds.
+    pub io_blocked_nanos: u64,
+    /// Idle polls (wakeups with an empty queue).
+    pub idle_polls: u64,
+    /// Workers currently allowed to dequeue.
+    pub target_workers: usize,
+    /// Workers currently alive (spawned).
+    pub spawned_workers: usize,
+    /// Queue counters.
+    pub queue: QueueStats,
+}
+
+impl StageStats {
+    /// Fraction of busy time spent blocked on I/O (0 when never busy).
+    pub fn io_fraction(&self) -> f64 {
+        let total = self.busy_nanos;
+        if total == 0 {
+            0.0
+        } else {
+            self.io_blocked_nanos as f64 / total as f64
+        }
+    }
+}
+
+pub(crate) fn snapshot(
+    name: &str,
+    stage_id: usize,
+    monitor: &StageMonitor,
+    queue: QueueStats,
+    target_workers: usize,
+    spawned_workers: usize,
+) -> StageStats {
+    StageStats {
+        name: name.to_string(),
+        stage_id,
+        processed: monitor.processed(),
+        errors: monitor.errors(),
+        busy_nanos: monitor.busy_nanos(),
+        io_blocked_nanos: monitor.io_blocked_nanos(),
+        idle_polls: monitor.idle_polls.load(Ordering::Relaxed),
+        target_workers,
+        spawned_workers,
+        queue,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_fraction_is_guarded_against_zero_busy() {
+        let m = StageMonitor::default();
+        let s = snapshot("s", 0, &m, crate::queue::StageQueue::<u8>::new(1).stats(), 1, 1);
+        assert_eq!(s.io_fraction(), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = StageMonitor::default();
+        m.record_processed(Duration::from_nanos(500));
+        m.record_processed(Duration::from_nanos(700));
+        m.record_error();
+        m.record_io_blocked(Duration::from_nanos(300));
+        assert_eq!(m.processed(), 2);
+        assert_eq!(m.errors(), 1);
+        assert_eq!(m.busy_nanos(), 1200);
+        assert_eq!(m.io_blocked_nanos(), 300);
+    }
+}

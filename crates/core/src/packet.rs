@@ -1,0 +1,147 @@
+//! Packets: the unit of work exchanged between stages.
+//!
+//! The paper (§4.1, Figure 3) sketches
+//! `class packet { clientInfo, queryInfo, routeInfo }`: a packet represents
+//! the work the server must perform for a specific query at a given stage and
+//! carries the query's state and private data — its *backpack*. In a
+//! shared-memory system the backpack holds (pointers to) state kept in a
+//! single copy, which is exactly what a Rust owned value gives us.
+
+use crate::stage::StageId;
+
+/// Identifier of a client query; the "first-class citizen" of the design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Per-client connection information carried by every packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientInfo {
+    /// Connection identifier assigned by the connect stage.
+    pub client_id: u64,
+    /// Scheduling priority (higher runs first where a stage honours it).
+    pub priority: u8,
+}
+
+/// The route a packet follows through the pipeline.
+///
+/// Queries "enter stages according to their needs" (§4.1): a precompiled
+/// query routes itself from connect directly to execute, a DDL statement
+/// bypasses the optimizer, and so on. `RouteInfo` is that self-routing
+/// capability: an explicit list of hops plus a cursor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RouteInfo {
+    hops: Vec<StageId>,
+    next: usize,
+}
+
+impl RouteInfo {
+    /// A route visiting the given stages in order.
+    pub fn through(hops: Vec<StageId>) -> Self {
+        Self { hops, next: 0 }
+    }
+
+    /// Advance to the next hop, returning it, or `None` at the end of the
+    /// route.
+    pub fn advance(&mut self) -> Option<StageId> {
+        let hop = self.hops.get(self.next).copied();
+        if hop.is_some() {
+            self.next += 1;
+        }
+        hop
+    }
+
+    /// Peek at the next hop without consuming it.
+    pub fn peek(&self) -> Option<StageId> {
+        self.hops.get(self.next).copied()
+    }
+
+    /// Remaining number of hops (including the next one).
+    pub fn remaining(&self) -> usize {
+        self.hops.len() - self.next
+    }
+
+    /// Insert an extra hop right after the current position (used when a
+    /// stage decides the query needs additional processing, e.g. re-routing
+    /// an important transaction through a sophisticated recovery module,
+    /// paper §5.2).
+    pub fn detour(&mut self, stage: StageId) {
+        self.hops.insert(self.next, stage);
+    }
+}
+
+/// A packet: query id + client info + route + the query's backpack.
+///
+/// `B` is the backpack type chosen by the embedding application (the DBMS
+/// uses an enum covering parse/optimize/execute state).
+#[derive(Debug)]
+pub struct Packet<B> {
+    /// The query this work belongs to.
+    pub query: QueryId,
+    /// Client/connection info.
+    pub client: ClientInfo,
+    /// Self-routing information.
+    pub route: RouteInfo,
+    /// The query's state and private data.
+    pub backpack: B,
+}
+
+impl<B> Packet<B> {
+    /// Build a packet for `query` carrying `backpack` along `route`.
+    pub fn new(query: QueryId, client: ClientInfo, route: RouteInfo, backpack: B) -> Self {
+        Self { query, client, route, backpack }
+    }
+
+    /// Replace the backpack, keeping identity and route (used when a stage
+    /// transforms the query's state wholesale, e.g. parse → AST).
+    pub fn with_backpack<C>(self, backpack: C) -> Packet<C> {
+        Packet { query: self.query, client: self.client, route: self.route, backpack }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_advances_in_order() {
+        let mut r = RouteInfo::through(vec![2, 5, 7]);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.advance(), Some(2));
+        assert_eq!(r.peek(), Some(5));
+        assert_eq!(r.advance(), Some(5));
+        assert_eq!(r.advance(), Some(7));
+        assert_eq!(r.advance(), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn route_detour_inserts_before_next_hop() {
+        let mut r = RouteInfo::through(vec![1, 3]);
+        assert_eq!(r.advance(), Some(1));
+        r.detour(9);
+        assert_eq!(r.advance(), Some(9));
+        assert_eq!(r.advance(), Some(3));
+        assert_eq!(r.advance(), None);
+    }
+
+    #[test]
+    fn packet_backpack_swap_preserves_identity() {
+        let p = Packet::new(QueryId(7), ClientInfo::default(), RouteInfo::default(), "sql");
+        let p2 = p.with_backpack(42u32);
+        assert_eq!(p2.query, QueryId(7));
+        assert_eq!(p2.backpack, 42);
+    }
+
+    #[test]
+    fn empty_route_has_no_hops() {
+        let mut r = RouteInfo::default();
+        assert_eq!(r.peek(), None);
+        assert_eq!(r.advance(), None);
+    }
+}

@@ -1,0 +1,348 @@
+//! Bounded packet queues with back-pressure.
+//!
+//! Every stage owns one `StageQueue`. `enqueue` blocks while the queue is at
+//! capacity — this is the paper's back-pressure flow control (§4.1.1):
+//! "whenever enqueue causes the next stage's queue to overflow we apply
+//! back-pressure flow control by suspending the enqueue operation (and
+//! subsequently freeze the query's execution thread in that stage). The rest
+//! of the queries that do not output to the blocked stage will continue to
+//! run."
+
+use crate::error::EnqueueError;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Counters exposed by a queue (all monotonically increasing except depth).
+#[derive(Debug, Default)]
+pub struct QueueCounters {
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    blocked_enqueues: AtomicU64,
+    max_depth: AtomicUsize,
+}
+
+/// Snapshot of [`QueueCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct QueueStats {
+    /// Packets accepted so far.
+    pub enqueued: u64,
+    /// Packets removed so far.
+    pub dequeued: u64,
+    /// Enqueue calls that had to wait for space (back-pressure events).
+    pub blocked_enqueues: u64,
+    /// High-water mark of the queue depth.
+    pub max_depth: usize,
+    /// Current depth.
+    pub depth: usize,
+}
+
+struct Inner<P> {
+    items: VecDeque<P>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue of packets.
+pub struct StageQueue<P> {
+    inner: Mutex<Inner<P>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    counters: QueueCounters,
+}
+
+/// Result of [`StageQueue::dequeue_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Dequeued<P> {
+    /// A packet was obtained.
+    Packet(P),
+    /// The wait timed out; the queue is still open.
+    TimedOut,
+    /// The queue is closed and drained.
+    Closed,
+}
+
+impl<P> StageQueue<P> {
+    /// Create a queue holding at most `capacity` packets (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            counters: QueueCounters::default(),
+        }
+    }
+
+    /// Maximum number of packets the queue holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued packets.
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    /// True when no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Add a packet, blocking while the queue is full (back-pressure).
+    ///
+    /// Returns the packet inside `EnqueueError::Closed` if the queue was (or
+    /// becomes) closed while waiting.
+    pub fn enqueue(&self, packet: P) -> Result<(), EnqueueError<P>> {
+        let mut inner = self.inner.lock();
+        if inner.items.len() >= self.capacity && !inner.closed {
+            self.counters.blocked_enqueues.fetch_add(1, Ordering::Relaxed);
+            while inner.items.len() >= self.capacity && !inner.closed {
+                self.not_full.wait(&mut inner);
+            }
+        }
+        if inner.closed {
+            return Err(EnqueueError::Closed(packet));
+        }
+        inner.items.push_back(packet);
+        self.note_depth(inner.items.len());
+        self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Add a packet without blocking; fails with `Full` when at capacity.
+    pub fn try_enqueue(&self, packet: P) -> Result<(), EnqueueError<P>> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(EnqueueError::Closed(packet));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(EnqueueError::Full(packet));
+        }
+        inner.items.push_back(packet);
+        self.note_depth(inner.items.len());
+        self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Push to the *front* of the queue: used when a stage must requeue a
+    /// packet it cannot finish (paper §4.1.1 case iii) without losing its
+    /// position entirely.
+    pub fn enqueue_front(&self, packet: P) -> Result<(), EnqueueError<P>> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(EnqueueError::Closed(packet));
+        }
+        // Requeues are exempt from the capacity check: the packet was already
+        // admitted once, and blocking here could deadlock a stage against
+        // itself.
+        inner.items.push_front(packet);
+        self.note_depth(inner.items.len());
+        self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Remove a packet, blocking while the queue is empty.
+    ///
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn dequeue(&self) -> Option<P> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(p) = inner.items.pop_front() {
+                self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(p);
+            }
+            if inner.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut inner);
+        }
+    }
+
+    /// Remove a packet, waiting at most `timeout`.
+    pub fn dequeue_timeout(&self, timeout: Duration) -> Dequeued<P> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(p) = inner.items.pop_front() {
+                self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
+                drop(inner);
+                self.not_full.notify_one();
+                return Dequeued::Packet(p);
+            }
+            if inner.closed {
+                return Dequeued::Closed;
+            }
+            if self.not_empty.wait_for(&mut inner, timeout).timed_out() {
+                return Dequeued::TimedOut;
+            }
+        }
+    }
+
+    /// Remove a packet without blocking.
+    pub fn try_dequeue(&self) -> Option<P> {
+        let mut inner = self.inner.lock();
+        let p = inner.items.pop_front();
+        if p.is_some() {
+            self.counters.dequeued.fetch_add(1, Ordering::Relaxed);
+            drop(inner);
+            self.not_full.notify_one();
+        }
+        p
+    }
+
+    /// Close the queue: pending packets can still be dequeued, new enqueues
+    /// fail, blocked producers and consumers wake up.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// True once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    /// Snapshot the queue counters.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            enqueued: self.counters.enqueued.load(Ordering::Relaxed),
+            dequeued: self.counters.dequeued.load(Ordering::Relaxed),
+            blocked_enqueues: self.counters.blocked_enqueues.load(Ordering::Relaxed),
+            max_depth: self.counters.max_depth.load(Ordering::Relaxed),
+            depth: self.len(),
+        }
+    }
+
+    fn note_depth(&self, depth: usize) {
+        self.counters.max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = StageQueue::new(8);
+        for i in 0..5 {
+            q.enqueue(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn try_enqueue_full() {
+        let q = StageQueue::new(2);
+        q.try_enqueue(1).unwrap();
+        q.try_enqueue(2).unwrap();
+        match q.try_enqueue(3) {
+            Err(EnqueueError::Full(3)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_none() {
+        let q = StageQueue::new(4);
+        q.enqueue("a").unwrap();
+        q.close();
+        assert!(q.enqueue("b").is_err());
+        assert_eq!(q.dequeue(), Some("a"));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn backpressure_blocks_until_space() {
+        let q = Arc::new(StageQueue::new(1));
+        q.enqueue(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.enqueue(1).is_ok());
+        // Give the producer time to block, then free a slot.
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.dequeue(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.dequeue(), Some(1));
+        assert!(q.stats().blocked_enqueues >= 1);
+    }
+
+    #[test]
+    fn dequeue_timeout_times_out() {
+        let q: StageQueue<u8> = StageQueue::new(1);
+        assert_eq!(q.dequeue_timeout(Duration::from_millis(10)), Dequeued::TimedOut);
+        q.close();
+        assert_eq!(q.dequeue_timeout(Duration::from_millis(10)), Dequeued::Closed);
+    }
+
+    #[test]
+    fn enqueue_front_bypasses_fifo() {
+        let q = StageQueue::new(4);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
+        q.enqueue_front(0).unwrap();
+        assert_eq!(q.dequeue(), Some(0));
+        assert_eq!(q.dequeue(), Some(1));
+    }
+
+    #[test]
+    fn stats_track_depth_high_water() {
+        let q = StageQueue::new(16);
+        for i in 0..7 {
+            q.enqueue(i).unwrap();
+        }
+        q.dequeue();
+        let s = q.stats();
+        assert_eq!(s.enqueued, 7);
+        assert_eq!(s.dequeued, 1);
+        assert_eq!(s.max_depth, 7);
+        assert_eq!(s.depth, 6);
+    }
+
+    #[test]
+    fn mpmc_under_contention_delivers_everything() {
+        let q = Arc::new(StageQueue::new(4));
+        let total = 1000u64;
+        let mut producers = vec![];
+        for t in 0..4 {
+            let q = Arc::clone(&q);
+            producers.push(thread::spawn(move || {
+                for i in 0..(total / 4) {
+                    q.enqueue(t * total + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = vec![];
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(thread::spawn(move || {
+                let mut n = 0u64;
+                while q.dequeue().is_some() {
+                    n += 1;
+                }
+                n
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let got: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(got, total);
+    }
+}

@@ -1,0 +1,436 @@
+//! The OS-threaded staged runtime.
+//!
+//! Each stage gets a bounded queue and a pool of worker threads that
+//! "continuously call dequeue on the stage's queue" (§4.1.1). On a
+//! multiprocessor this is the natural mapping of §5.3 — stages run in
+//! parallel and the OS spreads their workers over the CPUs. Deterministic
+//! single-CPU scheduling experiments use [`crate::coop`] instead.
+//!
+//! Worker pools are resizable at run time (`set_workers`), which is the
+//! mechanism behind self-tuning knob (a) of §4.4: "the number of threads at
+//! each stage".
+
+use crate::error::EnqueueError;
+use crate::monitor::{snapshot, StageMonitor, StageStats};
+use crate::queue::{Dequeued, StageQueue};
+use crate::stage::{StageCtx, StageId, StageLogic, StageSpec};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a worker waits on an empty queue before running the idle hook.
+const IDLE_POLL: Duration = Duration::from_millis(20);
+/// How long a paused (rank ≥ target) worker sleeps between checks.
+const PAUSED_POLL: Duration = Duration::from_millis(1);
+
+pub(crate) struct StageInner<P: Send + 'static> {
+    pub(crate) name: String,
+    pub(crate) queue: StageQueue<P>,
+    logic: Arc<dyn StageLogic<P>>,
+    pub(crate) monitor: StageMonitor,
+    target_workers: AtomicUsize,
+    spawned_workers: AtomicUsize,
+    max_workers: usize,
+}
+
+/// Shared state between the runtime handle and its workers.
+pub struct RuntimeShared<P: Send + 'static> {
+    stages: Vec<StageInner<P>>,
+    shutting_down: AtomicBool,
+}
+
+impl<P: Send + 'static> RuntimeShared<P> {
+    pub(crate) fn stage(&self, id: StageId) -> &StageInner<P> {
+        &self.stages[id]
+    }
+
+    pub(crate) fn stage_id(&self, name: &str) -> Option<StageId> {
+        self.stages.iter().position(|s| s.name == name)
+    }
+
+    pub(crate) fn enqueue(&self, dest: StageId, packet: P) -> Result<(), EnqueueError<P>> {
+        self.stages[dest].queue.enqueue(packet)
+    }
+
+    pub(crate) fn try_enqueue(&self, dest: StageId, packet: P) -> Result<(), EnqueueError<P>> {
+        self.stages[dest].queue.try_enqueue(packet)
+    }
+}
+
+/// Builder for [`StagedRuntime`].
+pub struct RuntimeBuilder<P: Send + 'static> {
+    specs: Vec<StageSpec<P>>,
+    max_workers: usize,
+}
+
+impl<P: Send + 'static> Default for RuntimeBuilder<P> {
+    fn default() -> Self {
+        Self { specs: Vec::new(), max_workers: 256 }
+    }
+}
+
+impl<P: Send + 'static> RuntimeBuilder<P> {
+    /// Add a stage; returns its [`StageId`] (ids are assigned in call order).
+    pub fn add_stage(&mut self, spec: StageSpec<P>) -> StageId {
+        assert!(
+            self.specs.iter().all(|s| s.name != spec.name),
+            "duplicate stage name {:?}",
+            spec.name
+        );
+        self.specs.push(spec);
+        self.specs.len() - 1
+    }
+
+    /// Upper bound on workers any stage may be resized to.
+    pub fn max_workers_per_stage(mut self, max: usize) -> Self {
+        self.max_workers = max.max(1);
+        self
+    }
+
+    /// Construct the runtime and spawn the initial worker pools.
+    pub fn build(self) -> StagedRuntime<P> {
+        let stages: Vec<StageInner<P>> = self
+            .specs
+            .into_iter()
+            .map(|spec| StageInner {
+                name: spec.name,
+                queue: StageQueue::new(spec.queue_capacity),
+                logic: spec.logic,
+                monitor: StageMonitor::default(),
+                target_workers: AtomicUsize::new(spec.workers),
+                spawned_workers: AtomicUsize::new(0),
+                max_workers: self.max_workers,
+            })
+            .collect();
+        let shared = Arc::new(RuntimeShared { stages, shutting_down: AtomicBool::new(false) });
+        let runtime = StagedRuntime { shared, handles: Arc::new(Mutex::new(Vec::new())) };
+        for id in 0..runtime.shared.stages.len() {
+            let target = runtime.shared.stages[id].target_workers.load(Ordering::Relaxed);
+            for _ in 0..target {
+                runtime.spawn_worker(id);
+            }
+        }
+        runtime
+    }
+}
+
+/// A running staged server: a set of stages plus their worker threads.
+///
+/// Cloning yields another handle to the same runtime.
+pub struct StagedRuntime<P: Send + 'static> {
+    shared: Arc<RuntimeShared<P>>,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl<P: Send + 'static> Clone for StagedRuntime<P> {
+    fn clone(&self) -> Self {
+        Self { shared: Arc::clone(&self.shared), handles: Arc::clone(&self.handles) }
+    }
+}
+
+impl<P: Send + 'static> StagedRuntime<P> {
+    /// Start building a runtime.
+    pub fn builder() -> RuntimeBuilder<P> {
+        RuntimeBuilder::default()
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.shared.stages.len()
+    }
+
+    /// Resolve a stage name to its id.
+    pub fn stage_id(&self, name: &str) -> Option<StageId> {
+        self.shared.stage_id(name)
+    }
+
+    /// Name of a stage.
+    pub fn stage_name(&self, id: StageId) -> &str {
+        &self.shared.stages[id].name
+    }
+
+    /// Inject a packet into a stage from outside the pipeline (blocking under
+    /// back-pressure). This is how clients submit work.
+    pub fn enqueue(&self, dest: StageId, packet: P) -> Result<(), EnqueueError<P>> {
+        self.shared.enqueue(dest, packet)
+    }
+
+    /// Non-blocking injection; `Full` means the server is overloaded and the
+    /// caller should shed or retry (paper §5.2 overload behaviour).
+    pub fn try_enqueue(&self, dest: StageId, packet: P) -> Result<(), EnqueueError<P>> {
+        self.shared.try_enqueue(dest, packet)
+    }
+
+    /// Change the number of active workers of a stage (self-tuning knob a).
+    ///
+    /// Shrinking pauses surplus workers (they stop dequeueing); growing
+    /// resumes paused workers and spawns new threads up to the configured
+    /// maximum.
+    pub fn set_workers(&self, stage: StageId, workers: usize) {
+        let inner = &self.shared.stages[stage];
+        let workers = workers.clamp(1, inner.max_workers);
+        inner.target_workers.store(workers, Ordering::SeqCst);
+        while inner.spawned_workers.load(Ordering::SeqCst) < workers {
+            self.spawn_worker(stage);
+        }
+    }
+
+    /// Current target worker count of a stage.
+    pub fn workers(&self, stage: StageId) -> usize {
+        self.shared.stages[stage].target_workers.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot statistics for every stage.
+    pub fn stats(&self) -> Vec<StageStats> {
+        self.shared
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(id, s)| {
+                snapshot(
+                    &s.name,
+                    id,
+                    &s.monitor,
+                    s.queue.stats(),
+                    s.target_workers.load(Ordering::Relaxed),
+                    s.spawned_workers.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Total queued packets across all stages.
+    pub fn total_queued(&self) -> usize {
+        self.shared.stages.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Drain and stop the runtime. Stages are drained and closed in
+    /// registration order (for servers this is pipeline order), so packets
+    /// in flight — including producers blocked on a downstream queue under
+    /// back-pressure — complete before their stage closes.
+    pub fn shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        for s in &self.shared.stages {
+            // Wait until nothing is queued and no worker is mid-packet; the
+            // double check closes the dequeue→active-counter window.
+            loop {
+                let quiet = |stage: &StageInner<P>| {
+                    stage.queue.is_empty()
+                        && stage.monitor.active_workers.load(Ordering::SeqCst) == 0
+                };
+                if quiet(s) {
+                    std::thread::yield_now();
+                    if quiet(s) {
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            s.queue.close();
+        }
+        let handles: Vec<_> = self.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn spawn_worker(&self, stage: StageId) {
+        let inner = &self.shared.stages[stage];
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let rank = inner.spawned_workers.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::clone(&self.shared);
+        let name = format!("stage-{}-{rank}", inner.name);
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || worker_loop(shared, stage, rank))
+            .expect("failed to spawn stage worker");
+        self.handles.lock().push(handle);
+    }
+}
+
+fn worker_loop<P: Send + 'static>(shared: Arc<RuntimeShared<P>>, stage: StageId, rank: usize) {
+    let ctx = StageCtx { shared: &shared, stage_id: stage };
+    loop {
+        let inner = shared.stage(stage);
+        // Paused workers (rank beyond the current target) spin gently without
+        // dequeueing; this keeps resizing race-free and cheap.
+        if rank >= inner.target_workers.load(Ordering::SeqCst) {
+            if inner.queue.is_closed() && inner.queue.is_empty() {
+                return;
+            }
+            std::thread::sleep(PAUSED_POLL);
+            continue;
+        }
+        match inner.queue.dequeue_timeout(IDLE_POLL) {
+            Dequeued::Packet(p) => {
+                inner.monitor.active_workers.fetch_add(1, Ordering::Relaxed);
+                let start = Instant::now();
+                match inner.logic.process(p, &ctx) {
+                    Ok(()) => inner.monitor.record_processed(start.elapsed()),
+                    Err(_) => inner.monitor.record_error(),
+                }
+                inner.monitor.active_workers.fetch_sub(1, Ordering::Relaxed);
+            }
+            Dequeued::TimedOut => {
+                inner.monitor.record_idle_poll();
+                inner.logic.on_idle(&ctx);
+            }
+            Dequeued::Closed => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::StageResult;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+
+    fn ok_stage<P: Send + 'static>(
+        f: impl Fn(P, &StageCtx<'_, P>) + Send + Sync + 'static,
+    ) -> impl StageLogic<P> {
+        move |p: P, ctx: &StageCtx<'_, P>| -> StageResult {
+            f(p, ctx);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn two_stage_pipeline_forwards_packets() {
+        let (tx, rx) = mpsc::channel::<u64>();
+        let mut b = StagedRuntime::<u64>::builder();
+        let first = b.add_stage(StageSpec::new(
+            "double",
+            |p: u64, ctx: &StageCtx<'_, u64>| -> StageResult {
+                let sink = ctx.stage_id_of("sink").unwrap();
+                ctx.send(sink, p * 2).map_err(|_| crate::StageError::new("send"))?;
+                Ok(())
+            },
+        ));
+        let tx2 = Mutex::new(tx);
+        b.add_stage(StageSpec::new(
+            "sink",
+            ok_stage(move |p: u64, _ctx: &StageCtx<'_, u64>| {
+                tx2.lock().send(p).unwrap();
+            }),
+        ));
+        let rt = b.build();
+        for i in 0..10 {
+            rt.enqueue(first, i).unwrap();
+        }
+        let mut got: Vec<u64> = (0..10).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+        rt.shutdown();
+        let stats = rt.stats();
+        assert_eq!(stats[0].processed, 10);
+        assert_eq!(stats[1].processed, 10);
+    }
+
+    #[test]
+    fn errors_are_counted_not_fatal() {
+        let mut b = StagedRuntime::<u32>::builder();
+        let s = b.add_stage(StageSpec::new(
+            "flaky",
+            |p: u32, _ctx: &StageCtx<'_, u32>| -> StageResult {
+                if p % 2 == 0 {
+                    Err(crate::StageError::new("even packets fail"))
+                } else {
+                    Ok(())
+                }
+            },
+        ));
+        let rt = b.build();
+        for i in 0..8 {
+            rt.enqueue(s, i).unwrap();
+        }
+        rt.shutdown();
+        let st = &rt.stats()[0];
+        assert_eq!(st.errors, 4);
+        assert_eq!(st.processed, 4);
+    }
+
+    #[test]
+    fn resize_workers_up_and_down() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        let mut b = StagedRuntime::<()>::builder();
+        let s = b.add_stage(
+            StageSpec::new(
+                "busy",
+                ok_stage(move |_: (), _ctx: &StageCtx<'_, ()>| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(1));
+                }),
+            )
+            .with_workers(1)
+            .with_queue_capacity(512),
+        );
+        let rt = b.build();
+        rt.set_workers(s, 4);
+        assert_eq!(rt.workers(s), 4);
+        for _ in 0..64 {
+            rt.enqueue(s, ()).unwrap();
+        }
+        rt.set_workers(s, 2);
+        assert_eq!(rt.workers(s), 2);
+        rt.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_packets() {
+        let (tx, rx) = mpsc::channel::<u32>();
+        let tx = Mutex::new(tx);
+        let mut b = StagedRuntime::<u32>::builder();
+        let s = b.add_stage(
+            StageSpec::new(
+                "slow",
+                ok_stage(move |p: u32, _: &StageCtx<'_, u32>| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    tx.lock().send(p).unwrap();
+                }),
+            )
+            .with_queue_capacity(128),
+        );
+        let rt = b.build();
+        for i in 0..20 {
+            rt.enqueue(s, i).unwrap();
+        }
+        rt.shutdown();
+        let got: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(got.len(), 20, "all packets processed before shutdown returns");
+    }
+
+    #[test]
+    fn requeue_back_retries_later() {
+        // A packet that isn't ready the first time goes to the back of the
+        // queue and is processed on a later dequeue (paper case iii).
+        let (tx, rx) = mpsc::channel::<u32>();
+        let tx = Mutex::new(tx);
+        let attempts = Arc::new(AtomicU64::new(0));
+        let at = Arc::clone(&attempts);
+        let mut b = StagedRuntime::<u32>::builder();
+        let s = b.add_stage(StageSpec::new(
+            "retry",
+            move |p: u32, ctx: &StageCtx<'_, u32>| -> StageResult {
+                if at.fetch_add(1, Ordering::SeqCst) == 0 {
+                    ctx.requeue_back(p).map_err(|_| crate::StageError::new("requeue"))?;
+                } else {
+                    tx.lock().send(p).unwrap();
+                }
+                Ok(())
+            },
+        ));
+        let rt = b.build();
+        rt.enqueue(s, 99).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 99);
+        rt.shutdown();
+        assert!(attempts.load(Ordering::SeqCst) >= 2);
+    }
+}

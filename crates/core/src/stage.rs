@@ -1,0 +1,127 @@
+//! The stage abstraction: "an independent server with its own queue, thread
+//! support, and resource management that communicates and interacts with the
+//! other stages through a well-defined interface" (paper §4.1).
+
+use crate::error::{EnqueueError, StageError};
+use crate::runtime::RuntimeShared;
+use std::sync::Arc;
+
+/// Index of a stage inside a runtime. Stable for the runtime's lifetime.
+pub type StageId = usize;
+
+/// Outcome of processing one packet; mirrors the three cases of §4.1.1.
+///
+/// The stage code returns by either (i) destroying the packet, (ii)
+/// forwarding it to another stage, or (iii) enqueueing it back into the same
+/// stage's queue. Cases (ii) and (iii) are performed through [`StageCtx`];
+/// the return value only signals success for monitoring purposes.
+pub type StageResult = Result<(), StageError>;
+
+/// The stage-specific server code, "contained within dequeue" (§4.1.1).
+///
+/// Implementations must be `Send + Sync` because a stage runs a pool of
+/// worker threads over shared logic; per-query state belongs in the packet's
+/// backpack, per-stage state behind interior mutability inside the logic —
+/// this is precisely the paper's "each stage exclusively owns data structures
+/// and sources".
+pub trait StageLogic<P: Send + 'static>: Send + Sync + 'static {
+    /// Process one packet. Forward work with [`StageCtx::send`], requeue with
+    /// [`StageCtx::requeue`], or drop the packet to destroy it.
+    fn process(&self, packet: P, ctx: &StageCtx<'_, P>) -> StageResult;
+
+    /// Called when a worker finds the queue empty (after a poll timeout).
+    /// Stages use this for housekeeping (flushing buffers, tuning).
+    fn on_idle(&self, _ctx: &StageCtx<'_, P>) {}
+}
+
+/// Blanket impl so plain closures can act as stages in tests and examples.
+impl<P, F> StageLogic<P> for F
+where
+    P: Send + 'static,
+    F: Fn(P, &StageCtx<'_, P>) -> StageResult + Send + Sync + 'static,
+{
+    fn process(&self, packet: P, ctx: &StageCtx<'_, P>) -> StageResult {
+        self(packet, ctx)
+    }
+}
+
+/// Static description of a stage, handed to the runtime builder.
+pub struct StageSpec<P: Send + 'static> {
+    /// Stage name (unique within a runtime).
+    pub name: String,
+    /// The stage's server code.
+    pub logic: Arc<dyn StageLogic<P>>,
+    /// Capacity of the incoming packet queue.
+    pub queue_capacity: usize,
+    /// Initial number of worker threads.
+    pub workers: usize,
+}
+
+impl<P: Send + 'static> StageSpec<P> {
+    /// A spec with the given name and logic, queue capacity 64, 1 worker.
+    pub fn new(name: impl Into<String>, logic: impl StageLogic<P>) -> Self {
+        Self { name: name.into(), logic: Arc::new(logic), queue_capacity: 64, workers: 1 }
+    }
+
+    /// Set the queue capacity.
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Set the initial worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// Handle a stage uses to interact with the rest of the pipeline while
+/// processing a packet.
+pub struct StageCtx<'a, P: Send + 'static> {
+    pub(crate) shared: &'a Arc<RuntimeShared<P>>,
+    /// The stage this context belongs to.
+    pub stage_id: StageId,
+}
+
+impl<'a, P: Send + 'static> StageCtx<'a, P> {
+    /// Forward a packet to another stage, blocking under back-pressure.
+    pub fn send(&self, dest: StageId, packet: P) -> Result<(), EnqueueError<P>> {
+        self.shared.enqueue(dest, packet)
+    }
+
+    /// Forward without blocking (overload paths use this to shed load).
+    pub fn try_send(&self, dest: StageId, packet: P) -> Result<(), EnqueueError<P>> {
+        self.shared.try_enqueue(dest, packet)
+    }
+
+    /// Put a packet back into this stage's own queue (paper case iii: "there
+    /// is more work but the client needs to wait on some condition").
+    pub fn requeue(&self, packet: P) -> Result<(), EnqueueError<P>> {
+        self.shared.stage(self.stage_id).queue.enqueue_front(packet)
+    }
+
+    /// Put a packet at the back of this stage's own queue (round-robin style
+    /// yield used by the staged execution engine when an output buffer is
+    /// full or input is empty, §4.3).
+    pub fn requeue_back(&self, packet: P) -> Result<(), EnqueueError<P>> {
+        self.shared.enqueue(self.stage_id, packet)
+    }
+
+    /// Look up a stage id by name.
+    pub fn stage_id_of(&self, name: &str) -> Option<StageId> {
+        self.shared.stage_id(name)
+    }
+
+    /// Depth of some stage's queue (used by routing decisions and tuning).
+    pub fn queue_depth(&self, stage: StageId) -> usize {
+        self.shared.stage(stage).queue.len()
+    }
+
+    /// Report time this worker spent blocked on I/O while processing the
+    /// current packet. Feeds the per-stage monitor so the autotuner can size
+    /// the pool by I/O frequency (§5.1(1)).
+    pub fn record_io_blocked(&self, blocked: std::time::Duration) {
+        self.shared.stage(self.stage_id).monitor.record_io_blocked(blocked);
+    }
+}

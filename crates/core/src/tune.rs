@@ -1,0 +1,199 @@
+//! Self-tuning of stage parameters (paper §4.4).
+//!
+//! The paper proposes a mechanism that "will continuously monitor and
+//! automatically tune" four parameters; this module implements knob (a) —
+//! the number of threads at each stage — as a feedback loop over the per-
+//! stage monitors: stages whose workers spend most of their time blocked on
+//! I/O or whose queues grow get more workers; idle stages shrink. Knobs (b)
+//! stage size, (c) exchange page size and (d) policy choice are exposed as
+//! configuration elsewhere (see `staged-engine::staged` for (b)/(c) and
+//! `staged-sim` for (d)) and explored by the ablation benches.
+
+use crate::runtime::StagedRuntime;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning parameters.
+#[derive(Debug, Clone)]
+pub struct TuneConfig {
+    /// Lower bound on workers per stage.
+    pub min_workers: usize,
+    /// Upper bound on workers per stage.
+    pub max_workers: usize,
+    /// Add a worker when queue depth per active worker exceeds this.
+    pub grow_depth_per_worker: f64,
+    /// Add a worker when the stage's I/O-blocked fraction exceeds this
+    /// (workers are mostly waiting, more of them can overlap I/O — §5.1(1)).
+    pub grow_io_fraction: f64,
+    /// Remove a worker when the queue has stayed empty for a full interval.
+    pub shrink_when_idle: bool,
+    /// How often the tuner wakes up.
+    pub interval: Duration,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        Self {
+            min_workers: 1,
+            max_workers: 16,
+            grow_depth_per_worker: 4.0,
+            grow_io_fraction: 0.5,
+            shrink_when_idle: true,
+            interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A decision the tuner took, for observability and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuneDecision {
+    /// Stage name.
+    pub stage: String,
+    /// Workers before.
+    pub from: usize,
+    /// Workers after.
+    pub to: usize,
+    /// Why.
+    pub reason: &'static str,
+}
+
+/// Background autotuner for a [`StagedRuntime`].
+pub struct AutoTuner {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    decisions: Arc<Mutex<Vec<TuneDecision>>>,
+}
+
+impl AutoTuner {
+    /// Start tuning `runtime` in a background thread.
+    pub fn spawn<P: Send + 'static>(runtime: StagedRuntime<P>, cfg: TuneConfig) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let decisions = Arc::new(Mutex::new(Vec::new()));
+        let stop2 = Arc::clone(&stop);
+        let dec2 = Arc::clone(&decisions);
+        let handle = std::thread::Builder::new()
+            .name("stage-autotuner".into())
+            .spawn(move || {
+                let mut last_io_nanos: Vec<u64> = vec![0; runtime.num_stages()];
+                let mut last_busy_nanos: Vec<u64> = vec![0; runtime.num_stages()];
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(cfg.interval);
+                    for stats in runtime.stats() {
+                        let id = stats.stage_id;
+                        let workers = stats.target_workers;
+                        let dio = stats.io_blocked_nanos.saturating_sub(last_io_nanos[id]);
+                        let dbusy = stats.busy_nanos.saturating_sub(last_busy_nanos[id]);
+                        last_io_nanos[id] = stats.io_blocked_nanos;
+                        last_busy_nanos[id] = stats.busy_nanos;
+                        let io_frac = if dbusy == 0 { 0.0 } else { dio as f64 / dbusy as f64 };
+                        let depth_per_worker = stats.queue.depth as f64 / workers.max(1) as f64;
+                        let mut to = workers;
+                        let mut reason = "";
+                        if workers < cfg.max_workers
+                            && (depth_per_worker > cfg.grow_depth_per_worker
+                                || (io_frac > cfg.grow_io_fraction && stats.queue.depth > 0))
+                        {
+                            to = workers + 1;
+                            reason = if io_frac > cfg.grow_io_fraction {
+                                "io-bound: add worker to overlap I/O"
+                            } else {
+                                "queue growing: add worker"
+                            };
+                        } else if cfg.shrink_when_idle
+                            && workers > cfg.min_workers
+                            && stats.queue.depth == 0
+                            && dbusy == 0
+                        {
+                            to = workers - 1;
+                            reason = "idle: remove worker";
+                        }
+                        if to != workers {
+                            runtime.set_workers(id, to);
+                            dec2.lock().push(TuneDecision {
+                                stage: stats.name.clone(),
+                                from: workers,
+                                to,
+                                reason,
+                            });
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn autotuner");
+        Self { stop, handle: Some(handle), decisions }
+    }
+
+    /// Decisions taken so far.
+    pub fn decisions(&self) -> Vec<TuneDecision> {
+        self.decisions.lock().clone()
+    }
+
+    /// Stop the tuner and wait for it.
+    pub fn stop(mut self) -> Vec<TuneDecision> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        let d = self.decisions.lock().clone();
+        d
+    }
+}
+
+impl Drop for AutoTuner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{StageCtx, StageSpec};
+    use std::time::Instant;
+
+    #[test]
+    fn tuner_grows_io_bound_stage() {
+        let mut b = StagedRuntime::<u32>::builder();
+        let s = b.add_stage(
+            StageSpec::new(
+                "io-stage",
+                |_p: u32, ctx: &StageCtx<'_, u32>| -> crate::stage::StageResult {
+                    // Simulated I/O: block and tell the monitor about it.
+                    let t = Instant::now();
+                    std::thread::sleep(Duration::from_millis(5));
+                    ctx.record_io_blocked(t.elapsed());
+                    Ok(())
+                },
+            )
+            .with_queue_capacity(256),
+        );
+        let rt = b.build();
+        let tuner = AutoTuner::spawn(
+            rt.clone(),
+            TuneConfig {
+                max_workers: 8,
+                grow_io_fraction: 0.3,
+                interval: Duration::from_millis(20),
+                ..TuneConfig::default()
+            },
+        );
+        for i in 0..200 {
+            rt.enqueue(s, i).unwrap();
+        }
+        // Let the tuner observe the backlog + I/O fraction.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rt.workers(s) < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(rt.workers(s) >= 2, "tuner should have added workers");
+        let decisions = tuner.stop();
+        assert!(!decisions.is_empty());
+        rt.shutdown();
+    }
+}

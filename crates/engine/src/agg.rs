@@ -1,0 +1,190 @@
+//! Aggregate accumulators, shared by the Volcano and staged engines.
+
+use crate::error::{EngineError, EngineResult};
+use staged_planner::AggSpec;
+use staged_sql::ast::AggFunc;
+use staged_storage::Value;
+use std::collections::HashSet;
+
+/// Running state of one aggregate.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggFunc,
+    distinct: bool,
+    seen: HashSet<Vec<u8>>,
+    count: i64,
+    sum_i: i64,
+    sum_f: f64,
+    saw_float: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Accumulator {
+    /// Fresh accumulator for a spec.
+    pub fn new(spec: &AggSpec) -> Self {
+        Self {
+            func: spec.func,
+            distinct: spec.distinct,
+            seen: HashSet::new(),
+            count: 0,
+            sum_i: 0,
+            sum_f: 0.0,
+            saw_float: false,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Feed one input value (already evaluated; `Null` for `COUNT(*)` rows
+    /// is passed as `Some(non-null)` by the caller — see `update_star`).
+    pub fn update(&mut self, v: &Value) -> EngineResult<()> {
+        if v.is_null() {
+            return Ok(()); // aggregates skip NULLs
+        }
+        if self.distinct {
+            let mut key = Vec::new();
+            v.encode(&mut key);
+            if !self.seen.insert(key) {
+                return Ok(());
+            }
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match v {
+                Value::Int(i) => {
+                    self.sum_i = self.sum_i.checked_add(*i).ok_or_else(|| {
+                        EngineError::Eval("SUM overflow".into())
+                    })?;
+                    self.sum_f += *i as f64;
+                }
+                Value::Float(f) => {
+                    self.saw_float = true;
+                    self.sum_f += f;
+                }
+                other => {
+                    return Err(EngineError::Eval(format!("SUM/AVG over {other}")));
+                }
+            },
+            AggFunc::Min => {
+                if self.min.as_ref().map_or(true, |m| v.total_cmp(m).is_lt()) {
+                    self.min = Some(v.clone());
+                }
+            }
+            AggFunc::Max => {
+                if self.max.as_ref().map_or(true, |m| v.total_cmp(m).is_gt()) {
+                    self.max = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Feed a `COUNT(*)` row (no argument, NULLs still count).
+    pub fn update_star(&mut self) {
+        self.count += 1;
+    }
+
+    /// Final value of the aggregate.
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.saw_float {
+                    Value::Float(self.sum_f)
+                } else {
+                    Value::Int(self.sum_i)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum_f / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(func: AggFunc, distinct: bool) -> AggSpec {
+        AggSpec { func, arg: None, distinct }
+    }
+
+    #[test]
+    fn count_sum_avg_min_max() {
+        let mut c = Accumulator::new(&spec(AggFunc::Count, false));
+        let mut s = Accumulator::new(&spec(AggFunc::Sum, false));
+        let mut a = Accumulator::new(&spec(AggFunc::Avg, false));
+        let mut mn = Accumulator::new(&spec(AggFunc::Min, false));
+        let mut mx = Accumulator::new(&spec(AggFunc::Max, false));
+        for i in 1..=4i64 {
+            for acc in [&mut c, &mut s, &mut a, &mut mn, &mut mx] {
+                acc.update(&Value::Int(i)).unwrap();
+            }
+        }
+        assert_eq!(c.finish(), Value::Int(4));
+        assert_eq!(s.finish(), Value::Int(10));
+        assert_eq!(a.finish(), Value::Float(2.5));
+        assert_eq!(mn.finish(), Value::Int(1));
+        assert_eq!(mx.finish(), Value::Int(4));
+    }
+
+    #[test]
+    fn nulls_are_skipped_but_count_star_counts() {
+        let mut c = Accumulator::new(&spec(AggFunc::Count, false));
+        c.update(&Value::Null).unwrap();
+        c.update(&Value::Int(1)).unwrap();
+        assert_eq!(c.finish(), Value::Int(1));
+        let mut star = Accumulator::new(&spec(AggFunc::Count, false));
+        star.update_star();
+        star.update_star();
+        assert_eq!(star.finish(), Value::Int(2));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let mut s = Accumulator::new(&spec(AggFunc::Sum, true));
+        for v in [1, 2, 2, 3, 3, 3] {
+            s.update(&Value::Int(v)).unwrap();
+        }
+        assert_eq!(s.finish(), Value::Int(6));
+    }
+
+    #[test]
+    fn empty_input_yields_null_or_zero() {
+        assert_eq!(Accumulator::new(&spec(AggFunc::Count, false)).finish(), Value::Int(0));
+        assert_eq!(Accumulator::new(&spec(AggFunc::Sum, false)).finish(), Value::Null);
+        assert_eq!(Accumulator::new(&spec(AggFunc::Avg, false)).finish(), Value::Null);
+        assert_eq!(Accumulator::new(&spec(AggFunc::Min, false)).finish(), Value::Null);
+    }
+
+    #[test]
+    fn sum_switches_to_float_when_needed() {
+        let mut s = Accumulator::new(&spec(AggFunc::Sum, false));
+        s.update(&Value::Int(1)).unwrap();
+        s.update(&Value::Float(0.5)).unwrap();
+        assert_eq!(s.finish(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn min_max_over_strings() {
+        let mut mn = Accumulator::new(&spec(AggFunc::Min, false));
+        let mut mx = Accumulator::new(&spec(AggFunc::Max, false));
+        for s in ["pear", "apple", "zucchini"] {
+            mn.update(&Value::Str(s.into())).unwrap();
+            mx.update(&Value::Str(s.into())).unwrap();
+        }
+        assert_eq!(mn.finish(), Value::Str("apple".into()));
+        assert_eq!(mx.finish(), Value::Str("zucchini".into()));
+    }
+}

@@ -1,0 +1,240 @@
+//! DML execution: INSERT, UPDATE, DELETE with index maintenance and WAL
+//! logging (the "end Xaction" work of the paper's disconnect stage).
+
+use crate::context::ExecContext;
+use crate::error::{EngineError, EngineResult};
+use crate::expr::{eval, eval_predicate};
+use staged_planner::{plan_table_filter, PhysicalPlan, PlannerConfig};
+use staged_sql::ast::Expr;
+use staged_storage::catalog::TableInfo;
+use staged_storage::wal::{LogRecord, Wal};
+use staged_storage::{Rid, Tuple, Value};
+use std::sync::Arc;
+
+/// Insert fully-evaluated rows; returns the number inserted.
+pub fn insert_rows(
+    ctx: &ExecContext,
+    table: &Arc<TableInfo>,
+    rows: Vec<Tuple>,
+    wal: Option<(&Wal, u64)>,
+) -> EngineResult<u64> {
+    let indexes = ctx.catalog.indexes_for(table.id);
+    let mut n = 0;
+    for row in rows {
+        table.schema.validate(&row)?;
+        let rid = table.heap.insert(&row)?;
+        ctx.note_page_ref();
+        for ix in &indexes {
+            if let Some(k) = row.get(ix.column).as_int() {
+                ix.btree.insert(k, rid)?;
+            }
+        }
+        if let Some((wal, xid)) = wal {
+            wal.append(&LogRecord::Insert {
+                xid,
+                table: table.id.0,
+                rid,
+                bytes: row.encode(),
+            })?;
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Collect the rids matching a (table-locally bound) predicate, using an
+/// index when the planner finds one profitable.
+pub fn matching_rids(
+    ctx: &ExecContext,
+    table: &Arc<TableInfo>,
+    predicate: &Option<Expr>,
+) -> EngineResult<Vec<(Rid, Tuple)>> {
+    let plan =
+        plan_table_filter(table, predicate.clone(), &ctx.catalog, &PlannerConfig::default());
+    let mut out = Vec::new();
+    match &plan {
+        PhysicalPlan::IndexScan { index, lo, hi, predicate: residual, .. } => {
+            for (_, rid) in index.btree.range(*lo, *hi)? {
+                ctx.note_page_ref();
+                let t = table.heap.get(rid)?;
+                if match residual {
+                    Some(p) => eval_predicate(p, &t)?,
+                    None => true,
+                } {
+                    out.push((rid, t));
+                }
+            }
+        }
+        _ => {
+            for item in table.heap.scan() {
+                let (rid, t) = item?;
+                ctx.note_page_ref();
+                if match predicate {
+                    Some(p) => eval_predicate(p, &t)?,
+                    None => true,
+                } {
+                    out.push((rid, t));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Delete matching rows; returns the number deleted.
+pub fn delete_rows(
+    ctx: &ExecContext,
+    table: &Arc<TableInfo>,
+    predicate: &Option<Expr>,
+    wal: Option<(&Wal, u64)>,
+) -> EngineResult<u64> {
+    let victims = matching_rids(ctx, table, predicate)?;
+    let indexes = ctx.catalog.indexes_for(table.id);
+    let mut n = 0;
+    for (rid, row) in victims {
+        table.heap.delete(rid)?;
+        for ix in &indexes {
+            if let Some(k) = row.get(ix.column).as_int() {
+                ix.btree.delete(k, rid)?;
+            }
+        }
+        if let Some((wal, xid)) = wal {
+            wal.append(&LogRecord::Delete { xid, table: table.id.0, rid })?;
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Update matching rows with SET assignments (column index, expression over
+/// the table layout); returns the number updated.
+pub fn update_rows(
+    ctx: &ExecContext,
+    table: &Arc<TableInfo>,
+    sets: &[(usize, Expr)],
+    predicate: &Option<Expr>,
+    wal: Option<(&Wal, u64)>,
+) -> EngineResult<u64> {
+    let victims = matching_rids(ctx, table, predicate)?;
+    let indexes = ctx.catalog.indexes_for(table.id);
+    let mut n = 0;
+    for (rid, old) in victims {
+        let mut vals: Vec<Value> = old.values().to_vec();
+        for (col, e) in sets {
+            if *col >= vals.len() {
+                return Err(EngineError::Internal(format!("SET column {col} out of range")));
+            }
+            vals[*col] = eval(e, &old)?;
+        }
+        let new = Tuple::new(vals);
+        table.schema.validate(&new)?;
+        let new_rid = table.heap.update(rid, &new)?;
+        for ix in &indexes {
+            if let Some(k) = old.get(ix.column).as_int() {
+                ix.btree.delete(k, rid)?;
+            }
+            if let Some(k) = new.get(ix.column).as_int() {
+                ix.btree.insert(k, new_rid)?;
+            }
+        }
+        if let Some((wal, xid)) = wal {
+            wal.append(&LogRecord::Delete { xid, table: table.id.0, rid })?;
+            wal.append(&LogRecord::Insert {
+                xid,
+                table: table.id.0,
+                rid: new_rid,
+                bytes: new.encode(),
+            })?;
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staged_sql::ast::{BinOp, ColumnRef};
+    use staged_storage::{BufferPool, Catalog, Column, DataType, MemDisk, Schema};
+
+    fn setup() -> (ExecContext, Arc<TableInfo>) {
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 256);
+        let catalog = Arc::new(Catalog::new(pool));
+        let t = catalog
+            .create_table(
+                "t",
+                Schema::new(vec![
+                    Column::new("id", DataType::Int),
+                    Column::new("v", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        catalog.create_index("t_id", "t", "id").unwrap();
+        (ExecContext::new(catalog), t)
+    }
+
+    fn col(i: usize) -> Expr {
+        Expr::Column(ColumnRef { table: None, name: format!("#{i}"), index: Some(i) })
+    }
+
+    fn rows(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 2)])).collect()
+    }
+
+    #[test]
+    fn insert_maintains_index() {
+        let (ctx, t) = setup();
+        assert_eq!(insert_rows(&ctx, &t, rows(100), None).unwrap(), 100);
+        let ix = ctx.catalog.index_on(t.id, 0).unwrap();
+        assert_eq!(ix.btree.search(42).unwrap().len(), 1);
+        assert_eq!(t.heap.count().unwrap(), 100);
+    }
+
+    #[test]
+    fn delete_with_predicate_uses_index_and_cleans_it() {
+        let (ctx, t) = setup();
+        insert_rows(&ctx, &t, rows(100), None).unwrap();
+        ctx.catalog.analyze_table("t").unwrap();
+        let pred = Some(Expr::binary(col(0), BinOp::Eq, Expr::int(7)));
+        assert_eq!(delete_rows(&ctx, &t, &pred, None).unwrap(), 1);
+        let ix = ctx.catalog.index_on(t.id, 0).unwrap();
+        assert!(ix.btree.search(7).unwrap().is_empty());
+        assert_eq!(t.heap.count().unwrap(), 99);
+    }
+
+    #[test]
+    fn update_rewrites_values_and_index() {
+        let (ctx, t) = setup();
+        insert_rows(&ctx, &t, rows(10), None).unwrap();
+        let pred = Some(Expr::binary(col(0), BinOp::Eq, Expr::int(3)));
+        let sets = vec![(0usize, Expr::int(333)), (1usize, Expr::binary(col(1), BinOp::Add, Expr::int(1)))];
+        assert_eq!(update_rows(&ctx, &t, &sets, &pred, None).unwrap(), 1);
+        let ix = ctx.catalog.index_on(t.id, 0).unwrap();
+        assert!(ix.btree.search(3).unwrap().is_empty());
+        let hits = ix.btree.search(333).unwrap();
+        assert_eq!(hits.len(), 1);
+        let row = t.heap.get(hits[0]).unwrap();
+        assert_eq!(row.values(), &[Value::Int(333), Value::Int(7)]);
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        let (ctx, t) = setup();
+        let bad = vec![Tuple::new(vec![Value::Str("no".into()), Value::Int(0)])];
+        assert!(insert_rows(&ctx, &t, bad, None).is_err());
+    }
+
+    #[test]
+    fn wal_records_dml() {
+        let (ctx, t) = setup();
+        let wal = Wal::new(Arc::new(MemDisk::new()));
+        insert_rows(&ctx, &t, rows(3), Some((&wal, 9))).unwrap();
+        delete_rows(&ctx, &t, &None, Some((&wal, 9))).unwrap();
+        wal.flush().unwrap();
+        let recs = wal.read_all().unwrap();
+        let inserts = recs.iter().filter(|r| matches!(r, LogRecord::Insert { .. })).count();
+        let deletes = recs.iter().filter(|r| matches!(r, LogRecord::Delete { .. })).count();
+        assert_eq!(inserts, 3);
+        assert_eq!(deletes, 3);
+    }
+}

@@ -1,0 +1,46 @@
+//! Engine errors.
+
+use staged_sql::SqlError;
+use staged_storage::StorageError;
+use std::fmt;
+
+/// Result alias for execution.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// An execution-time error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Storage layer failed.
+    Storage(StorageError),
+    /// Front-end error surfaced at run time.
+    Sql(SqlError),
+    /// Expression evaluation failed (type error, division by zero, …).
+    Eval(String),
+    /// Internal invariant violated.
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage: {e}"),
+            EngineError::Sql(e) => write!(f, "{e}"),
+            EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
+            EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<SqlError> for EngineError {
+    fn from(e: SqlError) -> Self {
+        EngineError::Sql(e)
+    }
+}

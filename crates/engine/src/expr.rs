@@ -1,0 +1,303 @@
+//! Expression evaluation over tuples.
+//!
+//! SQL three-valued logic: comparisons with NULL yield NULL; `WHERE`
+//! treats NULL as false. Arithmetic propagates NULL and reports overflow
+//! and division by zero as errors.
+
+use crate::error::{EngineError, EngineResult};
+use staged_sql::ast::{BinOp, Expr, UnaryOp};
+use staged_storage::{Tuple, Value};
+
+/// Evaluate `expr` against `tuple` (column indexes must be bound).
+pub fn eval(expr: &Expr, tuple: &Tuple) -> EngineResult<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(c) => {
+            let idx = c
+                .index
+                .ok_or_else(|| EngineError::Internal(format!("unbound column {}", c.name)))?;
+            tuple
+                .values()
+                .get(idx)
+                .cloned()
+                .ok_or_else(|| EngineError::Internal(format!("column {idx} out of arity")))
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, tuple)?;
+            match (op, v) {
+                (_, Value::Null) => Ok(Value::Null),
+                (UnaryOp::Neg, Value::Int(i)) => i
+                    .checked_neg()
+                    .map(Value::Int)
+                    .ok_or_else(|| EngineError::Eval("integer overflow".into())),
+                (UnaryOp::Neg, Value::Float(f)) => Ok(Value::Float(-f)),
+                (UnaryOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                (op, v) => Err(EngineError::Eval(format!("cannot apply {op:?} to {v}"))),
+            }
+        }
+        Expr::Binary { left, op, right } => eval_binary(left, *op, right, tuple),
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, tuple)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Between { expr, lo, hi, negated } => {
+            let v = eval(expr, tuple)?;
+            let lo = eval(lo, tuple)?;
+            let hi = eval(hi, tuple)?;
+            match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                (Some(a), Some(b)) => {
+                    let inside = a.is_ge() && b.is_le();
+                    Ok(Value::Bool(inside != *negated))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, tuple)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let w = eval(item, tuple)?;
+                match v.sql_cmp(&w) {
+                    Some(o) if o.is_eq() => return Ok(Value::Bool(!*negated)),
+                    None => saw_null = true,
+                    _ => {}
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval(expr, tuple)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
+                other => Err(EngineError::Eval(format!("LIKE on non-string {other}"))),
+            }
+        }
+        Expr::Agg { .. } => {
+            Err(EngineError::Internal("bare aggregate reached the evaluator".into()))
+        }
+    }
+}
+
+/// Evaluate a predicate: NULL counts as false (SQL WHERE semantics).
+pub fn eval_predicate(expr: &Expr, tuple: &Tuple) -> EngineResult<bool> {
+    match eval(expr, tuple)? {
+        Value::Bool(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(EngineError::Eval(format!("predicate evaluated to {other}"))),
+    }
+}
+
+fn eval_binary(left: &Expr, op: BinOp, right: &Expr, tuple: &Tuple) -> EngineResult<Value> {
+    // AND/OR use three-valued logic with short circuiting.
+    if matches!(op, BinOp::And | BinOp::Or) {
+        let l = eval(left, tuple)?;
+        let l3 = to_tri(&l)?;
+        match (op, l3) {
+            (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
+            (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+            _ => {}
+        }
+        let r = eval(right, tuple)?;
+        let r3 = to_tri(&r)?;
+        return Ok(match (op, l3, r3) {
+            (BinOp::And, Some(true), Some(true)) => Value::Bool(true),
+            (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Value::Bool(false),
+            (BinOp::Or, Some(false), Some(false)) => Value::Bool(false),
+            (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Value::Bool(true),
+            _ => Value::Null,
+        });
+    }
+    let l = eval(left, tuple)?;
+    let r = eval(right, tuple)?;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    if op.is_comparison() {
+        let Some(ord) = l.sql_cmp(&r) else {
+            return Err(EngineError::Eval(format!("cannot compare {l} with {r}")));
+        };
+        let b = match op {
+            BinOp::Eq => ord.is_eq(),
+            BinOp::NotEq => !ord.is_eq(),
+            BinOp::Lt => ord.is_lt(),
+            BinOp::LtEq => ord.is_le(),
+            BinOp::Gt => ord.is_gt(),
+            BinOp::GtEq => ord.is_ge(),
+            _ => unreachable!(),
+        };
+        return Ok(Value::Bool(b));
+    }
+    // Arithmetic.
+    match (&l, &r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let v = match op {
+                BinOp::Add => a.checked_add(*b),
+                BinOp::Sub => a.checked_sub(*b),
+                BinOp::Mul => a.checked_mul(*b),
+                BinOp::Div => {
+                    if *b == 0 {
+                        return Err(EngineError::Eval("division by zero".into()));
+                    }
+                    a.checked_div(*b)
+                }
+                BinOp::Mod => {
+                    if *b == 0 {
+                        return Err(EngineError::Eval("modulo by zero".into()));
+                    }
+                    a.checked_rem(*b)
+                }
+                _ => unreachable!("non-arithmetic handled above"),
+            };
+            v.map(Value::Int).ok_or_else(|| EngineError::Eval("integer overflow".into()))
+        }
+        _ => {
+            let (Some(a), Some(b)) = (l.as_float(), r.as_float()) else {
+                return Err(EngineError::Eval(format!("arithmetic on {l} and {r}")));
+            };
+            let v = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(EngineError::Eval("division by zero".into()));
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    if b == 0.0 {
+                        return Err(EngineError::Eval("modulo by zero".into()));
+                    }
+                    a % b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(v))
+        }
+    }
+}
+
+fn to_tri(v: &Value) -> EngineResult<Option<bool>> {
+    match v {
+        Value::Bool(b) => Ok(Some(*b)),
+        Value::Null => Ok(None),
+        other => Err(EngineError::Eval(format!("boolean operator on {other}"))),
+    }
+}
+
+/// SQL LIKE with `%` (any run) and `_` (any char); case-sensitive.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[u8], p: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'%') => {
+                // Try every split point (including empty).
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(&c) => s.first() == Some(&c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    rec(s.as_bytes(), pattern.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staged_sql::ast::ColumnRef;
+
+    fn col(i: usize) -> Expr {
+        Expr::Column(ColumnRef { table: None, name: format!("#{i}"), index: Some(i) })
+    }
+
+    fn row(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let t = row(vec![Value::Int(6), Value::Float(1.5)]);
+        let e = Expr::binary(col(0), BinOp::Mul, Expr::int(7));
+        assert_eq!(eval(&e, &t).unwrap(), Value::Int(42));
+        let e = Expr::binary(col(0), BinOp::Add, col(1));
+        assert_eq!(eval(&e, &t).unwrap(), Value::Float(7.5));
+        let e = Expr::binary(col(0), BinOp::GtEq, Expr::int(6));
+        assert_eq!(eval(&e, &t).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn division_by_zero_and_overflow_are_errors() {
+        let t = row(vec![Value::Int(1)]);
+        assert!(eval(&Expr::binary(col(0), BinOp::Div, Expr::int(0)), &t).is_err());
+        assert!(eval(&Expr::binary(col(0), BinOp::Mod, Expr::int(0)), &t).is_err());
+        let big = Expr::binary(Expr::int(i64::MAX), BinOp::Add, Expr::int(1));
+        assert!(eval(&big, &t).is_err());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = row(vec![Value::Null, Value::Bool(true), Value::Bool(false)]);
+        // NULL AND FALSE = FALSE; NULL AND TRUE = NULL.
+        let e = Expr::binary(col(0), BinOp::And, col(2));
+        assert_eq!(eval(&e, &t).unwrap(), Value::Bool(false));
+        let e = Expr::binary(col(0), BinOp::And, col(1));
+        assert_eq!(eval(&e, &t).unwrap(), Value::Null);
+        // NULL OR TRUE = TRUE.
+        let e = Expr::binary(col(0), BinOp::Or, col(1));
+        assert_eq!(eval(&e, &t).unwrap(), Value::Bool(true));
+        // Comparisons with NULL are NULL, and predicates treat that as false.
+        let e = Expr::binary(col(0), BinOp::Eq, Expr::int(1));
+        assert_eq!(eval(&e, &t).unwrap(), Value::Null);
+        assert!(!eval_predicate(&e, &t).unwrap());
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        let t = row(vec![Value::Int(5)]);
+        let e = Expr::InList {
+            expr: Box::new(col(0)),
+            list: vec![Expr::int(1), Expr::Literal(Value::Null)],
+            negated: false,
+        };
+        // 5 IN (1, NULL) → NULL (unknown).
+        assert_eq!(eval(&e, &t).unwrap(), Value::Null);
+        let e = Expr::InList {
+            expr: Box::new(col(0)),
+            list: vec![Expr::int(5), Expr::Literal(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(eval(&e, &t).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let t = row(vec![Value::Int(5)]);
+        let e = Expr::Between {
+            expr: Box::new(col(0)),
+            lo: Box::new(Expr::int(5)),
+            hi: Box::new(Expr::int(9)),
+            negated: false,
+        };
+        assert_eq!(eval(&e, &t).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("wisconsin", "wis%"));
+        assert!(like_match("wisconsin", "%sin"));
+        assert!(like_match("wisconsin", "%con%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", ""));
+        assert!(like_match("a%b", "a%b")); // literal traversal still matches
+    }
+}

@@ -1,0 +1,481 @@
+//! The staged execution engine (paper §4.1.2 and §4.3).
+//!
+//! Each relational operator runs as a *task* carried by a packet queued at
+//! one of the execution-engine stages of Figure 3 — fscan, iscan, sort,
+//! join, aggregate, send. Dataflow is page-based: bounded
+//! [`ExchangeBuffer`]s of [`TupleBatch`]es connect producers to consumers.
+//! Activation is bottom-up: leaf (scan) packets are enqueued when the query
+//! arrives; an operator packet enters its stage's queue only when its first
+//! input page is ready ("activation occurs in a bottom-up fashion with
+//! respect to the operator tree"). A task that cannot make progress —
+//! output buffer full or input empty — requeues itself at the back of its
+//! stage queue, which is the cooperative yield of §4.3.
+//!
+//! Scans of the same table are shared across concurrent queries
+//! ([`sharing`], paper §5.4): one circular scan drives every subscriber.
+
+pub mod sharing;
+mod tasks;
+
+pub use tasks::compile;
+
+use crate::batch::TupleBatch;
+use crate::context::ExecContext;
+use crate::error::{EngineError, EngineResult};
+use crate::expr::{eval, eval_predicate};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use sharing::SharedScanRegistry;
+use staged_core::prelude::*;
+use staged_planner::PhysicalPlan;
+use staged_sql::ast::Expr;
+use staged_storage::Tuple;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The execution-engine stages of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Sequential file scans (replicated per table in the paper; one queue
+    /// with table-keyed shared-scan groups here).
+    FScan,
+    /// Index scans.
+    IScan,
+    /// Sorting.
+    Sort,
+    /// All three join algorithms.
+    Join,
+    /// Aggregation (and duplicate elimination).
+    Aggr,
+    /// Result delivery to the client.
+    Send,
+}
+
+impl StageKind {
+    /// All engine stages, in pipeline order.
+    pub const ALL: [StageKind; 6] = [
+        StageKind::FScan,
+        StageKind::IScan,
+        StageKind::Sort,
+        StageKind::Join,
+        StageKind::Aggr,
+        StageKind::Send,
+    ];
+
+    /// Stage name used in the runtime.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageKind::FScan => "fscan",
+            StageKind::IScan => "iscan",
+            StageKind::Sort => "sort",
+            StageKind::Join => "join",
+            StageKind::Aggr => "aggr",
+            StageKind::Send => "send",
+        }
+    }
+}
+
+/// Outcome of one task quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// Made progress; more work remains.
+    Working,
+    /// Could not progress (input empty / output full); retry later.
+    Blocked,
+    /// Finished; destroy the packet.
+    Done,
+}
+
+/// One operator's work, carried through stage queues inside a packet.
+/// Mirrors the paper's packet: the task *is* the query's backpack for this
+/// operator — its state and private data.
+pub trait OperatorTask: Send {
+    /// Perform up to `quota` tuples worth of work.
+    fn step(&mut self, quota: usize) -> EngineResult<StepResult>;
+}
+
+/// Bounded single-producer/single-consumer page buffer between stages.
+pub struct ExchangeBuffer {
+    inner: Mutex<VecDeque<TupleBatch>>,
+    capacity: usize,
+    closed: AtomicBool,
+}
+
+impl ExchangeBuffer {
+    /// A buffer holding at most `capacity` batches.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    /// True when another batch fits.
+    pub fn has_space(&self) -> bool {
+        self.inner.lock().len() < self.capacity
+    }
+
+    /// Non-blocking push; hands the batch back when full.
+    pub fn try_push(&self, batch: TupleBatch) -> Result<(), TupleBatch> {
+        let mut q = self.inner.lock();
+        if q.len() >= self.capacity {
+            Err(batch)
+        } else {
+            q.push_back(batch);
+            Ok(())
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<TupleBatch> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Producer signals end of stream.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// No more batches will ever arrive.
+    pub fn is_finished(&self) -> bool {
+        self.closed.load(Ordering::SeqCst) && self.inner.lock().is_empty()
+    }
+
+    /// Producer has closed (batches may still be queued).
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+}
+
+/// Per-query control block: result sink + cancellation.
+pub struct QueryCtl {
+    /// Query id (for diagnostics).
+    pub query: QueryId,
+    sink: Sender<EngineResult<Tuple>>,
+    cancelled: AtomicBool,
+    /// Live tasks, used to detect stuck queries in tests.
+    pub live_tasks: AtomicU64,
+}
+
+impl QueryCtl {
+    fn new(query: QueryId, sink: Sender<EngineResult<Tuple>>) -> Arc<Self> {
+        Arc::new(Self { query, sink, cancelled: AtomicBool::new(false), live_tasks: AtomicU64::new(0) })
+    }
+
+    /// A control block not tied to any client (used by shared-scan drivers,
+    /// which outlive individual queries). Emits are discarded.
+    pub fn detached() -> Arc<Self> {
+        let (tx, _rx) = unbounded();
+        Self::new(QueryId(u64::MAX), tx)
+    }
+
+    /// Deliver one result tuple.
+    pub fn emit(&self, t: Tuple) {
+        let _ = self.sink.send(Ok(t));
+    }
+
+    /// Abort the query with an error (first error wins).
+    pub fn fail(&self, e: EngineError) {
+        if !self.cancelled.swap(true, Ordering::SeqCst) {
+            let _ = self.sink.send(Err(e));
+        }
+    }
+
+    /// True once the query is aborted.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+}
+
+/// A packet: one operator task plus its query control block.
+pub struct TaskPacket {
+    /// Control block.
+    pub ctl: Arc<QueryCtl>,
+    /// The operator state machine.
+    pub task: Box<dyn OperatorTask>,
+}
+
+/// Parent-activation cell: the parent's packet parks here until a child
+/// produces its first page (bottom-up activation).
+pub struct Activator {
+    pending: Mutex<Option<(StageId, TaskPacket)>>,
+    runtime: StagedRuntime<TaskPacket>,
+}
+
+impl Activator {
+    fn new(runtime: StagedRuntime<TaskPacket>) -> Arc<Self> {
+        Arc::new(Self { pending: Mutex::new(None), runtime })
+    }
+
+    fn park(&self, stage: StageId, packet: TaskPacket) {
+        *self.pending.lock() = Some((stage, packet));
+    }
+
+    /// Enqueue the parked packet, if any (idempotent).
+    pub fn activate(&self) {
+        if let Some((stage, packet)) = self.pending.lock().take() {
+            if self.runtime.enqueue(stage, packet).is_err() {
+                // Runtime shut down; the query sink will disconnect.
+            }
+        }
+    }
+}
+
+/// A no-op activator for the root task (nothing above Send).
+pub struct RootActivator;
+
+/// Tuning of the staged engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Tuples per exchanged page (knob c of §4.4).
+    pub batch_capacity: usize,
+    /// Batches each exchange buffer may hold before back-pressure.
+    pub buffer_depth: usize,
+    /// Tuples processed per task quantum before yielding.
+    pub step_quota: usize,
+    /// Worker threads per stage.
+    pub workers_per_stage: usize,
+    /// Enable shared table scans (§5.4).
+    pub shared_scans: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            batch_capacity: 256,
+            buffer_depth: 4,
+            step_quota: 4096,
+            workers_per_stage: 1,
+            shared_scans: true,
+        }
+    }
+}
+
+/// The staged execution engine: six stages over a [`StagedRuntime`].
+pub struct StagedEngine {
+    runtime: StagedRuntime<TaskPacket>,
+    stage_ids: Vec<(StageKind, StageId)>,
+    /// Shared-scan groups, keyed by table.
+    pub registry: Arc<SharedScanRegistry>,
+    ctx: ExecContext,
+    config: EngineConfig,
+    next_query: AtomicU64,
+}
+
+impl StagedEngine {
+    /// Build the engine and spawn its stage workers.
+    pub fn new(ctx: ExecContext, config: EngineConfig) -> Arc<Self> {
+        let registry = Arc::new(SharedScanRegistry::new());
+        let mut builder = StagedRuntime::<TaskPacket>::builder();
+        let mut stage_ids = Vec::new();
+        for kind in StageKind::ALL {
+            let logic =
+                EngineStageLogic { kind, blocked_streak: std::sync::atomic::AtomicUsize::new(0) };
+            let id = builder.add_stage(
+                StageSpec::new(kind.name(), logic)
+                    .with_queue_capacity(4096)
+                    .with_workers(config.workers_per_stage),
+            );
+            stage_ids.push((kind, id));
+        }
+        let runtime = builder.build();
+        Arc::new(Self {
+            runtime,
+            stage_ids,
+            registry,
+            ctx,
+            config,
+            next_query: AtomicU64::new(0),
+        })
+    }
+
+    /// Stage id for a kind.
+    pub fn stage_id(&self, kind: StageKind) -> StageId {
+        self.stage_ids.iter().find(|(k, _)| *k == kind).expect("stage registered").1
+    }
+
+    /// The underlying runtime (monitoring, worker tuning).
+    pub fn runtime(&self) -> &StagedRuntime<TaskPacket> {
+        &self.runtime
+    }
+
+    /// The execution context.
+    pub fn ctx(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Submit a plan; returns a handle delivering result tuples.
+    pub fn execute(self: &Arc<Self>, plan: &PhysicalPlan) -> StagedResult {
+        let (tx, rx) = unbounded();
+        let query = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
+        let ctl = QueryCtl::new(query, tx);
+        tasks::compile_and_launch(self, plan, ctl);
+        StagedResult { rx }
+    }
+
+    /// Shut the stage workers down (drains queues first).
+    pub fn shutdown(&self) {
+        self.runtime.shutdown();
+    }
+
+    pub(crate) fn make_activator(&self) -> Arc<Activator> {
+        Activator::new(self.runtime.clone())
+    }
+
+    pub(crate) fn enqueue(&self, kind: StageKind, packet: TaskPacket) {
+        let _ = self.runtime.enqueue(self.stage_id(kind), packet);
+    }
+}
+
+/// One stage's logic: run a quantum of the dequeued task.
+struct EngineStageLogic {
+    kind: StageKind,
+    /// Consecutive Blocked results across the whole stage; once a full lap
+    /// of the queue makes no progress, the worker backs off instead of
+    /// spinning through blocked packets at full speed.
+    blocked_streak: std::sync::atomic::AtomicUsize,
+}
+
+impl StageLogic<TaskPacket> for EngineStageLogic {
+    fn process(&self, mut packet: TaskPacket, ctx: &StageCtx<'_, TaskPacket>) -> Result<(), StageError> {
+        if packet.ctl.is_cancelled() {
+            return Ok(()); // drop the packet; query aborted
+        }
+        // Quota is passed through the task; the stage itself is agnostic.
+        match packet.task.step(DEFAULT_QUOTA) {
+            Ok(StepResult::Done) => {
+                self.blocked_streak.store(0, Ordering::Relaxed);
+                Ok(())
+            }
+            Ok(StepResult::Working) => {
+                self.blocked_streak.store(0, Ordering::Relaxed);
+                ctx.requeue_back(packet).map_err(|_| StageError::new("requeue failed"))?;
+                Ok(())
+            }
+            Ok(StepResult::Blocked) => {
+                let streak = self.blocked_streak.fetch_add(1, Ordering::Relaxed) + 1;
+                if streak > ctx.queue_depth(ctx.stage_id).max(1) {
+                    // A whole lap produced nothing: wait for upstream.
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                ctx.requeue_back(packet).map_err(|_| StageError::new("requeue failed"))?;
+                Ok(())
+            }
+            Err(e) => {
+                packet.ctl.fail(e.clone());
+                Err(StageError::new(format!("{} task failed: {e}", self.kind.name())))
+            }
+        }
+    }
+}
+
+const DEFAULT_QUOTA: usize = 4096;
+
+/// Handle to a staged query's results.
+pub struct StagedResult {
+    rx: Receiver<EngineResult<Tuple>>,
+}
+
+impl StagedResult {
+    /// Block until the query finishes, collecting all tuples.
+    pub fn collect(self) -> EngineResult<Vec<Tuple>> {
+        let mut out = Vec::new();
+        for item in self.rx.iter() {
+            out.push(item?);
+        }
+        Ok(out)
+    }
+
+    /// The raw receiver (for streaming consumption).
+    pub fn receiver(&self) -> &Receiver<EngineResult<Tuple>> {
+        &self.rx
+    }
+}
+
+/// Per-tuple transforms fused into a producing task (filters, projections
+/// and limits do not get their own stage: "we group together operators
+/// which use a small portion of the common or shared data and code").
+pub enum Transform {
+    /// Drop tuples failing the predicate.
+    Filter(Expr),
+    /// Re-map through expressions.
+    Project(Vec<Expr>),
+    /// Emit at most the shared remaining count (cross-task counter).
+    Limit(Arc<AtomicI64>),
+}
+
+/// Apply a transform chain; `None` means the tuple was filtered out.
+pub fn apply_transforms(ts: &[Transform], mut t: Tuple) -> EngineResult<Option<Tuple>> {
+    for tr in ts {
+        match tr {
+            Transform::Filter(p) => {
+                if !eval_predicate(p, &t)? {
+                    return Ok(None);
+                }
+            }
+            Transform::Project(exprs) => {
+                let vals = exprs.iter().map(|e| eval(e, &t)).collect::<EngineResult<Vec<_>>>()?;
+                t = Tuple::new(vals);
+            }
+            Transform::Limit(left) => {
+                if left.fetch_sub(1, Ordering::SeqCst) <= 0 {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    Ok(Some(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staged_storage::Value;
+
+    #[test]
+    fn exchange_buffer_backpressure_and_close() {
+        let b = ExchangeBuffer::new(2);
+        assert!(b.try_push(TupleBatch::default()).is_ok());
+        assert!(b.try_push(TupleBatch::default()).is_ok());
+        assert!(b.try_push(TupleBatch::default()).is_err(), "full at depth 2");
+        assert!(!b.is_finished());
+        b.close();
+        assert!(!b.is_finished(), "still has queued batches");
+        b.try_pop().unwrap();
+        b.try_pop().unwrap();
+        assert!(b.is_finished());
+        assert!(b.try_pop().is_none());
+    }
+
+    #[test]
+    fn transforms_compose_in_order() {
+        use staged_sql::ast::{BinOp, ColumnRef};
+        let col0 = Expr::Column(ColumnRef { table: None, name: "#0".into(), index: Some(0) });
+        let ts = vec![
+            Transform::Filter(Expr::binary(col0.clone(), BinOp::Gt, Expr::int(1))),
+            Transform::Project(vec![Expr::binary(col0.clone(), BinOp::Mul, Expr::int(10))]),
+        ];
+        let keep = apply_transforms(&ts, Tuple::new(vec![Value::Int(5)])).unwrap();
+        assert_eq!(keep.unwrap().values(), &[Value::Int(50)]);
+        let drop = apply_transforms(&ts, Tuple::new(vec![Value::Int(0)])).unwrap();
+        assert!(drop.is_none());
+    }
+
+    #[test]
+    fn limit_transform_is_shared_across_producers() {
+        let left = Arc::new(AtomicI64::new(2));
+        let ts = vec![Transform::Limit(Arc::clone(&left))];
+        let t = Tuple::new(vec![Value::Int(1)]);
+        assert!(apply_transforms(&ts, t.clone()).unwrap().is_some());
+        assert!(apply_transforms(&ts, t.clone()).unwrap().is_some());
+        assert!(apply_transforms(&ts, t).unwrap().is_none(), "limit exhausted");
+    }
+}

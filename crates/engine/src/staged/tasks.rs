@@ -1,0 +1,927 @@
+//! Operator tasks for the staged engine and the plan → task compiler.
+
+use super::sharing::{self, Subscriber};
+use super::{
+    apply_transforms, Activator, EngineConfig, ExchangeBuffer, OperatorTask, QueryCtl,
+    StageKind, StagedEngine, StepResult, TaskPacket, Transform, TupleBatch,
+};
+use crate::context::ExecContext;
+use crate::error::{EngineError, EngineResult};
+use crate::expr::{eval, eval_predicate};
+use crate::volcano::sort_tuples;
+use staged_planner::{AggSpec, PhysicalPlan};
+use staged_sql::ast::Expr;
+use staged_storage::catalog::{IndexInfo, TableInfo};
+use staged_storage::heap::HeapScan;
+use staged_storage::{Tuple, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::AtomicI64;
+use std::sync::Arc;
+
+/// Batch-building output side of a task: stages tuples, flushes pages into
+/// the exchange buffer, activates the parent bottom-up.
+pub struct Emitter {
+    out: Arc<ExchangeBuffer>,
+    parent: Arc<Activator>,
+    cap: usize,
+    staging: VecDeque<Tuple>,
+    closed: bool,
+}
+
+impl Emitter {
+    /// Create an emitter.
+    pub fn new(out: Arc<ExchangeBuffer>, parent: Arc<Activator>, cap: usize) -> Self {
+        Self { out, parent, cap: cap.max(1), staging: VecDeque::new(), closed: false }
+    }
+
+    /// Queue a tuple and flush full pages opportunistically.
+    pub fn emit(&mut self, t: Tuple) {
+        self.staging.push_back(t);
+        self.pump();
+    }
+
+    /// Tuples staged but not yet flushed.
+    pub fn backlog(&self) -> usize {
+        self.staging.len()
+    }
+
+    /// Producer-side readiness: stop producing once the backlog exceeds one
+    /// page and the consumer is not draining.
+    pub fn ready(&self) -> bool {
+        self.staging.len() < self.cap || self.out.has_space()
+    }
+
+    fn flush_one(&mut self, force_partial: bool) -> bool {
+        if self.staging.is_empty() || (!force_partial && self.staging.len() < self.cap) {
+            return true;
+        }
+        let n = self.staging.len().min(self.cap);
+        let batch = TupleBatch::from_tuples(self.staging.drain(..n).collect());
+        match self.out.try_push(batch) {
+            Ok(()) => {
+                self.parent.activate();
+                true
+            }
+            Err(b) => {
+                for t in b.into_tuples().into_iter().rev() {
+                    self.staging.push_front(t);
+                }
+                false
+            }
+        }
+    }
+
+    /// Flush as many full pages as the buffer accepts.
+    pub fn pump(&mut self) {
+        while self.staging.len() >= self.cap {
+            if !self.flush_one(false) {
+                return;
+            }
+        }
+    }
+
+    /// Flush everything and close the stream; `false` if the buffer is
+    /// still full (retry next quantum).
+    pub fn finish(&mut self) -> bool {
+        while !self.staging.is_empty() {
+            if !self.flush_one(true) {
+                return false;
+            }
+        }
+        if !self.closed {
+            self.out.close();
+            self.parent.activate();
+            self.closed = true;
+        }
+        true
+    }
+}
+
+/// Input side of a task.
+pub struct Intake {
+    buf: Arc<ExchangeBuffer>,
+    current: VecDeque<Tuple>,
+}
+
+impl Intake {
+    /// Wrap a buffer.
+    pub fn new(buf: Arc<ExchangeBuffer>) -> Self {
+        Self { buf, current: VecDeque::new() }
+    }
+
+    /// Next available tuple, if any.
+    pub fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if let Some(t) = self.current.pop_front() {
+                return Some(t);
+            }
+            match self.buf.try_pop() {
+                Some(b) => self.current = b.into_tuples().into(),
+                None => return None,
+            }
+        }
+    }
+
+    /// True when the producer closed and everything was consumed.
+    pub fn finished(&self) -> bool {
+        self.current.is_empty() && self.buf.is_finished()
+    }
+}
+
+/// Compile a plan into tasks and enqueue the leaves (bottom-up activation
+/// for everything else).
+pub fn compile_and_launch(engine: &Arc<StagedEngine>, plan: &PhysicalPlan, ctl: Arc<QueryCtl>) {
+    let cfg = engine.config().clone();
+    let root_buf = ExchangeBuffer::new(cfg.buffer_depth);
+    let send_act = engine.make_activator();
+    send_act.park(
+        engine.stage_id(StageKind::Send),
+        TaskPacket {
+            ctl: Arc::clone(&ctl),
+            task: Box::new(SendTask { input: Intake::new(Arc::clone(&root_buf)), ctl: Arc::clone(&ctl) }),
+        },
+    );
+    build(engine, plan, root_buf, Vec::new(), send_act, ctl, &cfg);
+}
+
+/// Alias of [`compile_and_launch`] kept as the public compiler entry point.
+pub fn compile(engine: &Arc<StagedEngine>, plan: &PhysicalPlan, ctl: Arc<QueryCtl>) {
+    compile_and_launch(engine, plan, ctl)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build(
+    engine: &Arc<StagedEngine>,
+    plan: &PhysicalPlan,
+    out: Arc<ExchangeBuffer>,
+    transforms: Vec<Transform>,
+    parent: Arc<Activator>,
+    ctl: Arc<QueryCtl>,
+    cfg: &EngineConfig,
+) {
+    let ctx = engine.ctx().clone();
+    match plan {
+        // Fused per-tuple operators: no stage of their own.
+        PhysicalPlan::Filter { input, predicate } => {
+            let mut ts = vec![Transform::Filter(predicate.clone())];
+            ts.extend(transforms);
+            build(engine, input, out, ts, parent, ctl, cfg);
+        }
+        PhysicalPlan::Project { input, exprs, .. } => {
+            let mut ts = vec![Transform::Project(exprs.clone())];
+            ts.extend(transforms);
+            build(engine, input, out, ts, parent, ctl, cfg);
+        }
+        PhysicalPlan::Limit { input, n } => {
+            let mut ts = vec![Transform::Limit(Arc::new(AtomicI64::new(*n as i64)))];
+            ts.extend(transforms);
+            build(engine, input, out, ts, parent, ctl, cfg);
+        }
+        PhysicalPlan::SeqScan { table, predicate } => {
+            let mut ts = Vec::new();
+            if let Some(p) = predicate {
+                ts.push(Transform::Filter(p.clone()));
+            }
+            ts.extend(transforms);
+            let emitter = Emitter::new(out, parent, cfg.batch_capacity);
+            if cfg.shared_scans {
+                let sub = Subscriber::new(emitter, ts, Arc::clone(&ctl));
+                sharing::subscribe(engine, table, sub);
+            } else {
+                let task = ScanTask {
+                    ctx,
+                    scan: table.heap.scan(),
+                    transforms: ts,
+                    emitter,
+                    input_done: false,
+                };
+                engine.enqueue(StageKind::FScan, TaskPacket { ctl, task: Box::new(task) });
+            }
+        }
+        PhysicalPlan::IndexScan { table, index, lo, hi, predicate } => {
+            let mut ts = Vec::new();
+            if let Some(p) = predicate {
+                ts.push(Transform::Filter(p.clone()));
+            }
+            ts.extend(transforms);
+            let task = IndexScanTask {
+                ctx,
+                table: Arc::clone(table),
+                index: Arc::clone(index),
+                lo: *lo,
+                hi: *hi,
+                rids: None,
+                pos: 0,
+                transforms: ts,
+                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+            };
+            engine.enqueue(StageKind::IScan, TaskPacket { ctl, task: Box::new(task) });
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let in_buf = ExchangeBuffer::new(cfg.buffer_depth);
+            let act = engine.make_activator();
+            let task = SortTask {
+                input: Intake::new(Arc::clone(&in_buf)),
+                keys: keys.clone(),
+                rows: Vec::new(),
+                sorted: false,
+                pos: 0,
+                transforms,
+                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+            };
+            act.park(
+                engine.stage_id(StageKind::Sort),
+                TaskPacket { ctl: Arc::clone(&ctl), task: Box::new(task) },
+            );
+            build(engine, input, in_buf, Vec::new(), act, ctl, cfg);
+        }
+        PhysicalPlan::HashAggregate { input, group_by, aggs } => {
+            let in_buf = ExchangeBuffer::new(cfg.buffer_depth);
+            let act = engine.make_activator();
+            let task = AggTask {
+                input: Intake::new(Arc::clone(&in_buf)),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+                groups: Vec::new(),
+                index: HashMap::new(),
+                saw_row: false,
+                results: None,
+                pos: 0,
+                transforms,
+                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+            };
+            act.park(
+                engine.stage_id(StageKind::Aggr),
+                TaskPacket { ctl: Arc::clone(&ctl), task: Box::new(task) },
+            );
+            build(engine, input, in_buf, Vec::new(), act, ctl, cfg);
+        }
+        PhysicalPlan::Distinct { input } => {
+            let in_buf = ExchangeBuffer::new(cfg.buffer_depth);
+            let act = engine.make_activator();
+            let task = DistinctTask {
+                input: Intake::new(Arc::clone(&in_buf)),
+                seen: HashSet::new(),
+                transforms,
+                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+            };
+            act.park(
+                engine.stage_id(StageKind::Aggr),
+                TaskPacket { ctl: Arc::clone(&ctl), task: Box::new(task) },
+            );
+            build(engine, input, in_buf, Vec::new(), act, ctl, cfg);
+        }
+        PhysicalPlan::HashJoin { left, right, keys, residual } => {
+            let build_buf = ExchangeBuffer::new(cfg.buffer_depth);
+            let probe_buf = ExchangeBuffer::new(cfg.buffer_depth);
+            let act = engine.make_activator();
+            let task = HashJoinTask {
+                build: Intake::new(Arc::clone(&build_buf)),
+                probe: Intake::new(Arc::clone(&probe_buf)),
+                building: true,
+                keys: keys.clone(),
+                residual: residual.clone(),
+                table: HashMap::new(),
+                pending: VecDeque::new(),
+                transforms,
+                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+            };
+            act.park(
+                engine.stage_id(StageKind::Join),
+                TaskPacket { ctl: Arc::clone(&ctl), task: Box::new(task) },
+            );
+            build(engine, left, build_buf, Vec::new(), Arc::clone(&act), Arc::clone(&ctl), cfg);
+            build(engine, right, probe_buf, Vec::new(), act, ctl, cfg);
+        }
+        PhysicalPlan::MergeJoin { left, right, keys, residual } => {
+            let lbuf = ExchangeBuffer::new(cfg.buffer_depth);
+            let rbuf = ExchangeBuffer::new(cfg.buffer_depth);
+            let act = engine.make_activator();
+            let task = MergeJoinTask {
+                left: Intake::new(Arc::clone(&lbuf)),
+                right: Intake::new(Arc::clone(&rbuf)),
+                keys: keys.clone(),
+                residual: residual.clone(),
+                lrows: Vec::new(),
+                rrows: Vec::new(),
+                output: None,
+                pos: 0,
+                transforms,
+                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+            };
+            act.park(
+                engine.stage_id(StageKind::Join),
+                TaskPacket { ctl: Arc::clone(&ctl), task: Box::new(task) },
+            );
+            build(engine, left, lbuf, Vec::new(), Arc::clone(&act), Arc::clone(&ctl), cfg);
+            build(engine, right, rbuf, Vec::new(), act, ctl, cfg);
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, predicate } => {
+            let lbuf = ExchangeBuffer::new(cfg.buffer_depth);
+            let rbuf = ExchangeBuffer::new(cfg.buffer_depth);
+            let act = engine.make_activator();
+            let task = NestedLoopTask {
+                left: Intake::new(Arc::clone(&lbuf)),
+                right: Intake::new(Arc::clone(&rbuf)),
+                predicate: predicate.clone(),
+                lrows: Vec::new(),
+                rrows: Vec::new(),
+                gathered: false,
+                i: 0,
+                j: 0,
+                transforms,
+                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+            };
+            act.park(
+                engine.stage_id(StageKind::Join),
+                TaskPacket { ctl: Arc::clone(&ctl), task: Box::new(task) },
+            );
+            build(engine, left, lbuf, Vec::new(), Arc::clone(&act), Arc::clone(&ctl), cfg);
+            build(engine, right, rbuf, Vec::new(), act, ctl, cfg);
+        }
+    }
+}
+
+/// Emit through the transform chain; returns `Ok(true)` if a tuple reached
+/// the emitter.
+fn emit_transformed(
+    emitter: &mut Emitter,
+    transforms: &[Transform],
+    t: Tuple,
+) -> EngineResult<bool> {
+    match apply_transforms(transforms, t)? {
+        Some(t) => {
+            emitter.emit(t);
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+// ---------------------------------------------------------------- scans --
+
+pub(super) struct ScanTask {
+    pub ctx: ExecContext,
+    pub scan: HeapScan,
+    pub transforms: Vec<Transform>,
+    pub emitter: Emitter,
+    pub input_done: bool,
+}
+
+impl OperatorTask for ScanTask {
+    fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
+        let mut produced = 0usize;
+        while produced < quota {
+            if self.input_done {
+                return if self.emitter.finish() {
+                    Ok(StepResult::Done)
+                } else {
+                    Ok(StepResult::Blocked)
+                };
+            }
+            if !self.emitter.ready() {
+                return Ok(if produced > 0 { StepResult::Working } else { StepResult::Blocked });
+            }
+            match self.scan.next() {
+                Some(item) => {
+                    let (_, t) = item?;
+                    self.ctx.note_page_ref();
+                    emit_transformed(&mut self.emitter, &self.transforms, t)?;
+                    produced += 1;
+                }
+                None => self.input_done = true,
+            }
+        }
+        Ok(StepResult::Working)
+    }
+}
+
+pub(super) struct IndexScanTask {
+    pub ctx: ExecContext,
+    pub table: Arc<TableInfo>,
+    pub index: Arc<IndexInfo>,
+    pub lo: Option<i64>,
+    pub hi: Option<i64>,
+    pub rids: Option<Vec<staged_storage::Rid>>,
+    pub pos: usize,
+    pub transforms: Vec<Transform>,
+    pub emitter: Emitter,
+}
+
+impl OperatorTask for IndexScanTask {
+    fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
+        if self.rids.is_none() {
+            let pairs = self.index.btree.range(self.lo, self.hi)?;
+            self.ctx.note_page_ref();
+            self.rids = Some(pairs.into_iter().map(|(_, r)| r).collect());
+        }
+        let rids = self.rids.as_ref().expect("materialized above");
+        let mut produced = 0usize;
+        while produced < quota {
+            if self.pos >= rids.len() {
+                return if self.emitter.finish() {
+                    Ok(StepResult::Done)
+                } else {
+                    Ok(StepResult::Blocked)
+                };
+            }
+            if !self.emitter.ready() {
+                return Ok(if produced > 0 { StepResult::Working } else { StepResult::Blocked });
+            }
+            let t = self.table.heap.get(rids[self.pos])?;
+            self.ctx.note_page_ref();
+            self.pos += 1;
+            emit_transformed(&mut self.emitter, &self.transforms, t)?;
+            produced += 1;
+        }
+        Ok(StepResult::Working)
+    }
+}
+
+// ----------------------------------------------------------------- sort --
+
+pub(super) struct SortTask {
+    pub input: Intake,
+    pub keys: Vec<(Expr, bool)>,
+    pub rows: Vec<Tuple>,
+    pub sorted: bool,
+    pub pos: usize,
+    pub transforms: Vec<Transform>,
+    pub emitter: Emitter,
+}
+
+impl OperatorTask for SortTask {
+    fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
+        if !self.sorted {
+            let mut consumed = 0usize;
+            while consumed < quota {
+                match self.input.next() {
+                    Some(t) => {
+                        self.rows.push(t);
+                        consumed += 1;
+                    }
+                    None if self.input.finished() => {
+                        sort_tuples(&mut self.rows, &self.keys)?;
+                        self.sorted = true;
+                        break;
+                    }
+                    None => {
+                        return Ok(if consumed > 0 { StepResult::Working } else { StepResult::Blocked })
+                    }
+                }
+            }
+            if !self.sorted {
+                return Ok(StepResult::Working);
+            }
+        }
+        drain_materialized(&mut self.pos, &self.rows, &self.transforms, &mut self.emitter, quota)
+    }
+}
+
+/// Shared drain phase: emit `rows[pos..]` through transforms.
+fn drain_materialized(
+    pos: &mut usize,
+    rows: &[Tuple],
+    transforms: &[Transform],
+    emitter: &mut Emitter,
+    quota: usize,
+) -> EngineResult<StepResult> {
+    let mut produced = 0usize;
+    while produced < quota {
+        if *pos >= rows.len() {
+            return if emitter.finish() { Ok(StepResult::Done) } else { Ok(StepResult::Blocked) };
+        }
+        if !emitter.ready() {
+            return Ok(if produced > 0 { StepResult::Working } else { StepResult::Blocked });
+        }
+        emit_transformed(emitter, transforms, rows[*pos].clone())?;
+        *pos += 1;
+        produced += 1;
+    }
+    Ok(StepResult::Working)
+}
+
+// ------------------------------------------------------------ aggregate --
+
+pub(super) struct AggTask {
+    pub input: Intake,
+    pub group_by: Vec<Expr>,
+    pub aggs: Vec<AggSpec>,
+    pub groups: Vec<(Vec<Value>, Vec<crate::agg::Accumulator>)>,
+    pub index: HashMap<Vec<u8>, usize>,
+    pub saw_row: bool,
+    pub results: Option<Vec<Tuple>>,
+    pub pos: usize,
+    pub transforms: Vec<Transform>,
+    pub emitter: Emitter,
+}
+
+impl AggTask {
+    fn absorb(&mut self, t: &Tuple) -> EngineResult<()> {
+        self.saw_row = true;
+        let mut key_bytes = Vec::new();
+        let mut key_vals = Vec::with_capacity(self.group_by.len());
+        for g in &self.group_by {
+            let v = eval(g, t)?;
+            v.encode(&mut key_bytes);
+            key_vals.push(v);
+        }
+        let slot = match self.index.get(&key_bytes) {
+            Some(&s) => s,
+            None => {
+                let accs = self.aggs.iter().map(crate::agg::Accumulator::new).collect();
+                self.groups.push((key_vals, accs));
+                self.index.insert(key_bytes, self.groups.len() - 1);
+                self.groups.len() - 1
+            }
+        };
+        for (k, spec) in self.aggs.iter().enumerate() {
+            let acc = &mut self.groups[slot].1[k];
+            match &spec.arg {
+                Some(a) => acc.update(&eval(a, t)?)?,
+                None => acc.update_star(),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl OperatorTask for AggTask {
+    fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
+        if self.results.is_none() {
+            let mut consumed = 0usize;
+            loop {
+                if consumed >= quota {
+                    return Ok(StepResult::Working);
+                }
+                match self.input.next() {
+                    Some(t) => {
+                        self.absorb(&t)?;
+                        consumed += 1;
+                    }
+                    None if self.input.finished() => break,
+                    None => {
+                        return Ok(if consumed > 0 { StepResult::Working } else { StepResult::Blocked })
+                    }
+                }
+            }
+            if !self.saw_row && self.group_by.is_empty() {
+                let accs: Vec<crate::agg::Accumulator> =
+                    self.aggs.iter().map(crate::agg::Accumulator::new).collect();
+                self.groups.push((Vec::new(), accs));
+            }
+            let results = std::mem::take(&mut self.groups)
+                .into_iter()
+                .map(|(mut vals, accs)| {
+                    vals.extend(accs.iter().map(crate::agg::Accumulator::finish));
+                    Tuple::new(vals)
+                })
+                .collect();
+            self.results = Some(results);
+        }
+        let rows = self.results.as_ref().expect("computed above");
+        drain_materialized(&mut self.pos, rows, &self.transforms, &mut self.emitter, quota)
+    }
+}
+
+pub(super) struct DistinctTask {
+    pub input: Intake,
+    pub seen: HashSet<Vec<u8>>,
+    pub transforms: Vec<Transform>,
+    pub emitter: Emitter,
+}
+
+impl OperatorTask for DistinctTask {
+    fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
+        let mut moved = 0usize;
+        while moved < quota {
+            if !self.emitter.ready() {
+                return Ok(if moved > 0 { StepResult::Working } else { StepResult::Blocked });
+            }
+            match self.input.next() {
+                Some(t) => {
+                    moved += 1;
+                    if self.seen.insert(t.encode()) {
+                        emit_transformed(&mut self.emitter, &self.transforms, t)?;
+                    }
+                }
+                None if self.input.finished() => {
+                    return if self.emitter.finish() {
+                        Ok(StepResult::Done)
+                    } else {
+                        Ok(StepResult::Blocked)
+                    };
+                }
+                None => {
+                    return Ok(if moved > 0 { StepResult::Working } else { StepResult::Blocked })
+                }
+            }
+        }
+        Ok(StepResult::Working)
+    }
+}
+
+// ---------------------------------------------------------------- joins --
+
+fn encode_key(exprs: &[&Expr], tuple: &Tuple) -> EngineResult<Option<Vec<u8>>> {
+    let mut out = Vec::new();
+    for e in exprs {
+        let v = eval(e, tuple)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        match v {
+            Value::Int(i) => Value::Float(i as f64).encode(&mut out),
+            other => other.encode(&mut out),
+        }
+    }
+    Ok(Some(out))
+}
+
+pub(super) struct HashJoinTask {
+    pub build: Intake,
+    pub probe: Intake,
+    pub building: bool,
+    pub keys: Vec<(Expr, Expr)>,
+    pub residual: Option<Expr>,
+    pub table: HashMap<Vec<u8>, Vec<Tuple>>,
+    pub pending: VecDeque<Tuple>,
+    pub transforms: Vec<Transform>,
+    pub emitter: Emitter,
+}
+
+impl OperatorTask for HashJoinTask {
+    fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
+        let mut work = 0usize;
+        if self.building {
+            let key_exprs: Vec<&Expr> = self.keys.iter().map(|(l, _)| l).collect();
+            loop {
+                if work >= quota {
+                    return Ok(StepResult::Working);
+                }
+                match self.build.next() {
+                    Some(t) => {
+                        work += 1;
+                        if let Some(k) = encode_key(&key_exprs, &t)? {
+                            self.table.entry(k).or_default().push(t);
+                        }
+                    }
+                    None if self.build.finished() => {
+                        self.building = false;
+                        break;
+                    }
+                    None => {
+                        return Ok(if work > 0 { StepResult::Working } else { StepResult::Blocked })
+                    }
+                }
+            }
+        }
+        // Probe phase.
+        let key_exprs: Vec<Expr> = self.keys.iter().map(|(_, r)| r.clone()).collect();
+        while work < quota {
+            if !self.emitter.ready() {
+                return Ok(if work > 0 { StepResult::Working } else { StepResult::Blocked });
+            }
+            if let Some(j) = self.pending.pop_front() {
+                emit_transformed(&mut self.emitter, &self.transforms, j)?;
+                work += 1;
+                continue;
+            }
+            match self.probe.next() {
+                Some(probe) => {
+                    work += 1;
+                    let refs: Vec<&Expr> = key_exprs.iter().collect();
+                    let Some(k) = encode_key(&refs, &probe)? else { continue };
+                    if let Some(matches) = self.table.get(&k) {
+                        for m in matches {
+                            let joined = m.concat(&probe);
+                            match &self.residual {
+                                Some(p) if !eval_predicate(p, &joined)? => continue,
+                                _ => self.pending.push_back(joined),
+                            }
+                        }
+                    }
+                }
+                None if self.probe.finished() => {
+                    return if self.emitter.finish() {
+                        Ok(StepResult::Done)
+                    } else {
+                        Ok(StepResult::Blocked)
+                    };
+                }
+                None => {
+                    return Ok(if work > 0 { StepResult::Working } else { StepResult::Blocked })
+                }
+            }
+        }
+        Ok(StepResult::Working)
+    }
+}
+
+pub(super) struct MergeJoinTask {
+    pub left: Intake,
+    pub right: Intake,
+    pub keys: (Expr, Expr),
+    pub residual: Option<Expr>,
+    pub lrows: Vec<Tuple>,
+    pub rrows: Vec<Tuple>,
+    pub output: Option<Vec<Tuple>>,
+    pub pos: usize,
+    pub transforms: Vec<Transform>,
+    pub emitter: Emitter,
+}
+
+impl OperatorTask for MergeJoinTask {
+    fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
+        if self.output.is_none() {
+            let mut moved = 0usize;
+            while moved < quota {
+                match self.left.next() {
+                    Some(t) => {
+                        self.lrows.push(t);
+                        moved += 1;
+                        continue;
+                    }
+                    None => {}
+                }
+                match self.right.next() {
+                    Some(t) => {
+                        self.rrows.push(t);
+                        moved += 1;
+                        continue;
+                    }
+                    None => {}
+                }
+                if self.left.finished() && self.right.finished() {
+                    break;
+                }
+                return Ok(if moved > 0 { StepResult::Working } else { StepResult::Blocked });
+            }
+            if !(self.left.finished() && self.right.finished()) {
+                return Ok(StepResult::Working);
+            }
+            self.output = Some(merge_join(
+                std::mem::take(&mut self.lrows),
+                std::mem::take(&mut self.rrows),
+                &self.keys,
+                &self.residual,
+            )?);
+        }
+        let rows = self.output.as_ref().expect("computed above");
+        drain_materialized(&mut self.pos, rows, &self.transforms, &mut self.emitter, quota)
+    }
+}
+
+/// Sort-merge two materialized inputs (shared with the Volcano semantics).
+fn merge_join(
+    lrows: Vec<Tuple>,
+    rrows: Vec<Tuple>,
+    keys: &(Expr, Expr),
+    residual: &Option<Expr>,
+) -> EngineResult<Vec<Tuple>> {
+    let mut l: Vec<(Value, Tuple)> = Vec::with_capacity(lrows.len());
+    for t in lrows {
+        let k = eval(&keys.0, &t)?;
+        if !k.is_null() {
+            l.push((k, t));
+        }
+    }
+    let mut r: Vec<(Value, Tuple)> = Vec::with_capacity(rrows.len());
+    for t in rrows {
+        let k = eval(&keys.1, &t)?;
+        if !k.is_null() {
+            r.push((k, t));
+        }
+    }
+    l.sort_by(|a, b| a.0.total_cmp(&b.0));
+    r.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < l.len() && j < r.len() {
+        match l[i].0.sql_cmp(&r[j].0) {
+            Some(std::cmp::Ordering::Less) => i += 1,
+            Some(std::cmp::Ordering::Greater) => j += 1,
+            Some(std::cmp::Ordering::Equal) => {
+                let key = l[i].0.clone();
+                let i0 = i;
+                while i < l.len() && l[i].0.sql_cmp(&key) == Some(std::cmp::Ordering::Equal) {
+                    i += 1;
+                }
+                let j0 = j;
+                while j < r.len() && r[j].0.sql_cmp(&key) == Some(std::cmp::Ordering::Equal) {
+                    j += 1;
+                }
+                for (_, lt) in &l[i0..i] {
+                    for (_, rt) in &r[j0..j] {
+                        let joined = lt.concat(rt);
+                        match residual {
+                            Some(p) if !eval_predicate(p, &joined)? => continue,
+                            _ => out.push(joined),
+                        }
+                    }
+                }
+            }
+            None => return Err(EngineError::Eval("incomparable merge-join keys".into())),
+        }
+    }
+    Ok(out)
+}
+
+pub(super) struct NestedLoopTask {
+    pub left: Intake,
+    pub right: Intake,
+    pub predicate: Option<Expr>,
+    pub lrows: Vec<Tuple>,
+    pub rrows: Vec<Tuple>,
+    pub gathered: bool,
+    pub i: usize,
+    pub j: usize,
+    pub transforms: Vec<Transform>,
+    pub emitter: Emitter,
+}
+
+impl OperatorTask for NestedLoopTask {
+    fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
+        if !self.gathered {
+            let mut moved = 0usize;
+            while moved < quota {
+                if let Some(t) = self.left.next() {
+                    self.lrows.push(t);
+                    moved += 1;
+                    continue;
+                }
+                if let Some(t) = self.right.next() {
+                    self.rrows.push(t);
+                    moved += 1;
+                    continue;
+                }
+                if self.left.finished() && self.right.finished() {
+                    self.gathered = true;
+                    break;
+                }
+                return Ok(if moved > 0 { StepResult::Working } else { StepResult::Blocked });
+            }
+            if !self.gathered {
+                return Ok(StepResult::Working);
+            }
+        }
+        if self.rrows.is_empty() {
+            // Inner relation empty: no output at all.
+            self.i = self.lrows.len();
+        }
+        let mut produced = 0usize;
+        while produced < quota {
+            if self.i >= self.lrows.len() {
+                return if self.emitter.finish() {
+                    Ok(StepResult::Done)
+                } else {
+                    Ok(StepResult::Blocked)
+                };
+            }
+            if !self.emitter.ready() {
+                return Ok(if produced > 0 { StepResult::Working } else { StepResult::Blocked });
+            }
+            let joined = self.lrows[self.i].concat(&self.rrows[self.j]);
+            // Advance the (i, j) cursor.
+            self.j += 1;
+            if self.j >= self.rrows.len() {
+                self.j = 0;
+                self.i += 1;
+            }
+            produced += 1;
+            match &self.predicate {
+                Some(p) if !eval_predicate(p, &joined)? => continue,
+                _ => {
+                    emit_transformed(&mut self.emitter, &self.transforms, joined)?;
+                }
+            }
+        }
+        Ok(StepResult::Working)
+    }
+}
+
+// ----------------------------------------------------------------- send --
+
+pub(super) struct SendTask {
+    pub input: Intake,
+    pub ctl: Arc<QueryCtl>,
+}
+
+impl OperatorTask for SendTask {
+    fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
+        let mut moved = 0usize;
+        while moved < quota {
+            match self.input.next() {
+                Some(t) => {
+                    self.ctl.emit(t);
+                    moved += 1;
+                }
+                None if self.input.finished() => return Ok(StepResult::Done),
+                None => {
+                    return Ok(if moved > 0 { StepResult::Working } else { StepResult::Blocked })
+                }
+            }
+        }
+        Ok(StepResult::Working)
+    }
+}

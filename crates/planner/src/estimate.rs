@@ -1,0 +1,239 @@
+//! Cardinality and cost estimation ("statistics … eval plans", Figure 3).
+
+use staged_sql::ast::{BinOp, Expr};
+use staged_storage::stats::TableStats;
+use staged_storage::Value;
+
+/// Cost-model constants (abstract units: one sequential page read = 1.0).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Cost of reading one page sequentially.
+    pub seq_page: f64,
+    /// Cost of reading one page at random (index traversal / rid fetch).
+    pub random_page: f64,
+    /// CPU cost of processing one tuple.
+    pub cpu_tuple: f64,
+    /// CPU cost of evaluating one predicate.
+    pub cpu_pred: f64,
+    /// CPU cost of hashing / probing one tuple.
+    pub cpu_hash: f64,
+    /// CPU cost of one comparison during sorting.
+    pub cpu_cmp: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            seq_page: 1.0,
+            random_page: 4.0,
+            cpu_tuple: 0.01,
+            cpu_pred: 0.005,
+            cpu_hash: 0.02,
+            cpu_cmp: 0.015,
+        }
+    }
+}
+
+/// Estimated rows and cost of a (sub)plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Output cardinality.
+    pub rows: f64,
+    /// Total cost in cost-model units.
+    pub cost: f64,
+}
+
+impl Estimate {
+    /// An estimate.
+    pub fn new(rows: f64, cost: f64) -> Self {
+        Self { rows: rows.max(0.0), cost: cost.max(0.0) }
+    }
+}
+
+/// Selectivity of a single-table conjunct, given the table's stats and the
+/// column layout the expression is bound against.
+pub fn conjunct_selectivity(stats: &TableStats, conjunct: &Expr) -> f64 {
+    match conjunct {
+        Expr::Binary { left, op, right } => {
+            let (col, lit) = match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(v)) => (c.index, Some(v)),
+                (Expr::Literal(v), Expr::Column(c)) => (c.index, Some(v)),
+                _ => (None, None),
+            };
+            let Some(col) = col else {
+                return default_selectivity(*op);
+            };
+            match op {
+                BinOp::Eq => stats.eq_selectivity(col),
+                BinOp::NotEq => 1.0 - stats.eq_selectivity(col),
+                BinOp::Lt | BinOp::LtEq => stats.range_selectivity(col, None, lit),
+                BinOp::Gt | BinOp::GtEq => stats.range_selectivity(col, lit, None),
+                _ => 0.5,
+            }
+        }
+        Expr::Between { expr, lo, hi, negated } => {
+            let sel = match (&**expr, &**lo, &**hi) {
+                (Expr::Column(c), Expr::Literal(a), Expr::Literal(b)) => {
+                    c.index.map_or(0.25, |i| stats.range_selectivity(i, Some(a), Some(b)))
+                }
+                _ => 0.25,
+            };
+            if *negated {
+                1.0 - sel
+            } else {
+                sel
+            }
+        }
+        Expr::InList { expr, list, negated } => {
+            let sel = match &**expr {
+                Expr::Column(c) => {
+                    c.index.map_or(0.2, |i| (stats.eq_selectivity(i) * list.len() as f64).min(1.0))
+                }
+                _ => 0.2,
+            };
+            if *negated {
+                1.0 - sel
+            } else {
+                sel
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let sel = match &**expr {
+                Expr::Column(c) => c.index.map_or(0.05, |i| {
+                    let rows = stats.row_count.max(1) as f64;
+                    stats.columns.get(i).map_or(0.05, |cs| cs.nulls as f64 / rows)
+                }),
+                _ => 0.05,
+            };
+            if *negated {
+                1.0 - sel
+            } else {
+                sel
+            }
+        }
+        Expr::Like { .. } => 0.1,
+        Expr::Unary { .. } => 0.5,
+        _ => 0.5,
+    }
+}
+
+fn default_selectivity(op: BinOp) -> f64 {
+    match op {
+        BinOp::Eq => 0.05,
+        BinOp::NotEq => 0.95,
+        _ => 0.33,
+    }
+}
+
+/// Extract inclusive integer bounds from a sargable conjunct on `col`
+/// (`col = k`, `col < k`, `col BETWEEN a AND b`, …).
+pub fn sargable_bounds(conjunct: &Expr, col: usize) -> Option<(Option<i64>, Option<i64>)> {
+    match conjunct {
+        Expr::Binary { left, op, right } => {
+            let (c, v, flipped) = match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(Value::Int(v))) => (c, *v, false),
+                (Expr::Literal(Value::Int(v)), Expr::Column(c)) => (c, *v, true),
+                _ => return None,
+            };
+            if c.index != Some(col) {
+                return None;
+            }
+            let op = if flipped {
+                match op {
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::LtEq => BinOp::GtEq,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::GtEq => BinOp::LtEq,
+                    other => *other,
+                }
+            } else {
+                *op
+            };
+            match op {
+                BinOp::Eq => Some((Some(v), Some(v))),
+                BinOp::Lt => Some((None, Some(v - 1))),
+                BinOp::LtEq => Some((None, Some(v))),
+                BinOp::Gt => Some((Some(v + 1), None)),
+                BinOp::GtEq => Some((Some(v), None)),
+                _ => None,
+            }
+        }
+        Expr::Between { expr, lo, hi, negated: false } => {
+            match (&**expr, &**lo, &**hi) {
+                (Expr::Column(c), Expr::Literal(Value::Int(a)), Expr::Literal(Value::Int(b)))
+                    if c.index == Some(col) =>
+                {
+                    Some((Some(*a), Some(*b)))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staged_sql::ast::ColumnRef;
+    use staged_storage::stats::ColumnStats;
+
+    fn stats() -> TableStats {
+        TableStats {
+            row_count: 1000,
+            page_count: 10,
+            columns: vec![ColumnStats {
+                min: Some(Value::Int(0)),
+                max: Some(Value::Int(999)),
+                ndv: 1000,
+                nulls: 0,
+            }],
+        }
+    }
+
+    fn col(i: usize) -> Expr {
+        Expr::Column(ColumnRef { table: None, name: format!("c{i}"), index: Some(i) })
+    }
+
+    #[test]
+    fn eq_selectivity_uses_ndv() {
+        let e = Expr::binary(col(0), BinOp::Eq, Expr::int(5));
+        let sel = conjunct_selectivity(&stats(), &e);
+        assert!((sel - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_selectivity_uses_min_max() {
+        let e = Expr::binary(col(0), BinOp::Lt, Expr::int(500));
+        let sel = conjunct_selectivity(&stats(), &e);
+        assert!((sel - 0.5).abs() < 0.01, "sel={sel}");
+    }
+
+    #[test]
+    fn sargable_bounds_extraction() {
+        assert_eq!(
+            sargable_bounds(&Expr::binary(col(0), BinOp::Eq, Expr::int(7)), 0),
+            Some((Some(7), Some(7)))
+        );
+        assert_eq!(
+            sargable_bounds(&Expr::binary(col(0), BinOp::Lt, Expr::int(7)), 0),
+            Some((None, Some(6)))
+        );
+        assert_eq!(
+            sargable_bounds(&Expr::binary(Expr::int(7), BinOp::Lt, col(0)), 0),
+            Some((Some(8), None)),
+            "flipped comparison"
+        );
+        let between = Expr::Between {
+            expr: Box::new(col(0)),
+            lo: Box::new(Expr::int(1)),
+            hi: Box::new(Expr::int(9)),
+            negated: false,
+        };
+        assert_eq!(sargable_bounds(&between, 0), Some((Some(1), Some(9))));
+        // Wrong column: not sargable for col 0.
+        assert_eq!(sargable_bounds(&Expr::binary(col(1), BinOp::Eq, Expr::int(7)), 0), None);
+        // Column-to-column: not sargable.
+        assert_eq!(sargable_bounds(&Expr::binary(col(0), BinOp::Eq, col(1)), 0), None);
+    }
+}

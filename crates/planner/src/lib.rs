@@ -1,0 +1,25 @@
+//! # staged-planner — the optimizer
+//!
+//! The optimize stage of the staged DBMS (paper Figure 3: "statistics,
+//! create plans, eval plans"). Consumes a bound SELECT from `staged-sql`
+//! and produces a [`plan::PhysicalPlan`]:
+//!
+//! * predicate conjuncts are pushed to the scans they mention;
+//! * sargable conjuncts on indexed `INT` columns select index scans when
+//!   the estimated selectivity warrants it;
+//! * join order is chosen by bitmask dynamic programming over the join
+//!   graph (greedy beyond [`planner::DP_TABLE_LIMIT`] tables);
+//! * equijoins pick hash or sort-merge join by cost, everything else falls
+//!   back to nested loops — the three algorithms the paper assigns to its
+//!   `join` stage in Figure 3.
+//!
+//! [`PlannerConfig`] exposes per-feature switches used by the ablation
+//! benches and by tests that need to force a specific operator.
+
+pub mod estimate;
+pub mod plan;
+pub mod planner;
+
+pub use estimate::{CostModel, Estimate};
+pub use plan::{AggSpec, PhysicalPlan};
+pub use planner::{plan_select, plan_table_filter, PlannerConfig};

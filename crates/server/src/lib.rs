@@ -1,0 +1,30 @@
+//! # staged-server — the assembled DBMS
+//!
+//! Two complete servers over the same storage / SQL / planner / engine
+//! substrate:
+//!
+//! * [`StagedServer`] — the paper's design (Figure 3): client requests are
+//!   encapsulated into packets that flow through the five top-level stages
+//!   **connect → parse → optimize → execute → disconnect**, each an
+//!   independent queue + worker pool on a [`staged_core::StagedRuntime`].
+//!   DDL and transaction-control statements bypass the optimizer, and
+//!   prepared statements route straight from connect to execute, exactly
+//!   the self-routing behaviours of §4.1. SELECT plans are executed on the
+//!   staged page-push engine (or on the Volcano engine, configurable).
+//!   Back-pressure on the connect queue gives the overload behaviour of
+//!   §5.2 ([`StagedServer::try_submit`]).
+//! * [`ThreadedServer`] — the work-centric baseline of §3.1: a pool of N
+//!   threads, each picking a client from one input queue and running the
+//!   entire pipeline as direct procedure calls.
+//!
+//! Both share [`pipeline`], so correctness is identical by construction and
+//! the architectural comparison is apples-to-apples.
+
+pub mod pipeline;
+pub mod staged_server;
+pub mod threaded;
+pub mod types;
+
+pub use staged_server::StagedServer;
+pub use threaded::ThreadedServer;
+pub use types::{QueryOutput, Request, Response, ServerConfig, ServerError};

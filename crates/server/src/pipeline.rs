@@ -1,0 +1,358 @@
+//! The query pipeline, factored into the stage bodies of Figure 3 so the
+//! staged server and the threaded baseline run byte-identical logic.
+
+use crate::types::{QueryOutput, ServerError};
+use staged_cachesim::tracker::RefTracker;
+use staged_engine::context::ExecContext;
+use staged_engine::dml;
+use staged_engine::staged::StagedEngine;
+use staged_engine::volcano;
+use staged_planner::{plan_select, PhysicalPlan, PlannerConfig};
+use staged_sql::ast::{Expr, Statement};
+use staged_sql::binder::{BindContext, Binder, BoundSelect};
+use staged_sql::parser::parse_statement;
+use staged_sql::rewrite::fold;
+use staged_storage::catalog::TableInfo;
+use staged_storage::wal::{LogRecord, Wal};
+use staged_storage::{Catalog, DataType, Schema, Tuple, Value};
+use std::sync::Arc;
+
+/// Output of the parse stage: either a bound SELECT still needing the
+/// optimizer, or a fully-determined action that bypasses it (§4.1).
+pub enum Parsed {
+    /// Needs the optimize stage.
+    NeedsPlan(Box<BoundSelect>),
+    /// Ready for the execute stage.
+    Action(Box<PlannedAction>),
+}
+
+/// An executable statement.
+pub enum PlannedAction {
+    /// Run a SELECT plan.
+    Select {
+        /// The physical plan.
+        plan: PhysicalPlan,
+        /// Result schema.
+        schema: Schema,
+    },
+    /// Return a plan as text.
+    Explain {
+        /// Rendered plan.
+        text: String,
+    },
+    /// Insert pre-evaluated rows.
+    Insert {
+        /// Target table.
+        table: Arc<TableInfo>,
+        /// Rows to insert.
+        rows: Vec<Tuple>,
+    },
+    /// Update rows in place.
+    Update {
+        /// Target table.
+        table: Arc<TableInfo>,
+        /// `(column index, bound expression)` assignments.
+        sets: Vec<(usize, Expr)>,
+        /// Bound row filter.
+        predicate: Option<Expr>,
+    },
+    /// Delete rows.
+    Delete {
+        /// Target table.
+        table: Arc<TableInfo>,
+        /// Bound row filter.
+        predicate: Option<Expr>,
+    },
+    /// DDL and transaction control, executed directly.
+    Ddl(Statement),
+}
+
+/// Parse + bind one statement (the parse stage of Figure 3).
+pub fn parse_stage(
+    sql: &str,
+    catalog: &Catalog,
+    tracker: Option<&RefTracker>,
+) -> Result<Parsed, ServerError> {
+    let stmt = parse_statement(sql).map_err(|e| ServerError::Sql(e.to_string()))?;
+    bind_statement(stmt, catalog, tracker)
+}
+
+/// Bind an already-parsed statement.
+pub fn bind_statement(
+    stmt: Statement,
+    catalog: &Catalog,
+    tracker: Option<&RefTracker>,
+) -> Result<Parsed, ServerError> {
+    let mut ctx = BindContext::new(catalog);
+    if let Some(t) = tracker {
+        ctx = ctx.with_tracker(t);
+    }
+    let binder = Binder::new(ctx);
+    let sql_err = |e: staged_sql::SqlError| ServerError::Sql(e.to_string());
+    match stmt {
+        Statement::Select(sel) => {
+            let bound = binder.bind_select(sel).map_err(sql_err)?;
+            Ok(Parsed::NeedsPlan(Box::new(bound)))
+        }
+        Statement::Explain(inner) => match bind_statement(*inner, catalog, tracker)? {
+            Parsed::NeedsPlan(bound) => Ok(Parsed::NeedsPlan(Box::new(BoundSelect {
+                stmt: bound.stmt,
+                tables: bound.tables,
+                scope: bound.scope,
+                output: bound.output,
+                projections: bound.projections,
+            })
+            .explained())),
+            Parsed::Action(_) => Ok(Parsed::Action(Box::new(PlannedAction::Explain {
+                text: "non-SELECT statements execute directly".into(),
+            }))),
+        },
+        Statement::Insert { table, columns, rows } => {
+            let info = catalog.table(&table).map_err(|e| ServerError::Sql(e.to_string()))?;
+            let mut out_rows = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut vals = vec![Value::Null; info.schema.len()];
+                let targets: Vec<usize> = match &columns {
+                    Some(cols) => cols
+                        .iter()
+                        .map(|c| {
+                            info.schema
+                                .index_of(c)
+                                .ok_or_else(|| ServerError::Sql(format!("unknown column {c}")))
+                        })
+                        .collect::<Result<_, _>>()?,
+                    None => (0..info.schema.len()).collect(),
+                };
+                if targets.len() != row.len() {
+                    return Err(ServerError::Sql(format!(
+                        "INSERT expects {} values, got {}",
+                        targets.len(),
+                        row.len()
+                    )));
+                }
+                for (slot, expr) in targets.into_iter().zip(row) {
+                    let v = match fold(expr) {
+                        Expr::Literal(v) => v,
+                        other => {
+                            return Err(ServerError::Sql(format!(
+                                "INSERT values must be constants, got {other}"
+                            )))
+                        }
+                    };
+                    // Coerce ints into float columns at the boundary.
+                    vals[slot] = match (info.schema.column(slot).ty, v) {
+                        (DataType::Float, Value::Int(i)) => Value::Float(i as f64),
+                        (_, v) => v,
+                    };
+                }
+                out_rows.push(Tuple::new(vals));
+            }
+            Ok(Parsed::Action(Box::new(PlannedAction::Insert { table: info, rows: out_rows })))
+        }
+        Statement::Update { table, sets, filter } => {
+            let info = catalog.table(&table).map_err(|e| ServerError::Sql(e.to_string()))?;
+            let mut bound_sets = Vec::with_capacity(sets.len());
+            for (col, mut expr) in sets {
+                let idx = info
+                    .schema
+                    .index_of(&col)
+                    .ok_or_else(|| ServerError::Sql(format!("unknown column {col}")))?;
+                binder.bind_table_predicate(&mut expr, &info).map_err(sql_err)?;
+                bound_sets.push((idx, expr));
+            }
+            let predicate = bind_filter(filter, &binder, &info)?;
+            Ok(Parsed::Action(Box::new(PlannedAction::Update {
+                table: info,
+                sets: bound_sets,
+                predicate,
+            })))
+        }
+        Statement::Delete { table, filter } => {
+            let info = catalog.table(&table).map_err(|e| ServerError::Sql(e.to_string()))?;
+            let predicate = bind_filter(filter, &binder, &info)?;
+            Ok(Parsed::Action(Box::new(PlannedAction::Delete { table: info, predicate })))
+        }
+        ddl => Ok(Parsed::Action(Box::new(PlannedAction::Ddl(ddl)))),
+    }
+}
+
+fn bind_filter(
+    filter: Option<Expr>,
+    binder: &Binder<'_>,
+    info: &Arc<TableInfo>,
+) -> Result<Option<Expr>, ServerError> {
+    match filter {
+        Some(mut f) => {
+            binder
+                .bind_table_predicate(&mut f, info)
+                .map_err(|e| ServerError::Sql(e.to_string()))?;
+            Ok(Some(fold(f)))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Marker wrapper: an EXPLAIN'd bound select. We piggyback on `BoundSelect`
+/// by setting a limit-0 sentinel; instead, the server tracks EXPLAIN out of
+/// band — see [`BoundSelectExt`].
+pub trait BoundSelectExt {
+    /// Tag this bound SELECT as explain-only.
+    fn explained(self) -> Box<BoundSelect>;
+    /// Was this tagged?
+    fn is_explain(&self) -> bool;
+}
+
+impl BoundSelectExt for Box<BoundSelect> {
+    fn explained(mut self) -> Box<BoundSelect> {
+        // A DISTINCT+LIMIT 0 combination cannot be produced by parsing
+        // `EXPLAIN`-less SQL through this path, but rather than a sentinel
+        // we use an explicit side flag carried in `stmt.limit`'s unused
+        // high bit — too clever. Keep it simple: a dedicated marker field
+        // would change the public sql AST, so the server wraps EXPLAIN
+        // before this point. This impl only exists to keep the pipeline
+        // uniform; it marks via an impossible limit value.
+        self.stmt.limit = Some(u64::MAX);
+        self
+    }
+
+    fn is_explain(&self) -> bool {
+        self.stmt.limit == Some(u64::MAX)
+    }
+}
+
+/// The optimize stage of Figure 3.
+pub fn optimize_stage(
+    bound: &BoundSelect,
+    catalog: &Catalog,
+    config: &PlannerConfig,
+) -> Result<PlannedAction, ServerError> {
+    let is_explain = {
+        let boxed: &BoundSelect = bound;
+        boxed.stmt.limit == Some(u64::MAX)
+    };
+    let mut bound_clone = BoundSelect {
+        stmt: bound.stmt.clone(),
+        tables: bound.tables.clone(),
+        scope: bound.scope.clone(),
+        output: bound.output.clone(),
+        projections: bound.projections.clone(),
+    };
+    if is_explain {
+        bound_clone.stmt.limit = None;
+    }
+    let plan =
+        plan_select(&bound_clone, catalog, config).map_err(|e| ServerError::Sql(e.to_string()))?;
+    if is_explain {
+        Ok(PlannedAction::Explain { text: plan.to_string() })
+    } else {
+        Ok(PlannedAction::Select { plan, schema: bound.output.clone() })
+    }
+}
+
+/// How the execute stage runs SELECT plans.
+pub enum Exec<'a> {
+    /// Volcano iterators on this thread.
+    Volcano,
+    /// The staged page-push engine.
+    Staged(&'a Arc<StagedEngine>),
+}
+
+/// The execute stage of Figure 3: run the action, produce client output.
+pub fn execute_stage(
+    action: PlannedAction,
+    ctx: &ExecContext,
+    wal: &Wal,
+    xid: u64,
+    exec: Exec<'_>,
+) -> Result<QueryOutput, ServerError> {
+    let exec_err = |e: staged_engine::EngineError| ServerError::Execution(e.to_string());
+    match action {
+        PlannedAction::Select { plan, schema } => {
+            let rows = match exec {
+                Exec::Volcano => volcano::run(&plan, ctx).map_err(exec_err)?,
+                Exec::Staged(engine) => engine.execute(&plan).collect().map_err(exec_err)?,
+            };
+            let n = rows.len();
+            Ok(QueryOutput {
+                rows,
+                schema: Some(schema),
+                message: format!("SELECT {n}"),
+            })
+        }
+        PlannedAction::Explain { text } => Ok(QueryOutput {
+            rows: text.lines().map(|l| Tuple::new(vec![Value::Str(l.to_string())])).collect(),
+            schema: Some(Schema::new(vec![staged_storage::Column::new(
+                "plan",
+                DataType::Str,
+            )])),
+            message: "EXPLAIN".into(),
+        }),
+        PlannedAction::Insert { table, rows } => {
+            let n = dml::insert_rows(ctx, &table, rows, Some((wal, xid))).map_err(exec_err)?;
+            Ok(QueryOutput::message(format!("INSERT {n}")))
+        }
+        PlannedAction::Update { table, sets, predicate } => {
+            let n = dml::update_rows(ctx, &table, &sets, &predicate, Some((wal, xid)))
+                .map_err(exec_err)?;
+            Ok(QueryOutput::message(format!("UPDATE {n}")))
+        }
+        PlannedAction::Delete { table, predicate } => {
+            let n = dml::delete_rows(ctx, &table, &predicate, Some((wal, xid)))
+                .map_err(exec_err)?;
+            Ok(QueryOutput::message(format!("DELETE {n}")))
+        }
+        PlannedAction::Ddl(stmt) => execute_ddl(stmt, ctx, wal, xid),
+    }
+}
+
+fn execute_ddl(
+    stmt: Statement,
+    ctx: &ExecContext,
+    wal: &Wal,
+    xid: u64,
+) -> Result<QueryOutput, ServerError> {
+    let cat_err = |e: staged_storage::StorageError| ServerError::Execution(e.to_string());
+    match stmt {
+        Statement::CreateTable { name, columns } => {
+            let schema = Schema::new(
+                columns
+                    .into_iter()
+                    .map(|c| {
+                        let mut col = staged_storage::Column::new(c.name, c.ty);
+                        if c.nullable {
+                            col = col.nullable();
+                        }
+                        col
+                    })
+                    .collect(),
+            );
+            ctx.catalog.create_table(&name, schema).map_err(cat_err)?;
+            Ok(QueryOutput::message("CREATE TABLE"))
+        }
+        Statement::CreateIndex { name, table, column } => {
+            ctx.catalog.create_index(&name, &table, &column).map_err(cat_err)?;
+            Ok(QueryOutput::message("CREATE INDEX"))
+        }
+        Statement::DropTable { name } => {
+            ctx.catalog.drop_table(&name).map_err(cat_err)?;
+            Ok(QueryOutput::message("DROP TABLE"))
+        }
+        Statement::Analyze { table } => {
+            ctx.catalog.analyze_table(&table).map_err(cat_err)?;
+            Ok(QueryOutput::message("ANALYZE"))
+        }
+        Statement::Begin => {
+            wal.append(&LogRecord::Begin { xid }).map_err(cat_err)?;
+            Ok(QueryOutput::message("BEGIN"))
+        }
+        Statement::Commit => {
+            wal.append(&LogRecord::Commit { xid }).map_err(cat_err)?;
+            Ok(QueryOutput::message("COMMIT"))
+        }
+        Statement::Rollback => {
+            wal.append(&LogRecord::Abort { xid }).map_err(cat_err)?;
+            Ok(QueryOutput::message("ROLLBACK"))
+        }
+        other => Err(ServerError::Sql(format!("unsupported statement {other}"))),
+    }
+}

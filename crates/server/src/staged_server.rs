@@ -1,0 +1,329 @@
+//! The staged DBMS server (paper Figure 3, top row).
+
+use crate::pipeline::{self, Exec, Parsed, PlannedAction};
+use crate::types::{ExecutionMode, Response, ServerConfig, ServerError};
+use crossbeam::channel::{bounded, Receiver};
+use parking_lot::Mutex;
+use staged_cachesim::tracker::RefTracker;
+use staged_core::monitor::StageStats;
+use staged_core::prelude::*;
+use staged_engine::context::ExecContext;
+use staged_engine::staged::StagedEngine;
+use staged_planner::PhysicalPlan;
+use staged_sql::binder::BoundSelect;
+use staged_storage::wal::{LogRecord, Wal};
+use staged_storage::{Catalog, MemDisk, Schema};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A packet travelling through the five top-level stages. The enum body is
+/// the query's *backpack* — its state at the current point of execution.
+pub struct SPacket {
+    xid: u64,
+    body: PacketBody,
+    reply: crossbeam::channel::Sender<Response>,
+}
+
+enum PacketBody {
+    /// Fresh SQL text (entering connect).
+    Raw(String),
+    /// Prepared-statement invocation (connect routes it straight to
+    /// execute).
+    Prepared(String),
+    /// Bound SELECT awaiting the optimizer.
+    Bound(Box<BoundSelect>),
+    /// Ready to execute.
+    Action(Box<PlannedAction>),
+    /// Completed; heading to disconnect for commit + reply.
+    Finished(Box<Response>),
+}
+
+struct ServerShared {
+    catalog: Arc<Catalog>,
+    ctx: ExecContext,
+    wal: Wal,
+    engine: Arc<StagedEngine>,
+    config: ServerConfig,
+    prepared: Mutex<HashMap<String, Arc<(PhysicalPlan, Schema)>>>,
+    tracker: Option<Arc<RefTracker>>,
+    next_xid: AtomicU64,
+    served: AtomicU64,
+}
+
+/// The staged server.
+pub struct StagedServer {
+    shared: Arc<ServerShared>,
+    runtime: StagedRuntime<SPacket>,
+    connect_id: StageId,
+}
+
+macro_rules! stage_logic {
+    ($name:ident, $shared:ident, $pkt:ident, $ctx:ident, $body:block) => {
+        struct $name {
+            $shared: Arc<ServerShared>,
+        }
+        impl StageLogic<SPacket> for $name {
+            fn process(
+                &self,
+                mut $pkt: SPacket,
+                $ctx: &StageCtx<'_, SPacket>,
+            ) -> Result<(), StageError> {
+                let $shared = &self.$shared;
+                $body
+            }
+        }
+    };
+}
+
+fn forward(ctx: &StageCtx<'_, SPacket>, stage: &str, pkt: SPacket) -> Result<(), StageError> {
+    let id = ctx
+        .stage_id_of(stage)
+        .ok_or_else(|| StageError::new(format!("missing stage {stage}")))?;
+    ctx.send(id, pkt).map_err(|_| StageError::new("pipeline closed"))
+}
+
+fn finish(
+    ctx: &StageCtx<'_, SPacket>,
+    mut pkt: SPacket,
+    res: Response,
+) -> Result<(), StageError> {
+    pkt.body = PacketBody::Finished(Box::new(res));
+    forward(ctx, "disconnect", pkt)
+}
+
+stage_logic!(ConnectStage, shared, pkt, ctx, {
+    pkt.xid = shared.next_xid.fetch_add(1, Ordering::Relaxed);
+    match std::mem::replace(&mut pkt.body, PacketBody::Raw(String::new())) {
+        PacketBody::Raw(sql) => {
+            pkt.body = PacketBody::Raw(sql);
+            forward(ctx, "parse", pkt)
+        }
+        PacketBody::Prepared(name) => {
+            // Precompiled queries bypass parser and optimizer (§4.1).
+            let found = shared.prepared.lock().get(&name).cloned();
+            match found {
+                Some(entry) => {
+                    pkt.body = PacketBody::Action(Box::new(PlannedAction::Select {
+                        plan: entry.0.clone(),
+                        schema: entry.1.clone(),
+                    }));
+                    forward(ctx, "execute", pkt)
+                }
+                None => finish(ctx, pkt, Err(ServerError::UnknownPrepared(name))),
+            }
+        }
+        other => {
+            pkt.body = other;
+            finish(ctx, pkt, Err(ServerError::Execution("bad packet at connect".into())))
+        }
+    }
+});
+
+stage_logic!(ParseStage, shared, pkt, ctx, {
+    let PacketBody::Raw(sql) = std::mem::replace(&mut pkt.body, PacketBody::Raw(String::new()))
+    else {
+        return finish(ctx, pkt, Err(ServerError::Execution("bad packet at parse".into())));
+    };
+    match pipeline::parse_stage(&sql, &shared.catalog, shared.tracker.as_deref()) {
+        Ok(Parsed::NeedsPlan(bound)) => {
+            pkt.body = PacketBody::Bound(bound);
+            forward(ctx, "optimize", pkt)
+        }
+        Ok(Parsed::Action(action)) => {
+            // DDL / DML bypass the optimizer (§4.1: "the query can route
+            // itself from the connect stage directly to the execute stage").
+            pkt.body = PacketBody::Action(action);
+            forward(ctx, "execute", pkt)
+        }
+        Err(e) => finish(ctx, pkt, Err(e)),
+    }
+});
+
+stage_logic!(OptimizeStage, shared, pkt, ctx, {
+    let PacketBody::Bound(bound) = std::mem::replace(&mut pkt.body, PacketBody::Raw(String::new()))
+    else {
+        return finish(ctx, pkt, Err(ServerError::Execution("bad packet at optimize".into())));
+    };
+    match pipeline::optimize_stage(&bound, &shared.catalog, &shared.config.planner) {
+        Ok(action) => {
+            pkt.body = PacketBody::Action(Box::new(action));
+            forward(ctx, "execute", pkt)
+        }
+        Err(e) => finish(ctx, pkt, Err(e)),
+    }
+});
+
+stage_logic!(ExecuteStage, shared, pkt, ctx, {
+    let PacketBody::Action(action) = std::mem::replace(&mut pkt.body, PacketBody::Raw(String::new()))
+    else {
+        return finish(ctx, pkt, Err(ServerError::Execution("bad packet at execute".into())));
+    };
+    let exec = match shared.config.mode {
+        ExecutionMode::Volcano => Exec::Volcano,
+        ExecutionMode::Staged => Exec::Staged(&shared.engine),
+    };
+    let res = pipeline::execute_stage(*action, &shared.ctx, &shared.wal, pkt.xid, exec);
+    finish(ctx, pkt, res)
+});
+
+stage_logic!(DisconnectStage, shared, pkt, _ctx, {
+    // "end Xaction, delete state, disconnect": autocommit + reply.
+    let _ = shared.wal.append(&LogRecord::Commit { xid: pkt.xid });
+    let body = std::mem::replace(&mut pkt.body, PacketBody::Raw(String::new()));
+    let res = match body {
+        PacketBody::Finished(r) => *r,
+        _ => Err(ServerError::Execution("bad packet at disconnect".into())),
+    };
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    let _ = pkt.reply.send(res);
+    Ok(())
+});
+
+impl StagedServer {
+    /// Build and start the staged server over an existing catalog.
+    pub fn new(catalog: Arc<Catalog>, config: ServerConfig) -> Arc<Self> {
+        Self::with_tracker(catalog, config, None)
+    }
+
+    /// Like [`new`](Self::new), with Table-1 reference instrumentation.
+    pub fn with_tracker(
+        catalog: Arc<Catalog>,
+        config: ServerConfig,
+        tracker: Option<Arc<RefTracker>>,
+    ) -> Arc<Self> {
+        let mut ctx = ExecContext::new(Arc::clone(&catalog));
+        if let Some(t) = &tracker {
+            ctx = ctx.with_tracker(Arc::clone(t));
+        }
+        let engine = StagedEngine::new(ctx.clone(), config.engine.clone());
+        let shared = Arc::new(ServerShared {
+            catalog,
+            ctx,
+            wal: Wal::new(Arc::new(MemDisk::new())),
+            engine,
+            config: config.clone(),
+            prepared: Mutex::new(HashMap::new()),
+            tracker,
+            next_xid: AtomicU64::new(1),
+            served: AtomicU64::new(0),
+        });
+        let mut b = StagedRuntime::<SPacket>::builder();
+        let connect_id = b.add_stage(
+            StageSpec::new("connect", ConnectStage { shared: Arc::clone(&shared) })
+                .with_queue_capacity(config.queue_capacity)
+                .with_workers(config.control_workers),
+        );
+        b.add_stage(
+            StageSpec::new("parse", ParseStage { shared: Arc::clone(&shared) })
+                .with_queue_capacity(config.queue_capacity)
+                .with_workers(config.control_workers),
+        );
+        b.add_stage(
+            StageSpec::new("optimize", OptimizeStage { shared: Arc::clone(&shared) })
+                .with_queue_capacity(config.queue_capacity)
+                .with_workers(config.control_workers),
+        );
+        b.add_stage(
+            StageSpec::new("execute", ExecuteStage { shared: Arc::clone(&shared) })
+                .with_queue_capacity(config.queue_capacity)
+                .with_workers(config.execute_workers),
+        );
+        b.add_stage(
+            StageSpec::new("disconnect", DisconnectStage { shared: Arc::clone(&shared) })
+                .with_queue_capacity(config.queue_capacity)
+                .with_workers(config.control_workers),
+        );
+        let runtime = b.build();
+        Arc::new(Self { shared, runtime, connect_id })
+    }
+
+    /// Submit SQL; returns the response channel (blocking admission under
+    /// back-pressure).
+    pub fn submit(&self, sql: impl Into<String>) -> Receiver<Response> {
+        let (tx, rx) = bounded(1);
+        let pkt = SPacket { xid: 0, body: PacketBody::Raw(sql.into()), reply: tx };
+        if let Err(e) = self.runtime.enqueue(self.connect_id, pkt) {
+            let _ = e.into_packet().reply.send(Err(ServerError::ShuttingDown));
+        }
+        rx
+    }
+
+    /// Non-blocking admission: `Err(Overloaded)` when the connect queue is
+    /// full (paper §5.2 overload conditioning).
+    pub fn try_submit(&self, sql: impl Into<String>) -> Result<Receiver<Response>, ServerError> {
+        let (tx, rx) = bounded(1);
+        let pkt = SPacket { xid: 0, body: PacketBody::Raw(sql.into()), reply: tx };
+        match self.runtime.try_enqueue(self.connect_id, pkt) {
+            Ok(()) => Ok(rx),
+            Err(EnqueueError::Full(_)) => Err(ServerError::Overloaded),
+            Err(EnqueueError::Closed(_)) => Err(ServerError::ShuttingDown),
+        }
+    }
+
+    /// Run one statement to completion.
+    pub fn execute_sql(&self, sql: &str) -> Response {
+        self.submit(sql)
+            .recv()
+            .unwrap_or(Err(ServerError::ShuttingDown))
+    }
+
+    /// Parse + plan a SELECT once, store it under `name`. Later
+    /// [`execute_prepared`](Self::execute_prepared) calls route connect →
+    /// execute directly.
+    pub fn prepare(&self, name: &str, sql: &str) -> Result<(), ServerError> {
+        let parsed =
+            pipeline::parse_stage(sql, &self.shared.catalog, self.shared.tracker.as_deref())?;
+        let Parsed::NeedsPlan(bound) = parsed else {
+            return Err(ServerError::Sql("only SELECT can be prepared".into()));
+        };
+        let action =
+            pipeline::optimize_stage(&bound, &self.shared.catalog, &self.shared.config.planner)?;
+        let PlannedAction::Select { plan, schema } = action else {
+            return Err(ServerError::Sql("only plain SELECT can be prepared".into()));
+        };
+        self.shared.prepared.lock().insert(name.to_string(), Arc::new((plan, schema)));
+        Ok(())
+    }
+
+    /// Invoke a prepared statement (the fast path).
+    pub fn execute_prepared(&self, name: &str) -> Receiver<Response> {
+        let (tx, rx) = bounded(1);
+        let pkt = SPacket { xid: 0, body: PacketBody::Prepared(name.to_string()), reply: tx };
+        if let Err(e) = self.runtime.enqueue(self.connect_id, pkt) {
+            let _ = e.into_packet().reply.send(Err(ServerError::ShuttingDown));
+        }
+        rx
+    }
+
+    /// Per-stage monitoring (the §5.2 "easy to tune" observability).
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        self.runtime.stats()
+    }
+
+    /// Execution-engine stage monitoring.
+    pub fn engine_stats(&self) -> Vec<StageStats> {
+        self.shared.engine.runtime().stats()
+    }
+
+    /// The runtime, for autotuner attachment.
+    pub fn runtime(&self) -> &StagedRuntime<SPacket> {
+        &self.runtime
+    }
+
+    /// The inner staged execution engine.
+    pub fn engine(&self) -> &Arc<StagedEngine> {
+        &self.shared.engine
+    }
+
+    /// Queries completed.
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Stop all stage workers (drains in-flight requests first).
+    pub fn shutdown(&self) {
+        self.runtime.shutdown();
+        self.shared.engine.shutdown();
+    }
+}

@@ -1,0 +1,178 @@
+//! The work-centric thread-pool baseline (paper §3.1.1).
+//!
+//! "A pool of threads that picks a client from the queue, works on the
+//! client until it exits the execution engine, puts it on an exit queue and
+//! picks another client from the input queue." Each worker runs the entire
+//! parse → optimize → execute pipeline as direct procedure calls on the
+//! Volcano engine; the pool size is the knob whose tuning dilemma Figure 2
+//! demonstrates.
+
+use crate::pipeline::{self, Exec, Parsed};
+use crate::types::{Request, RequestBody, Response, ServerError};
+use crossbeam::channel::{bounded, Receiver};
+use staged_core::queue::{Dequeued, StageQueue};
+use staged_engine::context::ExecContext;
+use staged_planner::PlannerConfig;
+use staged_storage::wal::Wal;
+use staged_storage::{Catalog, MemDisk};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct Inner {
+    catalog: Arc<Catalog>,
+    ctx: ExecContext,
+    wal: Wal,
+    planner: PlannerConfig,
+    queue: StageQueue<Request>,
+    next_xid: AtomicU64,
+    served: AtomicU64,
+    stopping: AtomicBool,
+}
+
+/// The thread-pool server.
+pub struct ThreadedServer {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedServer {
+    /// Start a pool of `pool_size` workers over `catalog`.
+    pub fn new(catalog: Arc<Catalog>, pool_size: usize, planner: PlannerConfig) -> Self {
+        let inner = Arc::new(Inner {
+            ctx: ExecContext::new(Arc::clone(&catalog)),
+            catalog,
+            wal: Wal::new(Arc::new(MemDisk::new())),
+            planner,
+            queue: StageQueue::new(1024),
+            next_xid: AtomicU64::new(1),
+            served: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+        });
+        let workers = (0..pool_size.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("pool-worker-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Submit SQL for execution.
+    pub fn submit(&self, sql: impl Into<String>) -> Receiver<Response> {
+        let (tx, rx) = bounded(1);
+        let req = Request { body: RequestBody::Sql(sql.into()), reply: tx };
+        if let Err(e) = self.inner.queue.enqueue(req) {
+            let _ = e.into_packet().reply.send(Err(ServerError::ShuttingDown));
+        }
+        rx
+    }
+
+    /// Run one statement to completion.
+    pub fn execute_sql(&self, sql: &str) -> Response {
+        self.submit(sql).recv().unwrap_or(Err(ServerError::ShuttingDown))
+    }
+
+    /// Queries completed so far.
+    pub fn served(&self) -> u64 {
+        self.inner.served.load(Ordering::Relaxed)
+    }
+
+    /// Current input-queue depth.
+    pub fn backlog(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// Stop the pool, draining queued requests first.
+    pub fn shutdown(mut self) {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        self.inner.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    loop {
+        match inner.queue.dequeue_timeout(Duration::from_millis(20)) {
+            Dequeued::Packet(req) => {
+                let res = process(&inner, &req);
+                inner.served.fetch_add(1, Ordering::Relaxed);
+                let _ = req.reply.send(res);
+            }
+            Dequeued::TimedOut => continue,
+            Dequeued::Closed => return,
+        }
+    }
+}
+
+/// The whole pipeline as one procedure call chain — the monolithic model.
+fn process(inner: &Inner, req: &Request) -> Response {
+    let RequestBody::Sql(sql) = &req.body else {
+        return Err(ServerError::Sql("threaded server accepts raw SQL only".into()));
+    };
+    let xid = inner.next_xid.fetch_add(1, Ordering::Relaxed);
+    let action = match pipeline::parse_stage(sql, &inner.catalog, None)? {
+        Parsed::NeedsPlan(bound) => {
+            pipeline::optimize_stage(&bound, &inner.catalog, &inner.planner)?
+        }
+        Parsed::Action(a) => *a,
+    };
+    pipeline::execute_stage(action, &inner.ctx, &inner.wal, xid, Exec::Volcano)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staged_storage::BufferPool;
+
+    fn server(pool: usize) -> ThreadedServer {
+        let cat = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 256)));
+        ThreadedServer::new(cat, pool, PlannerConfig::default())
+    }
+
+    #[test]
+    fn end_to_end_sql() {
+        let s = server(2);
+        s.execute_sql("CREATE TABLE kv (k INT, v VARCHAR(16))").unwrap();
+        s.execute_sql("INSERT INTO kv VALUES (1, 'one'), (2, 'two'), (3, 'three')").unwrap();
+        let out = s.execute_sql("SELECT v FROM kv WHERE k = 2").unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].to_string(), "['two']");
+        let out = s.execute_sql("DELETE FROM kv WHERE k > 1").unwrap();
+        assert_eq!(out.message, "DELETE 2");
+        s.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let s = server(4);
+        s.execute_sql("CREATE TABLE n (x INT)").unwrap();
+        for i in 0..32 {
+            s.execute_sql(&format!("INSERT INTO n VALUES ({i})")).unwrap();
+        }
+        let receivers: Vec<_> =
+            (0..16).map(|_| s.submit("SELECT COUNT(*) FROM n")).collect();
+        for rx in receivers {
+            let out = rx.recv().unwrap().unwrap();
+            assert_eq!(out.rows[0].to_string(), "[32]");
+        }
+        assert!(s.served() >= 16 + 33);
+        s.shutdown();
+    }
+
+    #[test]
+    fn sql_errors_are_reported_not_fatal() {
+        let s = server(1);
+        assert!(matches!(s.execute_sql("SELEC nope"), Err(ServerError::Sql(_))));
+        assert!(matches!(s.execute_sql("SELECT * FROM missing"), Err(ServerError::Sql(_))));
+        // Server still healthy.
+        s.execute_sql("CREATE TABLE ok (x INT)").unwrap();
+        s.shutdown();
+    }
+}

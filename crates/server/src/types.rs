@@ -1,0 +1,113 @@
+//! Server-facing request/response types and configuration.
+
+use staged_engine::staged::EngineConfig;
+use staged_planner::PlannerConfig;
+use staged_storage::{Schema, Tuple};
+use std::fmt;
+
+/// Result rows (or an affected-row message) returned to a client.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// Result rows (empty for DML/DDL).
+    pub rows: Vec<Tuple>,
+    /// Schema of the rows, when the statement produces any.
+    pub schema: Option<Schema>,
+    /// Human-readable completion tag (`INSERT 3`, `CREATE TABLE`, …).
+    pub message: String,
+}
+
+impl QueryOutput {
+    /// Message-only output.
+    pub fn message(m: impl Into<String>) -> Self {
+        Self { rows: Vec::new(), schema: None, message: m.into() }
+    }
+}
+
+/// Errors surfaced to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// SQL could not be parsed/bound/planned.
+    Sql(String),
+    /// Execution failed.
+    Execution(String),
+    /// The server is overloaded (connect queue full, §5.2).
+    Overloaded,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// Unknown prepared statement.
+    UnknownPrepared(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Sql(m) => write!(f, "sql error: {m}"),
+            ServerError::Execution(m) => write!(f, "execution error: {m}"),
+            ServerError::Overloaded => write!(f, "server overloaded"),
+            ServerError::ShuttingDown => write!(f, "server shutting down"),
+            ServerError::UnknownPrepared(n) => write!(f, "unknown prepared statement {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// A client response.
+pub type Response = Result<QueryOutput, ServerError>;
+
+/// A client request, as accepted by either server.
+pub struct Request {
+    /// SQL text, or a prepared-statement invocation.
+    pub body: RequestBody,
+    /// Channel the response is delivered on.
+    pub reply: crossbeam::channel::Sender<Response>,
+}
+
+/// What the client asked for.
+pub enum RequestBody {
+    /// Run a SQL string.
+    Sql(String),
+    /// Run a previously prepared statement by name (routes connect →
+    /// execute, bypassing parse and optimize — paper §4.1).
+    Prepared(String),
+}
+
+/// Which engine executes SELECT plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Pull-based iterators on the calling worker.
+    Volcano,
+    /// The staged page-push engine.
+    Staged,
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// SELECT execution engine.
+    pub mode: ExecutionMode,
+    /// Workers for the connect/parse/optimize/disconnect stages.
+    pub control_workers: usize,
+    /// Workers for the execute stage (it hosts the longest operations).
+    pub execute_workers: usize,
+    /// Capacity of each top-level stage queue (connect-queue capacity is
+    /// the admission limit under overload).
+    pub queue_capacity: usize,
+    /// Staged-engine tuning.
+    pub engine: EngineConfig,
+    /// Planner switches.
+    pub planner: PlannerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            mode: ExecutionMode::Staged,
+            control_workers: 1,
+            execute_workers: 4,
+            queue_capacity: 128,
+            engine: EngineConfig::default(),
+            planner: PlannerConfig::default(),
+        }
+    }
+}

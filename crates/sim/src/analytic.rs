@@ -1,0 +1,87 @@
+//! Queueing-theory closed forms used to validate the simulators.
+//!
+//! The paper calls its model "analytically tractable" (§4.2); these formulas
+//! pin the simulators down at the corners where theory applies (no load
+//! time, FCFS/PS service).
+
+/// Mean response time of an M/M/1 FCFS queue (also valid for M/M/1-PS):
+/// `W = 1 / (μ − λ)`.
+///
+/// Returns `f64::INFINITY` when the queue is unstable (λ ≥ μ).
+pub fn mm1_mean_response(lambda: f64, mu: f64) -> f64 {
+    if lambda >= mu {
+        f64::INFINITY
+    } else {
+        1.0 / (mu - lambda)
+    }
+}
+
+/// Mean response time of an M/G/1 FCFS queue by Pollaczek–Khinchine:
+/// `W = E[S] + λ E[S²] / (2 (1 − ρ))`.
+pub fn mg1_mean_response(lambda: f64, mean_s: f64, second_moment_s: f64) -> f64 {
+    let rho = lambda * mean_s;
+    if rho >= 1.0 {
+        f64::INFINITY
+    } else {
+        mean_s + lambda * second_moment_s / (2.0 * (1.0 - rho))
+    }
+}
+
+/// Mean response time of an M/G/1 processor-sharing queue (insensitive to
+/// the service distribution): `W = E[S] / (1 − ρ)`.
+pub fn mg1_ps_mean_response(lambda: f64, mean_s: f64) -> f64 {
+    let rho = lambda * mean_s;
+    if rho >= 1.0 {
+        f64::INFINITY
+    } else {
+        mean_s / (1.0 - rho)
+    }
+}
+
+/// Second moment of an exponential with the given mean: `2 m²`.
+pub fn exp_second_moment(mean: f64) -> f64 {
+    2.0 * mean * mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_textbook_value() {
+        // λ=9.5/s, E[S]=0.1s → ρ=0.95, W = 0.1/(1-0.95) = 2.0s.
+        let w = mm1_mean_response(9.5, 10.0);
+        assert!((w - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mg1_with_exponential_service_matches_mm1() {
+        let lambda = 9.5;
+        let mean_s = 0.1;
+        let w = mg1_mean_response(lambda, mean_s, exp_second_moment(mean_s));
+        assert!((w - mm1_mean_response(lambda, 1.0 / mean_s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_service_halves_waiting() {
+        let lambda = 9.5;
+        let mean_s = 0.1;
+        let w_det = mg1_mean_response(lambda, mean_s, mean_s * mean_s);
+        let w_exp = mg1_mean_response(lambda, mean_s, exp_second_moment(mean_s));
+        let wait_det = w_det - mean_s;
+        let wait_exp = w_exp - mean_s;
+        assert!((wait_det * 2.0 - wait_exp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_queue_is_infinite() {
+        assert!(mm1_mean_response(10.0, 10.0).is_infinite());
+        assert!(mg1_mean_response(11.0, 0.1, 0.02).is_infinite());
+        assert!(mg1_ps_mean_response(11.0, 0.1).is_infinite());
+    }
+
+    #[test]
+    fn ps_is_insensitive_and_equals_mm1_for_exponential() {
+        assert!((mg1_ps_mean_response(9.5, 0.1) - 2.0).abs() < 1e-12);
+    }
+}

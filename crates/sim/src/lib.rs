@@ -1,0 +1,27 @@
+//! # staged-sim — simulators for the paper's experiments
+//!
+//! Three simulators regenerate the quantitative artifacts of *"A Case for
+//! Staged Database Systems"*:
+//!
+//! * [`prodline`] — the production-line staged server of paper §4.2
+//!   (Figure 4): Poisson arrivals into a chain of N modules, each with a
+//!   cache *load time* `l_i` and per-query demand `m_i`, executed by a
+//!   single CPU under one of the five scheduling policies. Regenerates
+//!   **Figure 5** and the policy/load ablations.
+//! * [`threadpool`] — the thread-pool execution-engine experiment of paper
+//!   §3.1.1: a pool of M worker threads round-robins on one CPU over a
+//!   backlog of queries with CPU bursts and disk I/O, with a working-set
+//!   interference model. Regenerates **Figure 2**.
+//! * [`timeline`] — the four-query parse/optimize scenario of paper
+//!   **Figure 1**, contrasting uncontrolled context switching with staged
+//!   batching, including an ASCII Gantt rendering.
+//!
+//! [`analytic`] provides M/M/1 and M/G/1 closed forms used to validate the
+//! simulators, and [`rng`] the inverse-CDF samplers (we deliberately avoid
+//! extra dependencies like `rand_distr`; see DESIGN.md §6).
+
+pub mod analytic;
+pub mod prodline;
+pub mod rng;
+pub mod threadpool;
+pub mod timeline;

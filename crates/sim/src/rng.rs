@@ -1,0 +1,100 @@
+//! Random samplers built on `rand` uniforms by inverse CDF.
+
+use rand::Rng;
+
+/// Sample an exponential with the given mean (inverse CDF).
+pub fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    let u: f64 = rng.gen::<f64>();
+    // 1-u is in (0, 1], so ln never sees 0.
+    -mean * (1.0 - u).ln()
+}
+
+/// Sample a two-phase hyperexponential: with probability `p1` mean `m1`,
+/// otherwise mean `m2`. Useful for bursty I/O times.
+pub fn hyperexp_sample<R: Rng + ?Sized>(rng: &mut R, p1: f64, m1: f64, m2: f64) -> f64 {
+    if rng.gen::<f64>() < p1 {
+        exp_sample(rng, m1)
+    } else {
+        exp_sample(rng, m2)
+    }
+}
+
+/// Sample uniformly from `[lo, hi)`.
+pub fn uniform_sample<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+/// Iterator of Poisson arrival instants with the given rate (events/sec).
+pub struct PoissonArrivals<R> {
+    rng: R,
+    rate: f64,
+    clock: f64,
+}
+
+impl<R: Rng> PoissonArrivals<R> {
+    /// Arrival process starting at time 0.
+    pub fn new(rng: R, rate: f64) -> Self {
+        assert!(rate > 0.0);
+        Self { rng, rate, clock: 0.0 }
+    }
+}
+
+impl<R: Rng> Iterator for PoissonArrivals<R> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.clock += exp_sample(&mut self.rng, 1.0 / self.rate);
+        Some(self.clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| exp_sample(&mut rng, 0.25)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..10_000).all(|_| exp_sample(&mut rng, 1.0) > 0.0));
+    }
+
+    #[test]
+    fn poisson_arrivals_are_increasing_with_right_rate() {
+        let rng = StdRng::seed_from_u64(11);
+        let times: Vec<f64> = PoissonArrivals::new(rng, 50.0).take(50_000).collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+        let rate = times.len() as f64 / times.last().unwrap();
+        assert!((rate - 50.0).abs() < 1.5, "rate={rate}");
+    }
+
+    #[test]
+    fn hyperexp_mean_is_mixture() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 300_000;
+        let sum: f64 = (0..n).map(|_| hyperexp_sample(&mut rng, 0.8, 1.0, 10.0)).sum();
+        let mean = sum / n as f64;
+        let expected = 0.8 * 1.0 + 0.2 * 10.0;
+        assert!((mean - expected).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = uniform_sample(&mut rng, 2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! SQL front-end errors.
+
+use std::fmt;
+
+/// Result alias for the SQL layer.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+/// A lexing, parsing, binding or rewrite error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the SQL text, when known.
+    pub offset: Option<usize>,
+}
+
+impl SqlError {
+    /// Error at a known offset.
+    pub fn at(offset: usize, message: impl Into<String>) -> Self {
+        Self { message: message.into(), offset: Some(offset) }
+    }
+
+    /// Error without position information (binder/rewriter).
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into(), offset: None }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "sql error at byte {o}: {}", self.message),
+            None => write!(f, "sql error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,28 @@
+//! # staged-sql — the SQL front end
+//!
+//! The parse stage of the staged DBMS (paper Figure 3: "syntactic/semantic
+//! check, graph construct, type check, query rewrite"). A hand-written
+//! lexer and recursive-descent parser produce an AST; the binder resolves
+//! names against the catalog (the *common* symbol table of Table 1), type-
+//! checks expressions and validates aggregate usage; the rewriter folds
+//! constants and normalizes predicates into conjunctive form for the
+//! optimizer.
+//!
+//! For the §3.1.3 parse-affinity experiment the lexer and parser can be
+//! instrumented with a [`staged_cachesim::CacheProbe`] via
+//! [`parser::ParseInstrument`]: every token, keyword lookup and symbol-table
+//! probe touches a synthetic working set, so the measured cache behaviour is
+//! driven by real parsing control flow.
+
+pub mod ast;
+pub mod binder;
+pub mod error;
+pub mod parser;
+pub mod rewrite;
+pub mod token;
+
+pub use ast::{Expr, SelectStmt, Statement};
+pub use binder::{BindContext, Binder};
+pub use error::{SqlError, SqlResult};
+pub use parser::{parse_sql, parse_statement, ParseInstrument, Parser};
+pub use token::{Lexer, Token};

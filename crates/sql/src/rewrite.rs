@@ -1,0 +1,246 @@
+//! Query rewriting (the "query rewrite" box of the parse stage, Figure 3).
+//!
+//! Two transforms matter to the planner:
+//! * **constant folding** — literal arithmetic, boolean simplification and
+//!   degenerate predicates (`1 = 1`) are evaluated at rewrite time;
+//! * **conjunct splitting** — predicates are flattened into a list of
+//!   AND-ed conjuncts so the optimizer can push each one independently.
+
+use crate::ast::{BinOp, Expr, UnaryOp};
+use staged_storage::Value;
+
+/// Fold constants in-place; returns the (possibly simplified) expression.
+pub fn fold(expr: Expr) -> Expr {
+    match expr {
+        Expr::Binary { left, op, right } => {
+            let left = fold(*left);
+            let right = fold(*right);
+            // Boolean short circuits.
+            match (op, &left, &right) {
+                (BinOp::And, Expr::Literal(Value::Bool(true)), _) => return right,
+                (BinOp::And, _, Expr::Literal(Value::Bool(true))) => return left,
+                (BinOp::And, Expr::Literal(Value::Bool(false)), _)
+                | (BinOp::And, _, Expr::Literal(Value::Bool(false))) => {
+                    return Expr::Literal(Value::Bool(false))
+                }
+                (BinOp::Or, Expr::Literal(Value::Bool(false)), _) => return right,
+                (BinOp::Or, _, Expr::Literal(Value::Bool(false))) => return left,
+                (BinOp::Or, Expr::Literal(Value::Bool(true)), _)
+                | (BinOp::Or, _, Expr::Literal(Value::Bool(true))) => {
+                    return Expr::Literal(Value::Bool(true))
+                }
+                _ => {}
+            }
+            if let (Expr::Literal(l), Expr::Literal(r)) = (&left, &right) {
+                if let Some(v) = eval_const_binary(l, op, r) {
+                    return Expr::Literal(v);
+                }
+            }
+            Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+        }
+        Expr::Unary { op, expr } => {
+            let inner = fold(*expr);
+            match (op, &inner) {
+                (UnaryOp::Neg, Expr::Literal(Value::Int(i))) => Expr::Literal(Value::Int(-i)),
+                (UnaryOp::Neg, Expr::Literal(Value::Float(f))) => Expr::Literal(Value::Float(-f)),
+                (UnaryOp::Not, Expr::Literal(Value::Bool(b))) => Expr::Literal(Value::Bool(!b)),
+                _ => Expr::Unary { op, expr: Box::new(inner) },
+            }
+        }
+        Expr::Between { expr, lo, hi, negated } => Expr::Between {
+            expr: Box::new(fold(*expr)),
+            lo: Box::new(fold(*lo)),
+            hi: Box::new(fold(*hi)),
+            negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(fold(*expr)),
+            list: list.into_iter().map(fold).collect(),
+            negated,
+        },
+        Expr::IsNull { expr, negated } => {
+            let inner = fold(*expr);
+            if let Expr::Literal(v) = &inner {
+                return Expr::Literal(Value::Bool(v.is_null() != negated));
+            }
+            Expr::IsNull { expr: Box::new(inner), negated }
+        }
+        Expr::Agg { func, arg, distinct } => {
+            Expr::Agg { func, arg: arg.map(|a| Box::new(fold(*a))), distinct }
+        }
+        e @ (Expr::Literal(_) | Expr::Column(_) | Expr::Like { .. }) => e,
+    }
+}
+
+fn eval_const_binary(l: &Value, op: BinOp, r: &Value) -> Option<Value> {
+    use BinOp::*;
+    if l.is_null() || r.is_null() {
+        // NULL propagates through arithmetic; comparisons yield NULL too
+        // (treated as false by filters).
+        return Some(Value::Null);
+    }
+    if op.is_comparison() {
+        let ord = l.sql_cmp(r)?;
+        let b = match op {
+            Eq => ord.is_eq(),
+            NotEq => !ord.is_eq(),
+            Lt => ord.is_lt(),
+            LtEq => ord.is_le(),
+            Gt => ord.is_gt(),
+            GtEq => ord.is_ge(),
+            _ => unreachable!("comparison checked"),
+        };
+        return Some(Value::Bool(b));
+    }
+    match op {
+        And | Or => {
+            let (a, b) = (l.as_bool()?, r.as_bool()?);
+            Some(Value::Bool(if op == And { a && b } else { a || b }))
+        }
+        Add | Sub | Mul | Div | Mod => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => {
+                let v = match op {
+                    Add => a.checked_add(*b)?,
+                    Sub => a.checked_sub(*b)?,
+                    Mul => a.checked_mul(*b)?,
+                    Div => a.checked_div(*b)?,
+                    Mod => a.checked_rem(*b)?,
+                    _ => unreachable!(),
+                };
+                Some(Value::Int(v))
+            }
+            _ => {
+                let (a, b) = (l.as_float()?, r.as_float()?);
+                let v = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => {
+                        if b == 0.0 {
+                            return None;
+                        }
+                        a / b
+                    }
+                    Mod => {
+                        if b == 0.0 {
+                            return None;
+                        }
+                        a % b
+                    }
+                    _ => unreachable!(),
+                };
+                Some(Value::Float(v))
+            }
+        },
+        _ => None,
+    }
+}
+
+/// Split a predicate into its AND-ed conjuncts (after folding).
+pub fn split_conjuncts(expr: Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    collect_conjuncts(fold(expr), &mut out);
+    out
+}
+
+fn collect_conjuncts(expr: Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Binary { left, op: BinOp::And, right } => {
+            collect_conjuncts(*left, out);
+            collect_conjuncts(*right, out);
+        }
+        // TRUE conjuncts are vacuous.
+        Expr::Literal(Value::Bool(true)) => {}
+        e => out.push(e),
+    }
+}
+
+/// Re-join conjuncts into one predicate (`None` for an empty list).
+pub fn join_conjuncts(mut conjuncts: Vec<Expr>) -> Option<Expr> {
+    let first = if conjuncts.is_empty() { None } else { Some(conjuncts.remove(0)) };
+    conjuncts.into_iter().fold(first, |acc, c| {
+        Some(match acc {
+            Some(a) => Expr::binary(a, BinOp::And, c),
+            None => c,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use crate::ast::{SelectItem, Statement};
+
+    fn expr(sql: &str) -> Expr {
+        let Statement::Select(sel) = parse_statement(&format!("SELECT {sql}")).unwrap() else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = sel.items.into_iter().next().unwrap() else {
+            panic!()
+        };
+        expr
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        assert_eq!(fold(expr("1 + 2 * 3")), Expr::Literal(Value::Int(7)));
+        assert_eq!(fold(expr("10 / 4")), Expr::Literal(Value::Int(2)));
+        assert_eq!(fold(expr("10.0 / 4")), Expr::Literal(Value::Float(2.5)));
+        assert_eq!(fold(expr("-(3)")), Expr::Literal(Value::Int(-3)));
+    }
+
+    #[test]
+    fn division_by_zero_is_left_unfolded() {
+        // The executor reports the runtime error; folding must not panic.
+        let e = fold(expr("1 / 0"));
+        assert!(matches!(e, Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn folds_comparisons_and_boolean_logic() {
+        assert_eq!(fold(expr("1 = 1")), Expr::Literal(Value::Bool(true)));
+        assert_eq!(fold(expr("2 < 1")), Expr::Literal(Value::Bool(false)));
+        assert_eq!(fold(expr("NOT FALSE")), Expr::Literal(Value::Bool(true)));
+        assert_eq!(fold(expr("a = 1 AND TRUE")).to_string(), "(a = 1)");
+        assert_eq!(fold(expr("a = 1 AND FALSE")), Expr::Literal(Value::Bool(false)));
+        assert_eq!(fold(expr("a = 1 OR TRUE")), Expr::Literal(Value::Bool(true)));
+    }
+
+    #[test]
+    fn folds_null_semantics() {
+        assert_eq!(fold(expr("NULL + 1")), Expr::Literal(Value::Null));
+        assert_eq!(fold(expr("NULL IS NULL")), Expr::Literal(Value::Bool(true)));
+        assert_eq!(fold(expr("1 IS NULL")), Expr::Literal(Value::Bool(false)));
+        assert_eq!(fold(expr("1 IS NOT NULL")), Expr::Literal(Value::Bool(true)));
+    }
+
+    #[test]
+    fn splits_and_rejoins_conjuncts() {
+        let e = expr("a = 1 AND b > 2 AND (c < 3 OR d = 4)");
+        let cs = split_conjuncts(e.clone());
+        assert_eq!(cs.len(), 3);
+        let rejoined = join_conjuncts(cs).unwrap();
+        // Same leaves survive the round trip.
+        let mut names = vec![];
+        rejoined.visit_columns(&mut |c| names.push(c.name.clone()));
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+        assert_eq!(join_conjuncts(vec![]), None);
+    }
+
+    #[test]
+    fn vacuous_true_conjuncts_disappear() {
+        let cs = split_conjuncts(expr("TRUE AND a = 1 AND 1 = 1"));
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn overflow_is_not_folded() {
+        let e = fold(Expr::binary(
+            Expr::Literal(Value::Int(i64::MAX)),
+            BinOp::Add,
+            Expr::Literal(Value::Int(1)),
+        ));
+        assert!(matches!(e, Expr::Binary { .. }), "overflow left to runtime");
+    }
+}

@@ -1,0 +1,308 @@
+//! The system catalog: tables, indexes, statistics.
+//!
+//! In the paper's Table 1 the catalog is the canonical *common* data
+//! structure — touched by virtually every query during parsing and
+//! optimization. The engine layers record those touches; the catalog itself
+//! stays a plain shared registry.
+
+use crate::btree::BTree;
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::heap::HeapFile;
+use crate::schema::Schema;
+use crate::stats::{analyze, TableStats};
+use crate::value::DataType;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Table identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(pub u32);
+
+/// Index identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexId(pub u32);
+
+/// A registered table.
+pub struct TableInfo {
+    /// Id.
+    pub id: TableId,
+    /// Lower-cased name.
+    pub name: String,
+    /// Schema.
+    pub schema: Schema,
+    /// Row storage.
+    pub heap: Arc<HeapFile>,
+    /// Optimizer statistics (refreshed by [`Catalog::analyze_table`]).
+    pub stats: RwLock<TableStats>,
+}
+
+/// A registered index.
+pub struct IndexInfo {
+    /// Id.
+    pub id: IndexId,
+    /// Lower-cased name.
+    pub name: String,
+    /// Indexed table.
+    pub table: TableId,
+    /// Indexed column (must be `Int`).
+    pub column: usize,
+    /// The B+tree.
+    pub btree: Arc<BTree>,
+}
+
+#[derive(Default)]
+struct CatalogInner {
+    tables: HashMap<String, Arc<TableInfo>>,
+    tables_by_id: HashMap<TableId, Arc<TableInfo>>,
+    indexes: HashMap<String, Arc<IndexInfo>>,
+    next_table: u32,
+    next_index: u32,
+}
+
+/// The catalog.
+pub struct Catalog {
+    pool: Arc<BufferPool>,
+    inner: RwLock<CatalogInner>,
+}
+
+impl Catalog {
+    /// A catalog allocating storage from `pool`.
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        Self { pool, inner: RwLock::new(CatalogInner::default()) }
+    }
+
+    /// The shared buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Create a table.
+    pub fn create_table(&self, name: &str, schema: Schema) -> StorageResult<Arc<TableInfo>> {
+        let name = name.to_ascii_lowercase();
+        let mut inner = self.inner.write();
+        if inner.tables.contains_key(&name) {
+            return Err(StorageError::AlreadyExists(name));
+        }
+        let id = TableId(inner.next_table);
+        inner.next_table += 1;
+        let ncols = schema.len();
+        let info = Arc::new(TableInfo {
+            id,
+            name: name.clone(),
+            schema,
+            heap: Arc::new(HeapFile::create(Arc::clone(&self.pool))),
+            stats: RwLock::new(TableStats {
+                row_count: 0,
+                page_count: 0,
+                columns: vec![Default::default(); ncols],
+            }),
+        });
+        inner.tables.insert(name, Arc::clone(&info));
+        inner.tables_by_id.insert(id, Arc::clone(&info));
+        Ok(info)
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> StorageResult<Arc<TableInfo>> {
+        let name = name.to_ascii_lowercase();
+        self.inner
+            .read()
+            .tables
+            .get(&name)
+            .cloned()
+            .ok_or(StorageError::NotFound(name))
+    }
+
+    /// Look up a table by id.
+    pub fn table_by_id(&self, id: TableId) -> StorageResult<Arc<TableInfo>> {
+        self.inner
+            .read()
+            .tables_by_id
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(format!("table #{}", id.0)))
+    }
+
+    /// Drop a table and its indexes (pages are not reclaimed; see crate
+    /// docs on space reclamation).
+    pub fn drop_table(&self, name: &str) -> StorageResult<()> {
+        let name = name.to_ascii_lowercase();
+        let mut inner = self.inner.write();
+        let info = inner.tables.remove(&name).ok_or(StorageError::NotFound(name))?;
+        inner.tables_by_id.remove(&info.id);
+        inner.indexes.retain(|_, ix| ix.table != info.id);
+        Ok(())
+    }
+
+    /// All tables, sorted by name.
+    pub fn list_tables(&self) -> Vec<Arc<TableInfo>> {
+        let mut v: Vec<_> = self.inner.read().tables.values().cloned().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Create a B+tree index over an existing `Int` column, bulk-loading
+    /// current rows.
+    pub fn create_index(
+        &self,
+        name: &str,
+        table_name: &str,
+        column_name: &str,
+    ) -> StorageResult<Arc<IndexInfo>> {
+        let name = name.to_ascii_lowercase();
+        let table = self.table(table_name)?;
+        let column = table
+            .schema
+            .index_of(column_name)
+            .ok_or_else(|| StorageError::NotFound(format!("column {column_name}")))?;
+        if table.schema.column(column).ty != DataType::Int {
+            return Err(StorageError::SchemaMismatch(format!(
+                "index column {column_name} must be INT"
+            )));
+        }
+        {
+            let inner = self.inner.read();
+            if inner.indexes.contains_key(&name) {
+                return Err(StorageError::AlreadyExists(name));
+            }
+        }
+        let btree = Arc::new(BTree::create(Arc::clone(&self.pool))?);
+        for item in table.heap.scan() {
+            let (rid, tuple) = item?;
+            if let Some(k) = tuple.get(column).as_int() {
+                btree.insert(k, rid)?;
+            }
+        }
+        let mut inner = self.inner.write();
+        if inner.indexes.contains_key(&name) {
+            return Err(StorageError::AlreadyExists(name));
+        }
+        let id = IndexId(inner.next_index);
+        inner.next_index += 1;
+        let info =
+            Arc::new(IndexInfo { id, name: name.clone(), table: table.id, column, btree });
+        inner.indexes.insert(name, Arc::clone(&info));
+        Ok(info)
+    }
+
+    /// All indexes on a table.
+    pub fn indexes_for(&self, table: TableId) -> Vec<Arc<IndexInfo>> {
+        let mut v: Vec<_> = self
+            .inner
+            .read()
+            .indexes
+            .values()
+            .filter(|ix| ix.table == table)
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Index on a specific column of a table, if any.
+    pub fn index_on(&self, table: TableId, column: usize) -> Option<Arc<IndexInfo>> {
+        self.inner
+            .read()
+            .indexes
+            .values()
+            .find(|ix| ix.table == table && ix.column == column)
+            .cloned()
+    }
+
+    /// Recompute a table's statistics (the `ANALYZE` command).
+    pub fn analyze_table(&self, name: &str) -> StorageResult<()> {
+        let table = self.table(name)?;
+        let stats = analyze(&table.heap, &table.schema)?;
+        *table.stats.write() = stats;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use crate::schema::Column;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+
+    fn catalog() -> Catalog {
+        Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 256))
+    }
+
+    fn two_col() -> Schema {
+        Schema::new(vec![Column::new("id", DataType::Int), Column::new("name", DataType::Str)])
+    }
+
+    #[test]
+    fn create_and_lookup_case_insensitive() {
+        let c = catalog();
+        c.create_table("Users", two_col()).unwrap();
+        assert!(c.table("USERS").is_ok());
+        assert!(c.table("users").is_ok());
+        assert!(matches!(c.table("nope"), Err(StorageError::NotFound(_))));
+        assert!(matches!(c.create_table("users", two_col()), Err(StorageError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn drop_table_removes_indexes_too() {
+        let c = catalog();
+        let t = c.create_table("t", two_col()).unwrap();
+        t.heap.insert(&Tuple::new(vec![Value::Int(1), Value::Str("a".into())])).unwrap();
+        c.create_index("t_id", "t", "id").unwrap();
+        assert_eq!(c.indexes_for(t.id).len(), 1);
+        c.drop_table("t").unwrap();
+        assert!(c.table("t").is_err());
+        assert!(c.indexes_for(t.id).is_empty());
+    }
+
+    #[test]
+    fn index_bulk_load_and_probe() {
+        let c = catalog();
+        let t = c.create_table("t", two_col()).unwrap();
+        let mut rids = Vec::new();
+        for i in 0..200i64 {
+            rids.push(
+                t.heap.insert(&Tuple::new(vec![Value::Int(i), Value::Str(format!("n{i}"))])).unwrap(),
+            );
+        }
+        let ix = c.create_index("t_id", "t", "id").unwrap();
+        assert_eq!(ix.btree.search(42).unwrap(), vec![rids[42]]);
+        assert_eq!(c.index_on(t.id, 0).unwrap().id, ix.id);
+        assert!(c.index_on(t.id, 1).is_none());
+    }
+
+    #[test]
+    fn index_on_string_column_is_rejected() {
+        let c = catalog();
+        c.create_table("t", two_col()).unwrap();
+        assert!(matches!(
+            c.create_index("bad", "t", "name"),
+            Err(StorageError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn analyze_updates_stats() {
+        let c = catalog();
+        let t = c.create_table("t", two_col()).unwrap();
+        for i in 0..50i64 {
+            t.heap.insert(&Tuple::new(vec![Value::Int(i), Value::Str("x".into())])).unwrap();
+        }
+        assert_eq!(t.stats.read().row_count, 0);
+        c.analyze_table("t").unwrap();
+        assert_eq!(t.stats.read().row_count, 50);
+        assert_eq!(t.stats.read().columns[0].ndv, 50);
+    }
+
+    #[test]
+    fn list_tables_sorted() {
+        let c = catalog();
+        c.create_table("zeta", two_col()).unwrap();
+        c.create_table("alpha", two_col()).unwrap();
+        let names: Vec<String> = c.list_tables().iter().map(|t| t.name.clone()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

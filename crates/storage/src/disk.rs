@@ -1,0 +1,305 @@
+//! Disk managers: where pages live when they are not in the buffer pool.
+//!
+//! Two implementations share the [`DiskManager`] trait: [`MemDisk`] (pages
+//! in a `Vec`, with optional *simulated* per-I/O latency so experiments can
+//! make a workload I/O-bound deterministically — DESIGN.md §4, substitution
+//! 3) and [`FileDisk`] (a real file, for durability-flavoured tests).
+//! Both count reads and writes; the Figure 2 calibration and the stage
+//! monitors consume those counters.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{PageId, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// I/O counters of a disk manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct IoStats {
+    /// Pages read.
+    pub reads: u64,
+    /// Pages written.
+    pub writes: u64,
+    /// Pages allocated.
+    pub allocations: u64,
+}
+
+/// Abstract page store.
+pub trait DiskManager: Send + Sync {
+    /// Allocate a fresh page (zeroed) and return its id.
+    fn allocate(&self) -> StorageResult<PageId>;
+
+    /// Read a page into `buf` (`buf.len() == PAGE_SIZE`).
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> StorageResult<()>;
+
+    /// Write a page from `buf`.
+    fn write_page(&self, page: PageId, buf: &[u8]) -> StorageResult<()>;
+
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u64;
+
+    /// I/O counters.
+    fn stats(&self) -> IoStats;
+
+    /// Simulated or real expected per-I/O latency, if any (used by stage
+    /// logic to report I/O-blocked time to the monitors).
+    fn io_latency(&self) -> Option<Duration> {
+        None
+    }
+}
+
+struct Counters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocations: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Self {
+        Self {
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            allocations: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// In-memory disk with optional simulated latency and a capacity limit.
+pub struct MemDisk {
+    pages: Mutex<Vec<Box<[u8; PAGE_SIZE]>>>,
+    counters: Counters,
+    latency: Option<Duration>,
+    max_pages: u64,
+}
+
+impl MemDisk {
+    /// Unlimited in-memory disk with no latency.
+    pub fn new() -> Self {
+        Self {
+            pages: Mutex::new(Vec::new()),
+            counters: Counters::new(),
+            latency: None,
+            max_pages: u64::MAX,
+        }
+    }
+
+    /// Add a simulated latency applied to every read and write (a real
+    /// `sleep`, making I/O-bound workloads behave as such in wall-clock
+    /// experiments).
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Cap the disk at `max_pages` (allocation beyond it fails with
+    /// [`StorageError::DiskFull`] — used by failure-injection tests).
+    pub fn with_capacity(mut self, max_pages: u64) -> Self {
+        self.max_pages = max_pages;
+        self
+    }
+
+    fn pause(&self) {
+        if let Some(l) = self.latency {
+            std::thread::sleep(l);
+        }
+    }
+}
+
+impl Default for MemDisk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DiskManager for MemDisk {
+    fn allocate(&self) -> StorageResult<PageId> {
+        let mut pages = self.pages.lock();
+        if pages.len() as u64 >= self.max_pages {
+            return Err(StorageError::DiskFull);
+        }
+        pages.push(Box::new([0u8; PAGE_SIZE]));
+        self.counters.allocations.fetch_add(1, Ordering::Relaxed);
+        Ok(PageId(pages.len() as u64 - 1))
+    }
+
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        self.pause();
+        let pages = self.pages.lock();
+        let src = pages.get(page.0 as usize).ok_or(StorageError::InvalidPage(page.0))?;
+        buf.copy_from_slice(&src[..]);
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_page(&self, page: PageId, buf: &[u8]) -> StorageResult<()> {
+        self.pause();
+        let mut pages = self.pages.lock();
+        let dst = pages.get_mut(page.0 as usize).ok_or(StorageError::InvalidPage(page.0))?;
+        dst.copy_from_slice(buf);
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn stats(&self) -> IoStats {
+        self.counters.snapshot()
+    }
+
+    fn io_latency(&self) -> Option<Duration> {
+        self.latency
+    }
+}
+
+/// File-backed disk manager.
+pub struct FileDisk {
+    file: Mutex<File>,
+    num_pages: AtomicU64,
+    counters: Counters,
+}
+
+impl FileDisk {
+    /// Open (or create) a database file.
+    pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
+        let file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Self {
+            file: Mutex::new(file),
+            num_pages: AtomicU64::new(len / PAGE_SIZE as u64),
+            counters: Counters::new(),
+        })
+    }
+}
+
+impl DiskManager for FileDisk {
+    fn allocate(&self) -> StorageResult<PageId> {
+        let id = self.num_pages.fetch_add(1, Ordering::SeqCst);
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        f.write_all(&[0u8; PAGE_SIZE])?;
+        self.counters.allocations.fetch_add(1, Ordering::Relaxed);
+        Ok(PageId(id))
+    }
+
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        if page.0 >= self.num_pages.load(Ordering::SeqCst) {
+            return Err(StorageError::InvalidPage(page.0));
+        }
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(page.0 * PAGE_SIZE as u64))?;
+        f.read_exact(buf)?;
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_page(&self, page: PageId, buf: &[u8]) -> StorageResult<()> {
+        if page.0 >= self.num_pages.load(Ordering::SeqCst) {
+            return Err(StorageError::InvalidPage(page.0));
+        }
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(page.0 * PAGE_SIZE as u64))?;
+        f.write_all(buf)?;
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.num_pages.load(Ordering::SeqCst)
+    }
+
+    fn stats(&self) -> IoStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(disk: &dyn DiskManager) {
+        let p = disk.allocate().unwrap();
+        let mut w = [0u8; PAGE_SIZE];
+        w[0] = 0xAB;
+        w[PAGE_SIZE - 1] = 0xCD;
+        disk.write_page(p, &w).unwrap();
+        let mut r = [0u8; PAGE_SIZE];
+        disk.read_page(p, &mut r).unwrap();
+        assert_eq!(r[0], 0xAB);
+        assert_eq!(r[PAGE_SIZE - 1], 0xCD);
+        let s = disk.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.allocations, 1);
+    }
+
+    #[test]
+    fn mem_disk_roundtrip() {
+        roundtrip(&MemDisk::new());
+    }
+
+    #[test]
+    fn file_disk_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("staged-db-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk-roundtrip.db");
+        let _ = std::fs::remove_file(&path);
+        roundtrip(&FileDisk::open(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_disk_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("staged-db-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk-reopen.db");
+        let _ = std::fs::remove_file(&path);
+        {
+            let d = FileDisk::open(&path).unwrap();
+            let p = d.allocate().unwrap();
+            let mut w = [0u8; PAGE_SIZE];
+            w[7] = 42;
+            d.write_page(p, &w).unwrap();
+        }
+        let d2 = FileDisk::open(&path).unwrap();
+        assert_eq!(d2.num_pages(), 1);
+        let mut r = [0u8; PAGE_SIZE];
+        d2.read_page(PageId(0), &mut r).unwrap();
+        assert_eq!(r[7], 42);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn invalid_page_is_error() {
+        let d = MemDisk::new();
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(d.read_page(PageId(0), &mut buf).is_err());
+        assert!(d.write_page(PageId(5), &buf).is_err());
+    }
+
+    #[test]
+    fn capacity_limit_reports_disk_full() {
+        let d = MemDisk::new().with_capacity(2);
+        d.allocate().unwrap();
+        d.allocate().unwrap();
+        assert!(matches!(d.allocate(), Err(StorageError::DiskFull)));
+    }
+
+    #[test]
+    fn latency_is_reported() {
+        let d = MemDisk::new().with_latency(Duration::from_micros(50));
+        assert_eq!(d.io_latency(), Some(Duration::from_micros(50)));
+    }
+}

@@ -1,0 +1,36 @@
+//! The scheduling trade-off of paper §4.2 in miniature: compare the five
+//! policies on the production-line model at a few module-load fractions.
+//!
+//! ```sh
+//! cargo run --release --example scheduling_policies
+//! ```
+
+use staged_db::core::policy::Policy;
+use staged_db::sim::prodline::figure5_sweep;
+
+fn main() {
+    let fractions = [0.0, 0.1, 0.3, 0.6];
+    let series = figure5_sweep(&fractions, &Policy::figure5_set(), 7, 300.0);
+    println!("mean response time (s) at 95% load — miniature Figure 5");
+    print!("{:>14}", "policy");
+    for f in fractions {
+        print!(" {:>9}", format!("l={:.0}%", f * 100.0));
+    }
+    println!();
+    for s in &series {
+        print!("{:>14}", s.policy);
+        for (_, rt) in &s.points {
+            if *rt > 99.0 {
+                print!(" {:>9}", ">99");
+            } else {
+                print!(" {rt:>9.3}");
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nThe staged policies batch queries per module and pay each module's cache\n\
+         load once per batch; PS re-fetches it on almost every quantum. See\n\
+         `cargo run -p staged-bench --bin repro_fig5 --release` for the full figure."
+    );
+}

@@ -1,0 +1,121 @@
+//! Overload conditioning, back-pressure and self-tuning (paper §4.1.1,
+//! §4.4, §5.2).
+
+use staged_db::core::prelude::*;
+use staged_db::core::stage::StageResult;
+use staged_db::server::{ServerConfig, ServerError, StagedServer};
+use staged_db::storage::{BufferPool, Catalog, MemDisk};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn overloaded_server_rejects_rather_than_collapses() {
+    let catalog = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 256)));
+    let server = StagedServer::new(
+        catalog,
+        ServerConfig { queue_capacity: 4, control_workers: 1, execute_workers: 1, ..Default::default() },
+    );
+    server.execute_sql("CREATE TABLE t (x INT)").unwrap();
+    for i in 0..200 {
+        server.execute_sql(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    // Flood with slow-ish queries without consuming replies.
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut pending = Vec::new();
+    for _ in 0..300 {
+        match server.try_submit("SELECT COUNT(*) FROM t, t AS t2 WHERE t.x < t2.x") {
+            Ok(rx) => {
+                pending.push(rx);
+                accepted += 1;
+            }
+            Err(ServerError::Overloaded) => rejected += 1,
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+    assert!(rejected > 0, "admission control must kick in");
+    assert!(accepted > 0, "some work must be admitted");
+    // Everything admitted eventually completes (back-pressure, no collapse).
+    for rx in pending {
+        assert!(rx.recv_timeout(Duration::from_secs(60)).unwrap().is_ok());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn backpressure_blocks_producer_stage_without_deadlock() {
+    // A two-stage pipeline where the consumer is slow and its queue tiny:
+    // the producer's sends block (paper's freeze-the-thread behaviour) but
+    // the pipeline still drains completely.
+    let delivered = Arc::new(AtomicU64::new(0));
+    let d2 = Arc::clone(&delivered);
+    let mut b = StagedRuntime::<u64>::builder();
+    let first = b.add_stage(StageSpec::new(
+        "producer",
+        |p: u64, ctx: &StageCtx<'_, u64>| -> StageResult {
+            let sink = ctx.stage_id_of("slow-sink").expect("sink registered");
+            ctx.send(sink, p).map_err(|_| StageError::new("closed"))?;
+            Ok(())
+        },
+    ));
+    b.add_stage(
+        StageSpec::new(
+            "slow-sink",
+            move |_: u64, _: &StageCtx<'_, u64>| -> StageResult {
+                std::thread::sleep(Duration::from_micros(300));
+                d2.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            },
+        )
+        .with_queue_capacity(2),
+    );
+    let rt = b.build();
+    for i in 0..400 {
+        rt.enqueue(first, i).unwrap();
+    }
+    rt.shutdown();
+    assert_eq!(delivered.load(Ordering::Relaxed), 400);
+    let stats = rt.stats();
+    let sink = stats.iter().find(|s| s.name == "slow-sink").unwrap();
+    assert!(sink.queue.blocked_enqueues > 0, "back-pressure must have engaged");
+}
+
+#[test]
+fn autotuner_grows_backlogged_stage_and_shrinks_idle_one() {
+    let mut b = StagedRuntime::<u32>::builder();
+    let busy = b.add_stage(
+        StageSpec::new("busy", |_: u32, _: &StageCtx<'_, u32>| -> StageResult {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok(())
+        })
+        .with_queue_capacity(1024)
+        .with_workers(1),
+    );
+    let idle = b.add_stage(
+        StageSpec::new("idle", |_: u32, _: &StageCtx<'_, u32>| -> StageResult { Ok(()) })
+            .with_workers(4),
+    );
+    let rt = b.build();
+    let tuner = AutoTuner::spawn(
+        rt.clone(),
+        TuneConfig {
+            max_workers: 8,
+            grow_depth_per_worker: 2.0,
+            interval: Duration::from_millis(25),
+            ..Default::default()
+        },
+    );
+    for i in 0..600 {
+        rt.enqueue(busy, i).unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while (rt.workers(busy) < 3 || rt.workers(idle) > 2) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(rt.workers(busy) >= 3, "busy stage should gain workers (got {})", rt.workers(busy));
+    assert!(rt.workers(idle) <= 2, "idle stage should shed workers (got {})", rt.workers(idle));
+    let decisions = tuner.stop();
+    assert!(decisions.iter().any(|d| d.stage == "busy" && d.to > d.from));
+    rt.shutdown();
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration: the staged server and the threaded baseline
+//! must agree on every query, end to end through SQL.
+
+use staged_db::planner::PlannerConfig;
+use staged_db::server::types::ExecutionMode;
+use staged_db::server::{QueryOutput, ServerConfig, StagedServer, ThreadedServer};
+use staged_db::storage::{BufferPool, Catalog, MemDisk};
+use staged_db::workload::load_wisconsin_table;
+use std::sync::Arc;
+
+fn catalog() -> Arc<Catalog> {
+    let cat = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 2048)));
+    load_wisconsin_table(&cat, "wisc1", 3000, 1).unwrap();
+    load_wisconsin_table(&cat, "wisc2", 600, 2).unwrap();
+    cat
+}
+
+fn canonical(out: &QueryOutput) -> Vec<String> {
+    let mut rows: Vec<String> = out.rows.iter().map(|r| r.to_string()).collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn staged_and_threaded_servers_agree_on_a_query_battery() {
+    let cat = catalog();
+    let staged = StagedServer::new(Arc::clone(&cat), ServerConfig::default());
+    let threaded = ThreadedServer::new(Arc::clone(&cat), 4, PlannerConfig::default());
+    let battery = [
+        "SELECT COUNT(*) FROM wisc1",
+        "SELECT * FROM wisc1 WHERE unique1 = 77",
+        "SELECT unique2 FROM wisc1 WHERE unique1 BETWEEN 100 AND 160",
+        "SELECT ten, COUNT(*), SUM(unique1) FROM wisc1 GROUP BY ten HAVING COUNT(*) > 10",
+        "SELECT DISTINCT four FROM wisc1",
+        "SELECT wisc1.unique1 FROM wisc1, wisc2 \
+         WHERE wisc1.unique1 = wisc2.unique1 AND wisc2.two = 0",
+        "SELECT COUNT(*) FROM wisc1, wisc2 WHERE wisc1.unique1 < wisc2.unique1 \
+         AND wisc2.unique1 < 20 AND wisc1.unique1 > 10",
+        "SELECT unique1 FROM wisc1 WHERE stringu1 LIKE 'AAAA%' ORDER BY unique1 LIMIT 10",
+        "SELECT twenty, AVG(unique2) FROM wisc1 WHERE two = 1 GROUP BY twenty",
+    ];
+    for sql in battery {
+        let a = staged.execute_sql(sql).unwrap_or_else(|e| panic!("staged {sql}: {e}"));
+        let b = threaded.execute_sql(sql).unwrap_or_else(|e| panic!("threaded {sql}: {e}"));
+        assert_eq!(canonical(&a), canonical(&b), "divergence on {sql}");
+    }
+    staged.shutdown();
+    threaded.shutdown();
+}
+
+#[test]
+fn volcano_mode_server_matches_staged_mode_server() {
+    let cat = catalog();
+    let volcano_mode = StagedServer::new(
+        Arc::clone(&cat),
+        ServerConfig { mode: ExecutionMode::Volcano, ..Default::default() },
+    );
+    let staged_mode = StagedServer::new(Arc::clone(&cat), ServerConfig::default());
+    for sql in [
+        "SELECT four, COUNT(*) FROM wisc1 GROUP BY four",
+        "SELECT wisc1.ten, COUNT(*) FROM wisc1, wisc2 \
+         WHERE wisc1.unique1 = wisc2.unique1 GROUP BY wisc1.ten",
+    ] {
+        let a = volcano_mode.execute_sql(sql).unwrap();
+        let b = staged_mode.execute_sql(sql).unwrap();
+        assert_eq!(canonical(&a), canonical(&b), "divergence on {sql}");
+    }
+    volcano_mode.shutdown();
+    staged_mode.shutdown();
+}
+
+#[test]
+fn dml_visible_across_both_servers() {
+    let cat = catalog();
+    let staged = StagedServer::new(Arc::clone(&cat), ServerConfig::default());
+    let threaded = ThreadedServer::new(Arc::clone(&cat), 2, PlannerConfig::default());
+    staged.execute_sql("CREATE TABLE log (id INT, note VARCHAR(20))").unwrap();
+    staged.execute_sql("INSERT INTO log VALUES (1, 'from staged')").unwrap();
+    threaded.execute_sql("INSERT INTO log VALUES (2, 'from threaded')").unwrap();
+    let out = staged.execute_sql("SELECT COUNT(*) FROM log").unwrap();
+    assert_eq!(out.rows[0].to_string(), "[2]");
+    threaded.execute_sql("UPDATE log SET note = 'edited' WHERE id = 1").unwrap();
+    let out = staged.execute_sql("SELECT note FROM log WHERE id = 1").unwrap();
+    assert_eq!(out.rows[0].to_string(), "['edited']");
+    staged.execute_sql("DELETE FROM log WHERE id = 2").unwrap();
+    let out = threaded.execute_sql("SELECT COUNT(*) FROM log").unwrap();
+    assert_eq!(out.rows[0].to_string(), "[1]");
+    staged.shutdown();
+    threaded.shutdown();
+}
+
+#[test]
+fn prepared_statements_bypass_parse_and_optimize() {
+    let cat = catalog();
+    let server = StagedServer::new(cat, ServerConfig::default());
+    server.prepare("p42", "SELECT unique2 FROM wisc1 WHERE unique1 = 42").unwrap();
+    let direct = server.execute_sql("SELECT unique2 FROM wisc1 WHERE unique1 = 42").unwrap();
+    let stats_before = server.stage_stats();
+    let prepared = server.execute_prepared("p42").recv().unwrap().unwrap();
+    assert_eq!(canonical(&direct), canonical(&prepared));
+    let stats_after = server.stage_stats();
+    let parse = |s: &[staged_db::core::monitor::StageStats]| {
+        s.iter().find(|x| x.name == "parse").unwrap().processed
+    };
+    assert_eq!(
+        parse(&stats_before),
+        parse(&stats_after),
+        "prepared execution must not touch the parse stage"
+    );
+    assert!(matches!(
+        server.execute_prepared("nope").recv().unwrap(),
+        Err(staged_db::server::ServerError::UnknownPrepared(_))
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn explain_reports_physical_plan() {
+    let cat = catalog();
+    let server = StagedServer::new(cat, ServerConfig::default());
+    let out = server
+        .execute_sql("EXPLAIN SELECT * FROM wisc1 WHERE unique1 = 5")
+        .unwrap();
+    let text: String = out.rows.iter().map(|r| r.to_string()).collect();
+    assert!(text.contains("IndexScan"), "expected index plan, got {text}");
+    server.shutdown();
+}
+
+#[test]
+fn errors_propagate_with_messages() {
+    let cat = catalog();
+    let server = StagedServer::new(cat, ServerConfig::default());
+    assert!(server.execute_sql("SELECT nope FROM wisc1").is_err());
+    assert!(server.execute_sql("FROB THE KNOB").is_err());
+    assert!(server.execute_sql("SELECT 1 / 0 FROM wisc1 LIMIT 1").is_err());
+    // Server still serves after errors.
+    assert!(server.execute_sql("SELECT COUNT(*) FROM wisc1").is_ok());
+    server.shutdown();
+}

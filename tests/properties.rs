@@ -1,0 +1,140 @@
+//! Property-based tests on core invariants (proptest).
+
+use proptest::prelude::*;
+use staged_db::core::coop::{CoopConfig, CoopExecutor, Job};
+use staged_db::core::policy::Policy;
+use staged_db::sql::parser::parse_statement;
+use staged_db::storage::btree::BTree;
+use staged_db::storage::page::{SlottedPage, PAGE_SIZE};
+use staged_db::storage::{BufferPool, MemDisk, PageId, Rid, Tuple, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,40}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tuples survive encode → decode for arbitrary value mixes.
+    #[test]
+    fn tuple_roundtrip(values in prop::collection::vec(arb_value(), 0..12)) {
+        let t = Tuple::new(values);
+        let decoded = Tuple::decode(&t.encode()).unwrap();
+        prop_assert_eq!(t, decoded);
+    }
+
+    /// Slotted pages return exactly what was inserted, in slot order, and
+    /// never overflow their byte budget.
+    #[test]
+    fn slotted_page_roundtrip(records in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 1..300), 1..40)
+    ) {
+        let mut page = vec![0u8; PAGE_SIZE];
+        SlottedPage::init(&mut page);
+        let mut accepted = Vec::new();
+        for r in &records {
+            if let Some(slot) = SlottedPage::insert(&mut page, r) {
+                accepted.push((slot, r.clone()));
+            }
+        }
+        prop_assert!(!accepted.is_empty());
+        for (slot, bytes) in &accepted {
+            prop_assert_eq!(SlottedPage::get(&page, PageId(0), *slot).unwrap(), &bytes[..]);
+        }
+        let live: Vec<(u16, Vec<u8>)> =
+            SlottedPage::iter(&page).map(|(s, b)| (s, b.to_vec())).collect();
+        prop_assert_eq!(live, accepted);
+    }
+
+    /// The page-backed B+tree agrees with a BTreeMap model under random
+    /// insert/delete/range workloads.
+    #[test]
+    fn btree_matches_model(ops in prop::collection::vec(
+        (any::<bool>(), -200i64..200, 0u16..4), 1..300)
+    ) {
+        let tree = BTree::create(BufferPool::new(Arc::new(MemDisk::new()), 512)).unwrap();
+        // Duplicates are allowed, so the model is a multiset.
+        let mut model: BTreeMap<(i64, Rid), usize> = BTreeMap::new();
+        for (is_insert, key, slot) in ops {
+            let rid = Rid::new(PageId(7), slot);
+            if is_insert {
+                tree.insert(key, rid).unwrap();
+                *model.entry((key, rid)).or_insert(0) += 1;
+            } else {
+                let present = match model.get_mut(&(key, rid)) {
+                    Some(c) => {
+                        *c -= 1;
+                        if *c == 0 {
+                            model.remove(&(key, rid));
+                        }
+                        true
+                    }
+                    None => false,
+                };
+                prop_assert_eq!(tree.delete(key, rid).unwrap(), present);
+            }
+        }
+        let got = tree.range(None, None).unwrap();
+        let want: Vec<(i64, Rid)> = model
+            .iter()
+            .flat_map(|((k, r), c)| std::iter::repeat((*k, *r)).take(*c))
+            .collect();
+        prop_assert_eq!(got.len(), want.len());
+        // Keys come back sorted; rids per key may be in insertion order, so
+        // compare as multisets per key.
+        let mut got_sorted = got.clone();
+        got_sorted.sort();
+        prop_assert_eq!(got_sorted, want);
+    }
+
+    /// Printing a parsed statement and reparsing it is a fixpoint.
+    #[test]
+    fn parser_print_reparse_fixpoint(
+        cols in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..4),
+        lit in -1000i64..1000,
+        limit in 1u64..100,
+    ) {
+        let sql = format!(
+            "SELECT {} FROM tbl WHERE {} < {} ORDER BY {} DESC LIMIT {}",
+            cols.join(", "), cols[0], lit, cols[0], limit
+        );
+        if let Ok(stmt) = parse_statement(&sql) {
+            let printed = stmt.to_string();
+            let reparsed = parse_statement(&printed).unwrap();
+            prop_assert_eq!(stmt, reparsed);
+        }
+    }
+
+    /// The cooperative executor conserves work and completes every job
+    /// under every policy.
+    #[test]
+    fn coop_executor_conserves_work(
+        demands in prop::collection::vec((0.001f64..0.1, 0.001f64..0.1), 1..40),
+        policy_idx in 0usize..5,
+    ) {
+        let policy = Policy::figure5_set()[policy_idx];
+        let jobs: Vec<Job> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, (a, b))| Job { id: i as u64, arrival: i as f64 * 0.01, demands: vec![*a, *b] })
+            .collect();
+        let total: f64 = demands.iter().map(|(a, b)| a + b).sum();
+        let exec = CoopExecutor::new(CoopConfig::uniform(2, 0.005, policy));
+        let report = exec.run(jobs);
+        prop_assert_eq!(report.completions.len(), demands.len());
+        prop_assert!((report.total_work_time - total).abs() < 1e-6);
+        // Response times are at least the job's own demand.
+        for c in &report.completions {
+            let (a, b) = demands[c.id as usize];
+            prop_assert!(c.response() >= a + b - 1e-9);
+        }
+    }
+}
