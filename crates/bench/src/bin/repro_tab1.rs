@@ -46,15 +46,15 @@ fn main() {
 
     headline("Table 1 (paper, qualitative)");
     println!(
-        "{:<10} {:<44} {}",
-        "class", "data", "code"
+        "{:<10} {:<44} code",
+        "class", "data"
     );
     println!(
-        "{:<10} {:<44} {}",
-        "PRIVATE", "query execution plan, client state, results", "—"
+        "{:<10} {:<44} —",
+        "PRIVATE", "query execution plan, client state, results"
     );
-    println!("{:<10} {:<44} {}", "SHARED", "tables, indices", "operator-specific code");
-    println!("{:<10} {:<44} {}", "COMMON", "catalog, symbol table", "rest of DBMS code");
+    println!("{:<10} {:<44} operator-specific code", "SHARED", "tables, indices");
+    println!("{:<10} {:<44} rest of DBMS code", "COMMON", "catalog, symbol table");
     println!(
         "\nReading: the measured matrix instantiates the paper's taxonomy on a live\n\
          workload — every class the paper names is populated, private code stays empty,\n\

@@ -183,7 +183,7 @@ impl AddressSpace {
     pub fn alloc(&mut self, len: u64) -> Region {
         const ALIGN: u64 = 4096;
         let base = self.next;
-        self.next += (len + ALIGN - 1) / ALIGN * ALIGN;
+        self.next += len.div_ceil(ALIGN) * ALIGN;
         Region { base, len }
     }
 }

@@ -338,7 +338,7 @@ mod tests {
         let s = b.add_stage(StageSpec::new(
             "flaky",
             |p: u32, _ctx: &StageCtx<'_, u32>| -> StageResult {
-                if p % 2 == 0 {
+                if p.is_multiple_of(2) {
                     Err(crate::StageError::new("even packets fail"))
                 } else {
                     Ok(())

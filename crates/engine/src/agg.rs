@@ -68,12 +68,12 @@ impl Accumulator {
                 }
             },
             AggFunc::Min => {
-                if self.min.as_ref().map_or(true, |m| v.total_cmp(m).is_lt()) {
+                if self.min.as_ref().is_none_or(|m| v.total_cmp(m).is_lt()) {
                     self.min = Some(v.clone());
                 }
             }
             AggFunc::Max => {
-                if self.max.as_ref().map_or(true, |m| v.total_cmp(m).is_gt()) {
+                if self.max.as_ref().is_none_or(|m| v.total_cmp(m).is_gt()) {
                     self.max = Some(v.clone());
                 }
             }

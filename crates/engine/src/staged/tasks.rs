@@ -736,21 +736,15 @@ impl OperatorTask for MergeJoinTask {
         if self.output.is_none() {
             let mut moved = 0usize;
             while moved < quota {
-                match self.left.next() {
-                    Some(t) => {
-                        self.lrows.push(t);
-                        moved += 1;
-                        continue;
-                    }
-                    None => {}
+                if let Some(t) = self.left.next() {
+                    self.lrows.push(t);
+                    moved += 1;
+                    continue;
                 }
-                match self.right.next() {
-                    Some(t) => {
-                        self.rrows.push(t);
-                        moved += 1;
-                        continue;
-                    }
-                    None => {}
+                if let Some(t) = self.right.next() {
+                    self.rrows.push(t);
+                    moved += 1;
+                    continue;
                 }
                 if self.left.finished() && self.right.finished() {
                     break;

@@ -282,8 +282,10 @@ fn plan_access_path(
         pages * cm.seq_page + rows * (cm.cpu_tuple + conjuncts.len() as f64 * cm.cpu_pred),
     );
 
-    let mut best_index: Option<(usize, (Option<i64>, Option<i64>), f64, Arc<staged_storage::catalog::IndexInfo>)> =
-        None;
+    // (conjunct index, key bounds, selectivity, index) of the best sargable
+    // index found so far.
+    type IndexChoice = (usize, (Option<i64>, Option<i64>), f64, Arc<staged_storage::catalog::IndexInfo>);
+    let mut best_index: Option<IndexChoice> = None;
     if config.enable_index_scan {
         for ix in catalog.indexes_for(table.id) {
             for (ci, c) in conjuncts.iter().enumerate() {

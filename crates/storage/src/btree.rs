@@ -245,7 +245,7 @@ impl BTree {
 
     fn read_node(&self, page: PageId) -> StorageResult<Node> {
         let guard = self.pool.fetch(page)?;
-        guard.read(|d| decode_node(d))
+        guard.read(decode_node)
     }
 
     fn write_node(&self, page: PageId, node: &Node) -> StorageResult<()> {

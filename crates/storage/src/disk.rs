@@ -174,7 +174,9 @@ pub struct FileDisk {
 impl FileDisk {
     /// Open (or create) a database file.
     pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
-        let file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
+        // Never truncate: opening an existing database must keep its pages.
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
         Ok(Self {
             file: Mutex::new(file),

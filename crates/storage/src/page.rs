@@ -77,7 +77,7 @@ impl SlottedPage {
     }
 
     /// Read a record by slot; `InvalidSlot` for out-of-range or deleted.
-    pub fn get<'a>(data: &'a [u8], page: PageId, slot: u16) -> StorageResult<&'a [u8]> {
+    pub fn get(data: &[u8], page: PageId, slot: u16) -> StorageResult<&[u8]> {
         let slots = Self::num_slots(data);
         if slot >= slots {
             return Err(StorageError::InvalidSlot { page: page.0, slot });

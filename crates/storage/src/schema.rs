@@ -101,23 +101,21 @@ impl Schema {
         }
         for (v, c) in tuple.values().iter().zip(&self.columns) {
             match v.data_type() {
-                None => {
-                    if !c.nullable {
+                None
+                    if !c.nullable => {
                         return Err(StorageError::SchemaMismatch(format!(
                             "column {} is not nullable",
                             c.name
                         )));
                     }
-                }
-                Some(t) if t != c.ty => {
+                Some(t) if t != c.ty
                     // Int is acceptable where Float is declared.
-                    if !(c.ty == DataType::Float && t == DataType::Int) {
+                    && !(c.ty == DataType::Float && t == DataType::Int) => {
                         return Err(StorageError::SchemaMismatch(format!(
                             "column {} expects {}, got {}",
                             c.name, c.ty, t
                         )));
                     }
-                }
                 _ => {}
             }
         }

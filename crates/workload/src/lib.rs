@@ -60,7 +60,7 @@ pub fn wisconsin_rows(rows: usize, seed: u64) -> Vec<Tuple> {
                 Value::Int(u1 % one_pct),
                 Value::Int(u1 % ten_pct),
                 Value::Str(format!("{}{:08}", strings[(u1 % 4) as usize], u1)),
-                Value::Str(strings[(i % 4) as usize].to_string()),
+                Value::Str(strings[i % 4].to_string()),
             ])
         })
         .collect()

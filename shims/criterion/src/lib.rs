@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Implements the subset `benches/micro.rs` uses — `Criterion`,
+//! `benchmark_group`, `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros — as a simple wall-clock
+//! timer: each benchmark is warmed up briefly, then timed over a fixed
+//! number of batches and reported as mean ns/iter on stdout. No statistics,
+//! plots, or CLI; enough for `cargo bench` to run and stay honest.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity; the
+/// shim re-runs setup per batch regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_batch: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(iters_per_batch: u64) -> Self {
+        Self { iters_per_batch, samples: Vec::new() }
+    }
+
+    /// Time `routine` over repeated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..SAMPLES {
+            let mut total = Duration::ZERO;
+            for _ in 0..self.iters_per_batch {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.samples.push(total);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let iters = self.iters_per_batch.max(1) * self.samples.len() as u64;
+        let total: Duration = self.samples.iter().sum();
+        let mean_ns = total.as_nanos() as f64 / iters as f64;
+        println!("{name:<40} {mean_ns:>14.1} ns/iter ({iters} iters)");
+    }
+}
+
+const SAMPLES: usize = 10;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(name.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower/raise the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name.as_ref()), self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (no-op; for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Calibrate: run once with a single iteration to size batches so one
+    // sample lands near ~5ms (keeps total runtime bounded for slow benches).
+    let mut probe = Bencher::new(1);
+    let start = Instant::now();
+    f(&mut probe);
+    let elapsed = start.elapsed().max(Duration::from_nanos(1));
+    let per_iter = elapsed.as_nanos() as u64 / (SAMPLES as u64).max(1);
+    let target_ns = 5_000_000u64;
+    let iters = (target_ns / per_iter.max(1)).clamp(1, 100_000 * sample_size as u64);
+    let mut b = Bencher::new(iters);
+    f(&mut b);
+    b.report(name);
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut n = 0u32;
+        g.bench_function("count", |b| {
+            n += 1;
+            b.iter_batched(|| 3u32, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(n >= 1);
+    }
+}

@@ -1,0 +1,367 @@
+//! MPMC channels: `bounded` / `unbounded`, cloneable [`Sender`] and
+//! [`Receiver`], blocking `send`/`recv` with back-pressure, timeouts, and
+//! disconnection when the last handle on either side drops.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Sending on a channel with no remaining receivers returns the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Receiving from an empty channel with no remaining senders fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Why a `try_recv` returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel is empty but senders remain.
+    Empty,
+    /// Channel is empty and all senders are gone.
+    Disconnected,
+}
+
+/// Why a `recv_timeout` returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The wait timed out with senders still connected.
+    Timeout,
+    /// Channel is empty and all senders are gone.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: Option<usize>,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects for
+/// receivers once every clone is dropped.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half of a channel. Cloneable (MPMC); the channel
+/// disconnects for senders once every clone is dropped.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// Channel that holds at most `cap` in-flight messages; `send` blocks while
+/// full (back-pressure).
+///
+/// Unlike real crossbeam, `cap == 0` (rendezvous hand-off) is not supported
+/// by this shim and panics rather than silently buffering.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded(0) rendezvous channels are not supported by the offline shim");
+    new_channel(Some(cap))
+}
+
+/// Channel with no capacity bound; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    new_channel(None)
+}
+
+fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (Sender(Arc::clone(&shared)), Receiver(shared))
+}
+
+impl<T> Sender<T> {
+    /// Deliver `value`, blocking while a bounded channel is at capacity.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.0.lock();
+        if let Some(cap) = self.0.capacity {
+            while inner.queue.len() >= cap && inner.receivers > 0 {
+                inner = self
+                    .0
+                    .not_full
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        if inner.receivers == 0 {
+            return Err(SendError(value));
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().senders += 1;
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.lock();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            drop(inner);
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Take the next message, blocking until one arrives or every sender is
+    /// gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.0.lock();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .0
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Take the next message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.0.lock();
+        if let Some(v) = inner.queue.pop_front() {
+            drop(inner);
+            self.0.not_full.notify_one();
+            return Ok(v);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Take the next message, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.0.lock();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (g, res) = self
+                .0
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = g;
+            if res.timed_out() && inner.queue.is_empty() {
+                return Err(if inner.senders == 0 {
+                    RecvTimeoutError::Disconnected
+                } else {
+                    RecvTimeoutError::Timeout
+                });
+            }
+        }
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.lock().queue.len()
+    }
+
+    /// True when no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator over messages; ends when the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().receivers += 1;
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.lock();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            drop(inner);
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Borrowing iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Owning iterator: ends when the channel disconnects.
+pub struct IntoIter<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { rx: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2).is_ok());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(t.join().unwrap());
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn mpmc_clones_share_stream() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        let a = rx.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        assert_eq!(a + b, 3);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn iter_drains_then_ends() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for the `crossbeam` crate (see `shims/README.md`).
+//!
+//! Provides `crossbeam::channel` — multi-producer **multi-consumer**
+//! channels with the crossbeam API shape (`bounded`, `unbounded`, cloneable
+//! `Sender`/`Receiver`, disconnect-on-last-drop). Implemented from scratch on
+//! `std::sync` because std's mpsc receiver is not cloneable.
+
+pub mod channel;

@@ -1,0 +1,394 @@
+//! Offline stand-in for the `proptest` crate (see `shims/README.md`).
+//!
+//! Generate-only property testing: strategies produce random values from a
+//! deterministic [`rand::rngs::StdRng`], the `proptest!` macro runs each
+//! test body over `ProptestConfig::cases` generated cases, and the
+//! `prop_assert*` macros are plain panicking asserts. There is **no
+//! shrinking** — a failing case reports the panic directly. The supported
+//! strategy combinators are the ones this workspace's tests use: integer /
+//! float ranges, `any::<T>()`, `Just`, `prop_map`, `prop_oneof!`, tuples,
+//! `prop::collection::vec`, and character-class string patterns like
+//! `"[a-z][a-z0-9_]{0,8}"`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values (the shim collapses proptest's value-tree
+/// model to direct generation; no shrinking).
+pub trait Strategy {
+    type Value;
+
+    /// Produce one random value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Strategy for any value of `T` (see [`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String patterns: a sequence of character classes, each optionally
+/// followed by a `{lo,hi}` repetition (the subset of regex syntax the
+/// workspace's tests use, e.g. `"[a-z][a-z0-9_]{0,8}"`).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                out.push(chars[rng.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parse a pattern into (character set, min repeats, max repeats) atoms.
+fn parse_pattern(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let mut atoms = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                for d in it.by_ref() {
+                    match d {
+                        ']' => break,
+                        '-' if prev.is_some() => {
+                            // Range like a-z: peek handled on next iteration
+                            // by storing a marker; emit below.
+                            class.push('\u{0}'); // range marker
+                        }
+                        d => {
+                            if class.last() == Some(&'\u{0}') {
+                                class.pop();
+                                let lo = prev.expect("range start");
+                                class.pop();
+                                for ch in lo..=d {
+                                    class.push(ch);
+                                }
+                                prev = None;
+                            } else {
+                                class.push(d);
+                                prev = Some(d);
+                            }
+                        }
+                    }
+                }
+                class
+            }
+            lit => vec![lit],
+        };
+        let (lo, hi) = if it.peek() == Some(&'{') {
+            it.next();
+            let spec: String = it.by_ref().take_while(|&d| d != '}').collect();
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("bad repetition min"),
+                    b.trim().parse().expect("bad repetition max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((chars, lo, hi));
+    }
+    atoms
+}
+
+macro_rules! strategy_tuple {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_tuple! {
+    (S0 0)
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+}
+
+/// Uniform choice between boxed alternative strategies (`prop_oneof!`).
+pub struct OneOf<V>(pub Vec<Box<dyn Strategy<Value = V>>>);
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Range, StdRng, Strategy};
+    use rand::Rng;
+
+    /// Vec of values from `element`, with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Mirrors `proptest::prop` (the crate root) for `prop::collection::vec`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! One-stop imports, like the real crate's prelude.
+
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Deterministic per-test RNG, seeded from an FNV-1a hash of the test name
+/// (used by the `proptest!` expansion; public so the macro can reach it).
+#[doc(hidden)]
+pub fn test_rng(name: &str) -> StdRng {
+    let seed = name
+        .bytes()
+        .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3));
+    StdRng::seed_from_u64(seed)
+}
+
+/// Run named property tests over generated cases.
+///
+/// Supports an optional leading `#![proptest_config(..)]`, then any number
+/// of `fn name(binding in strategy, ...) { body }` items with attributes
+/// (including `#[test]`, which passes through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Panic unless the condition holds (no shrinking, so a plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Panic unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Uniformly choose one of several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf(vec![
+            $(Box::new($s) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_ident_like() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn pattern_class_with_space() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9 ]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_branch() {
+        let strat = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vec_respects_len_range() {
+        let strat = collection::vec(any::<u8>(), 2..5);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(x in 0i64..100, pair in (0u16..4, -5i64..5)) {
+            prop_assert!((0..100).contains(&x));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((-5..5).contains(&pair.1));
+        }
+    }
+}

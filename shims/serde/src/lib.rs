@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate (see `shims/README.md`).
+//!
+//! The workspace only uses `#[derive(serde::Serialize)]` as a marker on
+//! metrics/stats structs — nothing actually serializes them yet. The shim
+//! therefore ships a marker [`Serialize`] trait with a blanket impl and a
+//! no-op derive macro, so the derives compile and a future PR can swap in
+//! the real serde without touching the sources.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+// Re-export the derive macro under the same path as the real crate, so
+// `#[derive(serde::Serialize)]` resolves (macro and trait namespaces are
+// distinct, so both names coexist).
+pub use serde_derive::Serialize;

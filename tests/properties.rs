@@ -85,7 +85,7 @@ proptest! {
         let got = tree.range(None, None).unwrap();
         let want: Vec<(i64, Rid)> = model
             .iter()
-            .flat_map(|((k, r), c)| std::iter::repeat((*k, *r)).take(*c))
+            .flat_map(|((k, r), c)| std::iter::repeat_n((*k, *r), *c))
             .collect();
         prop_assert_eq!(got.len(), want.len());
         // Keys come back sorted; rids per key may be in insertion order, so
