@@ -3,8 +3,8 @@
 use crate::error::{EngineError, EngineResult};
 use staged_planner::AggSpec;
 use staged_sql::ast::AggFunc;
-use staged_storage::Value;
-use std::collections::HashSet;
+use staged_storage::{Tuple, Value};
+use std::collections::{HashMap, HashSet};
 
 /// Running state of one aggregate.
 #[derive(Debug, Clone)]
@@ -112,6 +112,125 @@ impl Accumulator {
     }
 }
 
+/// Combines partially-aggregated rows into final aggregate values — the
+/// merge half of two-phase (partition-parallel) aggregation, shared by the
+/// Volcano `MergeAggExec` and the staged `MergeAggTask`.
+///
+/// Input rows have the layout `group values ⧺ partial values`, where the
+/// partial columns follow [`staged_planner::partial_agg_specs`]'s expansion
+/// of the final aggregate list (COUNT/SUM/MIN/MAX → one column, AVG → SUM
+/// then COUNT). Combination reuses [`Accumulator`]s: partial COUNTs are
+/// summed, partial SUMs summed, partial MIN/MAX re-minimized/-maximized.
+pub struct AggMerger {
+    group_len: usize,
+    aggs: Vec<AggSpec>,
+    groups: Vec<(Vec<Value>, Vec<Accumulator>)>,
+    index: HashMap<Vec<u8>, usize>,
+}
+
+impl AggMerger {
+    /// A merger for `aggs` final aggregates under `group_len` group keys.
+    pub fn new(group_len: usize, aggs: Vec<AggSpec>) -> Self {
+        Self { group_len, aggs, groups: Vec::new(), index: HashMap::new() }
+    }
+
+    /// One combine accumulator per *partial* column.
+    fn combine_accs(&self) -> Vec<Accumulator> {
+        let mut accs = Vec::new();
+        for a in &self.aggs {
+            let acc = |func| {
+                Accumulator::new(&AggSpec { func, arg: None, distinct: false })
+            };
+            match a.func {
+                // Final COUNT = sum of partial counts.
+                AggFunc::Count | AggFunc::Sum => accs.push(acc(AggFunc::Sum)),
+                AggFunc::Min => accs.push(acc(AggFunc::Min)),
+                AggFunc::Max => accs.push(acc(AggFunc::Max)),
+                // AVG carries (partial sum, partial count).
+                AggFunc::Avg => {
+                    accs.push(acc(AggFunc::Sum));
+                    accs.push(acc(AggFunc::Sum));
+                }
+            }
+        }
+        accs
+    }
+
+    /// Absorb one partially-aggregated row.
+    pub fn absorb(&mut self, t: &Tuple) -> EngineResult<()> {
+        let vals = t.values();
+        if vals.len() < self.group_len {
+            return Err(EngineError::Internal("short partial-aggregate row".into()));
+        }
+        let key_vals = &vals[..self.group_len];
+        let mut key_bytes = Vec::new();
+        for v in key_vals {
+            v.encode(&mut key_bytes);
+        }
+        let slot = match self.index.get(&key_bytes) {
+            Some(&s) => s,
+            None => {
+                self.groups.push((key_vals.to_vec(), self.combine_accs()));
+                self.index.insert(key_bytes, self.groups.len() - 1);
+                self.groups.len() - 1
+            }
+        };
+        let accs = &mut self.groups[slot].1;
+        if vals.len() != self.group_len + accs.len() {
+            return Err(EngineError::Internal(format!(
+                "partial-aggregate row has {} columns, expected {}",
+                vals.len(),
+                self.group_len + accs.len()
+            )));
+        }
+        for (acc, v) in accs.iter_mut().zip(&vals[self.group_len..]) {
+            acc.update(v)?;
+        }
+        Ok(())
+    }
+
+    /// Finish every group: `group values ⧺ final aggregate values`.
+    pub fn finish(mut self) -> Vec<Tuple> {
+        // Global aggregation over zero partial rows still yields one row
+        // (cannot normally happen — every partial emits its global row —
+        // but keep the semantics aligned with HashAggregate).
+        if self.groups.is_empty() && self.group_len == 0 {
+            self.groups.push((Vec::new(), self.combine_accs()));
+        }
+        let mut out = Vec::with_capacity(self.groups.len());
+        for (mut vals, accs) in self.groups {
+            let mut c = 0usize;
+            for a in &self.aggs {
+                match a.func {
+                    AggFunc::Count => {
+                        // Sum of partial counts; an all-skipped sum is NULL,
+                        // which COUNT semantics map back to 0.
+                        let v = accs[c].finish();
+                        vals.push(Value::Int(v.as_int().unwrap_or(0)));
+                        c += 1;
+                    }
+                    AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                        vals.push(accs[c].finish());
+                        c += 1;
+                    }
+                    AggFunc::Avg => {
+                        let sum = accs[c].finish();
+                        let count = accs[c + 1].finish().as_int().unwrap_or(0);
+                        vals.push(if count == 0 {
+                            Value::Null
+                        } else {
+                            Value::Float(sum.as_float().unwrap_or(0.0) / count as f64)
+                        });
+                        c += 2;
+                    }
+                }
+            }
+            out.push(Tuple::new(vals));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +293,49 @@ mod tests {
         s.update(&Value::Int(1)).unwrap();
         s.update(&Value::Float(0.5)).unwrap();
         assert_eq!(s.finish(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn merger_combines_partial_states_per_group() {
+        // Final aggs: COUNT(*), SUM(x), MIN(x), AVG(x) → partial layout
+        // count | sum | min | avg-sum | avg-count after one group column.
+        let aggs = vec![
+            spec(AggFunc::Count, false),
+            spec(AggFunc::Sum, false),
+            spec(AggFunc::Min, false),
+            spec(AggFunc::Avg, false),
+        ];
+        let mut m = AggMerger::new(1, aggs);
+        // Partition 1: group 7 saw rows {1, 3}; partition 2: group 7 saw {5}.
+        m.absorb(&Tuple::new(vec![
+            Value::Int(7), Value::Int(2), Value::Int(4), Value::Int(1), Value::Int(4), Value::Int(2),
+        ]))
+        .unwrap();
+        m.absorb(&Tuple::new(vec![
+            Value::Int(7), Value::Int(1), Value::Int(5), Value::Int(5), Value::Int(5), Value::Int(1),
+        ]))
+        .unwrap();
+        let rows = m.finish();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].values(),
+            &[Value::Int(7), Value::Int(3), Value::Int(9), Value::Int(1), Value::Float(3.0)]
+        );
+    }
+
+    #[test]
+    fn merger_global_aggregate_handles_empty_partials() {
+        let aggs = vec![spec(AggFunc::Count, false), spec(AggFunc::Sum, false), spec(AggFunc::Avg, false)];
+        let mut m = AggMerger::new(0, aggs);
+        // Two partitions, both empty: each partial emits COUNT 0, SUM NULL,
+        // AVG partials (NULL, 0).
+        for _ in 0..2 {
+            m.absorb(&Tuple::new(vec![Value::Int(0), Value::Null, Value::Null, Value::Int(0)]))
+                .unwrap();
+        }
+        let rows = m.finish();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values(), &[Value::Int(0), Value::Null, Value::Null]);
     }
 
     #[test]

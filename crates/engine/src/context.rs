@@ -12,17 +12,27 @@ pub struct ExecContext {
     pub catalog: Arc<Catalog>,
     /// Optional memory-reference tracker (paper Table 1).
     pub tracker: Option<Arc<RefTracker>>,
+    /// Hash partitions for tables created through this context's DDL path
+    /// (scoped here, not on the shared catalog, so two servers over one
+    /// catalog can use different partitioning).
+    pub ddl_partitions: usize,
 }
 
 impl ExecContext {
     /// Context without instrumentation.
     pub fn new(catalog: Arc<Catalog>) -> Self {
-        Self { catalog, tracker: None }
+        Self { catalog, tracker: None, ddl_partitions: 1 }
     }
 
     /// Attach a reference tracker.
     pub fn with_tracker(mut self, tracker: Arc<RefTracker>) -> Self {
         self.tracker = Some(tracker);
+        self
+    }
+
+    /// Set the partition count for DDL-created tables.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.ddl_partitions = partitions.max(1);
         self
     }
 

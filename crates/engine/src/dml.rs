@@ -22,11 +22,11 @@ pub fn insert_rows(
     let mut n = 0;
     for row in rows {
         table.schema.validate(&row)?;
-        let rid = table.heap.insert(&row)?;
+        let (part, rid) = table.heap.insert_routed(&row)?;
         ctx.note_page_ref();
         for ix in &indexes {
             if let Some(k) = row.get(ix.column).as_int() {
-                ix.btree.insert(k, rid)?;
+                ix.insert(part, k, rid)?;
             }
         }
         if let Some((wal, xid)) = wal {
@@ -54,10 +54,26 @@ pub fn matching_rids(
     let mut out = Vec::new();
     match &plan {
         PhysicalPlan::IndexScan { index, lo, hi, predicate: residual, .. } => {
-            for (_, rid) in index.btree.range(*lo, *hi)? {
+            let pruned = table.pruned_partition(index.column, *lo, *hi);
+            for (_, rid) in index.range_in(pruned, *lo, *hi)? {
                 ctx.note_page_ref();
                 let t = table.heap.get(rid)?;
                 if match residual {
+                    Some(p) => eval_predicate(p, &t)?,
+                    None => true,
+                } {
+                    out.push((rid, t));
+                }
+            }
+        }
+        // A pruned partition scan (predicate pins the hash key): DML only
+        // has to read the one partition that can hold matches. The scan
+        // keeps the full predicate, so hash collisions are filtered here.
+        PhysicalPlan::PartitionScan { partition, predicate: pruned_pred, .. } => {
+            for item in table.heap.scan_partition(*partition) {
+                let (rid, t) = item?;
+                ctx.note_page_ref();
+                if match pruned_pred {
                     Some(p) => eval_predicate(p, &t)?,
                     None => true,
                 } {
@@ -92,10 +108,11 @@ pub fn delete_rows(
     let indexes = ctx.catalog.indexes_for(table.id);
     let mut n = 0;
     for (rid, row) in victims {
+        let part = table.heap.partition_of(&row);
         table.heap.delete(rid)?;
         for ix in &indexes {
             if let Some(k) = row.get(ix.column).as_int() {
-                ix.btree.delete(k, rid)?;
+                ix.delete(part, k, rid)?;
             }
         }
         if let Some((wal, xid)) = wal {
@@ -128,13 +145,15 @@ pub fn update_rows(
         }
         let new = Tuple::new(vals);
         table.schema.validate(&new)?;
+        let old_part = table.heap.partition_of(&old);
+        let new_part = table.heap.partition_of(&new);
         let new_rid = table.heap.update(rid, &new)?;
         for ix in &indexes {
             if let Some(k) = old.get(ix.column).as_int() {
-                ix.btree.delete(k, rid)?;
+                ix.delete(old_part, k, rid)?;
             }
             if let Some(k) = new.get(ix.column).as_int() {
-                ix.btree.insert(k, new_rid)?;
+                ix.insert(new_part, k, new_rid)?;
             }
         }
         if let Some((wal, xid)) = wal {
@@ -149,6 +168,56 @@ pub fn update_rows(
         n += 1;
     }
     Ok(n)
+}
+
+/// Redo recovery: replay every durable WAL record into the catalog's
+/// (freshly re-created, empty) tables. Inserts re-route through the hash
+/// partitioner and rebuild per-partition index entries, so a partitioned
+/// table comes back with exactly the layout it had before the crash. Rids
+/// in the log are translated through a map because page allocation order
+/// after restart need not match the original run.
+///
+/// Returns the number of records applied.
+pub fn redo(ctx: &ExecContext, wal: &Wal) -> EngineResult<u64> {
+    use std::collections::HashMap;
+    let mut rid_map: HashMap<(u32, Rid), Rid> = HashMap::new();
+    let mut applied = 0u64;
+    for rec in wal.read_all()? {
+        match rec {
+            LogRecord::Insert { table, rid, bytes, .. } => {
+                let info = ctx.catalog.table_by_id(staged_storage::catalog::TableId(table))?;
+                let row = Tuple::decode(&bytes)?;
+                let (part, new_rid) = info.heap.insert_routed(&row)?;
+                for ix in ctx.catalog.indexes_for(info.id) {
+                    if let Some(k) = row.get(ix.column).as_int() {
+                        ix.insert(part, k, new_rid)?;
+                    }
+                }
+                rid_map.insert((table, rid), new_rid);
+                applied += 1;
+            }
+            LogRecord::Delete { table, rid, .. } => {
+                let info = ctx.catalog.table_by_id(staged_storage::catalog::TableId(table))?;
+                let new_rid = match rid_map.remove(&(table, rid)) {
+                    Some(r) => r,
+                    // A delete of a row whose insert predates the log's
+                    // start; nothing to redo.
+                    None => continue,
+                };
+                let row = info.heap.get(new_rid)?;
+                let part = info.heap.partition_of(&row);
+                info.heap.delete(new_rid)?;
+                for ix in ctx.catalog.indexes_for(info.id) {
+                    if let Some(k) = row.get(ix.column).as_int() {
+                        ix.delete(part, k, new_rid)?;
+                    }
+                }
+                applied += 1;
+            }
+            LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => {}
+        }
+    }
+    Ok(applied)
 }
 
 #[cfg(test)]
@@ -186,7 +255,7 @@ mod tests {
         let (ctx, t) = setup();
         assert_eq!(insert_rows(&ctx, &t, rows(100), None).unwrap(), 100);
         let ix = ctx.catalog.index_on(t.id, 0).unwrap();
-        assert_eq!(ix.btree.search(42).unwrap().len(), 1);
+        assert_eq!(ix.search(42).unwrap().len(), 1);
         assert_eq!(t.heap.count().unwrap(), 100);
     }
 
@@ -198,7 +267,7 @@ mod tests {
         let pred = Some(Expr::binary(col(0), BinOp::Eq, Expr::int(7)));
         assert_eq!(delete_rows(&ctx, &t, &pred, None).unwrap(), 1);
         let ix = ctx.catalog.index_on(t.id, 0).unwrap();
-        assert!(ix.btree.search(7).unwrap().is_empty());
+        assert!(ix.search(7).unwrap().is_empty());
         assert_eq!(t.heap.count().unwrap(), 99);
     }
 
@@ -210,11 +279,46 @@ mod tests {
         let sets = vec![(0usize, Expr::int(333)), (1usize, Expr::binary(col(1), BinOp::Add, Expr::int(1)))];
         assert_eq!(update_rows(&ctx, &t, &sets, &pred, None).unwrap(), 1);
         let ix = ctx.catalog.index_on(t.id, 0).unwrap();
-        assert!(ix.btree.search(3).unwrap().is_empty());
-        let hits = ix.btree.search(333).unwrap();
+        assert!(ix.search(3).unwrap().is_empty());
+        let hits = ix.search(333).unwrap();
         assert_eq!(hits.len(), 1);
         let row = t.heap.get(hits[0]).unwrap();
         assert_eq!(row.values(), &[Value::Int(333), Value::Int(7)]);
+    }
+
+    #[test]
+    fn partitioned_dml_maintains_per_partition_indexes() {
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 256);
+        let catalog = Arc::new(Catalog::new(pool));
+        let t = catalog
+            .create_table_partitioned(
+                "t",
+                Schema::new(vec![
+                    Column::new("id", DataType::Int),
+                    Column::new("v", DataType::Int),
+                ]),
+                4,
+                0,
+            )
+            .unwrap();
+        catalog.create_index("t_id", "t", "id").unwrap();
+        let ctx = ExecContext::new(Arc::clone(&catalog));
+        insert_rows(&ctx, &t, rows(100), None).unwrap();
+        ctx.catalog.analyze_table("t").unwrap();
+        let ix = ctx.catalog.index_on(t.id, 0).unwrap();
+        // Keyed delete prunes to one partition and cleans its tree.
+        let pred = Some(Expr::binary(col(0), BinOp::Eq, Expr::int(7)));
+        assert_eq!(delete_rows(&ctx, &t, &pred, None).unwrap(), 1);
+        assert!(ix.search(7).unwrap().is_empty());
+        // Keyed update moves the row (and its index entry) to the new
+        // key's partition.
+        let pred = Some(Expr::binary(col(0), BinOp::Eq, Expr::int(9)));
+        let sets = vec![(0usize, Expr::int(900))];
+        assert_eq!(update_rows(&ctx, &t, &sets, &pred, None).unwrap(), 1);
+        assert!(ix.search(9).unwrap().is_empty());
+        let p = staged_storage::partition_of_value(&Value::Int(900), 4);
+        assert_eq!(ix.btree_for(p).search(900).unwrap().len(), 1);
+        assert_eq!(t.heap.count().unwrap(), 99);
     }
 
     #[test]

@@ -49,18 +49,22 @@ pub enum StageKind {
     Join,
     /// Aggregation (and duplicate elimination).
     Aggr,
+    /// Partition-parallel convergence: exchange unions and partial-
+    /// aggregate merges (paper §6).
+    Merge,
     /// Result delivery to the client.
     Send,
 }
 
 impl StageKind {
     /// All engine stages, in pipeline order.
-    pub const ALL: [StageKind; 6] = [
+    pub const ALL: [StageKind; 7] = [
         StageKind::FScan,
         StageKind::IScan,
         StageKind::Sort,
         StageKind::Join,
         StageKind::Aggr,
+        StageKind::Merge,
         StageKind::Send,
     ];
 
@@ -72,6 +76,7 @@ impl StageKind {
             StageKind::Sort => "sort",
             StageKind::Join => "join",
             StageKind::Aggr => "aggr",
+            StageKind::Merge => "merge",
             StageKind::Send => "send",
         }
     }
@@ -254,7 +259,7 @@ impl Default for EngineConfig {
     }
 }
 
-/// The staged execution engine: six stages over a [`StagedRuntime`].
+/// The staged execution engine: seven stages over a [`StagedRuntime`].
 pub struct StagedEngine {
     runtime: StagedRuntime<TaskPacket>,
     stage_ids: Vec<(StageKind, StageId)>,

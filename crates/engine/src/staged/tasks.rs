@@ -5,6 +5,7 @@ use super::{
     apply_transforms, Activator, EngineConfig, ExchangeBuffer, OperatorTask, QueryCtl,
     StageKind, StagedEngine, StepResult, TaskPacket, Transform, TupleBatch,
 };
+use crate::agg::AggMerger;
 use crate::context::ExecContext;
 use crate::error::{EngineError, EngineResult};
 use crate::expr::{eval, eval_predicate};
@@ -12,8 +13,7 @@ use crate::volcano::sort_tuples;
 use staged_planner::{AggSpec, PhysicalPlan};
 use staged_sql::ast::Expr;
 use staged_storage::catalog::{IndexInfo, TableInfo};
-use staged_storage::heap::HeapScan;
-use staged_storage::{Tuple, Value};
+use staged_storage::{Rid, StorageResult, Tuple, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::AtomicI64;
 use std::sync::Arc;
@@ -198,6 +198,45 @@ fn build(
                 engine.enqueue(StageKind::FScan, TaskPacket { ctl, task: Box::new(task) });
             }
         }
+        PhysicalPlan::PartitionScan { table, partition, predicate } => {
+            // A partial scan: one partition, one fscan packet. Partition
+            // pipelines are never shared — each belongs to exactly one
+            // Exchange (or is already pruned to a single partition).
+            let mut ts = Vec::new();
+            if let Some(p) = predicate {
+                ts.push(Transform::Filter(p.clone()));
+            }
+            ts.extend(transforms);
+            let task = ScanTask {
+                ctx,
+                scan: table.heap.scan_partition(*partition),
+                transforms: ts,
+                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+                input_done: false,
+            };
+            engine.enqueue(StageKind::FScan, TaskPacket { ctl, task: Box::new(task) });
+        }
+        PhysicalPlan::Exchange { inputs } => {
+            // N independent partial pipelines converge at one union task on
+            // the merge stage; the first page from any child activates it.
+            fan_in(engine, inputs, out, parent, ctl, cfg, |intakes, emitter| {
+                Box::new(UnionTask { inputs: intakes, transforms, emitter })
+            });
+        }
+        PhysicalPlan::MergeAggregate { inputs, group_by_len, aggs } => {
+            // Partial-aggregate pipelines (each a full fscan→filter→agg
+            // chain) converge at the combining task on the merge stage.
+            fan_in(engine, inputs, out, parent, ctl, cfg, |intakes, emitter| {
+                Box::new(MergeAggTask {
+                    inputs: intakes,
+                    merger: Some(AggMerger::new(*group_by_len, aggs.clone())),
+                    results: None,
+                    pos: 0,
+                    transforms,
+                    emitter,
+                })
+            });
+        }
         PhysicalPlan::IndexScan { table, index, lo, hi, predicate } => {
             let mut ts = Vec::new();
             if let Some(p) = predicate {
@@ -342,6 +381,34 @@ fn build(
     }
 }
 
+/// Shared fan-in wiring for the merge-stage tasks: one exchange buffer +
+/// intake per partial pipeline, the convergence task parked on the merge
+/// stage behind a single activator (first page from any child wakes it),
+/// then every child pipeline built against its buffer.
+fn fan_in(
+    engine: &Arc<StagedEngine>,
+    inputs: &[PhysicalPlan],
+    out: Arc<ExchangeBuffer>,
+    parent: Arc<Activator>,
+    ctl: Arc<QueryCtl>,
+    cfg: &EngineConfig,
+    make_task: impl FnOnce(Vec<Intake>, Emitter) -> Box<dyn OperatorTask>,
+) {
+    let act = engine.make_activator();
+    let mut intakes = Vec::with_capacity(inputs.len());
+    let mut bufs = Vec::with_capacity(inputs.len());
+    for _ in inputs {
+        let b = ExchangeBuffer::new(cfg.buffer_depth);
+        intakes.push(Intake::new(Arc::clone(&b)));
+        bufs.push(b);
+    }
+    let task = make_task(intakes, Emitter::new(out, parent, cfg.batch_capacity));
+    act.park(engine.stage_id(StageKind::Merge), TaskPacket { ctl: Arc::clone(&ctl), task });
+    for (input, buf) in inputs.iter().zip(bufs) {
+        build(engine, input, buf, Vec::new(), Arc::clone(&act), Arc::clone(&ctl), cfg);
+    }
+}
+
 /// Emit through the transform chain; returns `Ok(true)` if a tuple reached
 /// the emitter.
 fn emit_transformed(
@@ -360,15 +427,18 @@ fn emit_transformed(
 
 // ---------------------------------------------------------------- scans --
 
-pub(super) struct ScanTask {
+/// Sequential scan task, generic over the row source so it serves both
+/// whole-table scans ([`staged_storage::partition::PartitionedScan`]) and
+/// single-partition partial scans ([`staged_storage::heap::HeapScan`]).
+pub(super) struct ScanTask<S> {
     pub ctx: ExecContext,
-    pub scan: HeapScan,
+    pub scan: S,
     pub transforms: Vec<Transform>,
     pub emitter: Emitter,
     pub input_done: bool,
 }
 
-impl OperatorTask for ScanTask {
+impl<S: Iterator<Item = StorageResult<(Rid, Tuple)>> + Send> OperatorTask for ScanTask<S> {
     fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
         let mut produced = 0usize;
         while produced < quota {
@@ -411,7 +481,10 @@ pub(super) struct IndexScanTask {
 impl OperatorTask for IndexScanTask {
     fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
         if self.rids.is_none() {
-            let pairs = self.index.btree.range(self.lo, self.hi)?;
+            // A probe pinning the hash-key column only needs that
+            // partition's tree.
+            let pruned = self.table.pruned_partition(self.index.column, self.lo, self.hi);
+            let pairs = self.index.range_in(pruned, self.lo, self.hi)?;
             self.ctx.note_page_ref();
             self.rids = Some(pairs.into_iter().map(|(_, r)| r).collect());
         }
@@ -499,6 +572,103 @@ fn drain_materialized(
         produced += 1;
     }
     Ok(StepResult::Working)
+}
+
+// ---------------------------------------------------------------- merge --
+
+/// Bag union of N partial pipelines (the staged `Exchange`): forwards
+/// whatever any input has ready, so fast partitions never wait for slow
+/// ones.
+pub(super) struct UnionTask {
+    pub inputs: Vec<Intake>,
+    pub transforms: Vec<Transform>,
+    pub emitter: Emitter,
+}
+
+impl OperatorTask for UnionTask {
+    fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
+        let mut moved = 0usize;
+        loop {
+            let mut any = false;
+            for i in 0..self.inputs.len() {
+                loop {
+                    if moved >= quota {
+                        return Ok(StepResult::Working);
+                    }
+                    if !self.emitter.ready() {
+                        return Ok(if moved > 0 { StepResult::Working } else { StepResult::Blocked });
+                    }
+                    match self.inputs[i].next() {
+                        Some(t) => {
+                            emit_transformed(&mut self.emitter, &self.transforms, t)?;
+                            moved += 1;
+                            any = true;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            if !any {
+                if self.inputs.iter().all(Intake::finished) {
+                    return if self.emitter.finish() {
+                        Ok(StepResult::Done)
+                    } else {
+                        Ok(StepResult::Blocked)
+                    };
+                }
+                return Ok(if moved > 0 { StepResult::Working } else { StepResult::Blocked });
+            }
+        }
+    }
+}
+
+/// Combine N partial-aggregation pipelines into final aggregate rows (the
+/// staged `MergeAggregate`): absorbs partial rows as they arrive from any
+/// partition, finishes once every input closes.
+pub(super) struct MergeAggTask {
+    pub inputs: Vec<Intake>,
+    pub merger: Option<AggMerger>,
+    pub results: Option<Vec<Tuple>>,
+    pub pos: usize,
+    pub transforms: Vec<Transform>,
+    pub emitter: Emitter,
+}
+
+impl OperatorTask for MergeAggTask {
+    fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
+        if self.results.is_none() {
+            let merger = self.merger.as_mut().expect("merger present until finish");
+            let mut consumed = 0usize;
+            loop {
+                let mut any = false;
+                for i in 0..self.inputs.len() {
+                    loop {
+                        if consumed >= quota {
+                            return Ok(StepResult::Working);
+                        }
+                        match self.inputs[i].next() {
+                            Some(t) => {
+                                merger.absorb(&t)?;
+                                consumed += 1;
+                                any = true;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                if !any {
+                    if self.inputs.iter().all(Intake::finished) {
+                        break;
+                    }
+                    return Ok(if consumed > 0 { StepResult::Working } else { StepResult::Blocked });
+                }
+            }
+            let merger = self.merger.take().expect("merger present until finish");
+            self.results = Some(merger.finish());
+        }
+        let rows = self.results.as_ref().expect("computed above");
+        drain_materialized(&mut self.pos, rows, &self.transforms, &mut self.emitter, quota)
+    }
 }
 
 // ------------------------------------------------------------ aggregate --

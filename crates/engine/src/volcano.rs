@@ -6,15 +6,14 @@
 //! design improves on. Correctness-wise both engines are equivalent and the
 //! integration tests diff them query-by-query.
 
-use crate::agg::Accumulator;
+use crate::agg::{Accumulator, AggMerger};
 use crate::context::ExecContext;
 use crate::error::{EngineError, EngineResult};
 use crate::expr::{eval, eval_predicate};
 use staged_planner::{AggSpec, PhysicalPlan};
 use staged_sql::ast::Expr;
 use staged_storage::catalog::{IndexInfo, TableInfo};
-use staged_storage::heap::HeapScan;
-use staged_storage::{Tuple, Value};
+use staged_storage::{Rid, StorageResult, Tuple, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -33,6 +32,31 @@ pub fn build(plan: &PhysicalPlan, ctx: &ExecContext) -> EngineResult<Box<dyn Exe
                 ctx: ctx.clone(),
                 scan: table.heap.scan(),
                 predicate: predicate.clone(),
+            })
+        }
+        PhysicalPlan::PartitionScan { table, partition, predicate } => {
+            ctx.note_module_entry(4096);
+            Box::new(SeqScanExec {
+                ctx: ctx.clone(),
+                scan: table.heap.scan_partition(*partition),
+                predicate: predicate.clone(),
+            })
+        }
+        PhysicalPlan::Exchange { inputs } => {
+            // The Volcano equivalent of the staged engine's parallel merge:
+            // a *sequential* union over the same partial plans, so the
+            // differential tests compare identical plan shapes.
+            let children = inputs.iter().map(|i| build(i, ctx)).collect::<EngineResult<_>>()?;
+            Box::new(ExchangeExec { children, cur: 0 })
+        }
+        PhysicalPlan::MergeAggregate { inputs, group_by_len, aggs } => {
+            ctx.note_operator_code(4096);
+            let children = inputs.iter().map(|i| build(i, ctx)).collect::<EngineResult<_>>()?;
+            Box::new(MergeAggExec {
+                inputs: Some(children),
+                merger: Some(AggMerger::new(*group_by_len, aggs.clone())),
+                results: Vec::new(),
+                pos: 0,
             })
         }
         PhysicalPlan::IndexScan { table, index, lo, hi, predicate } => {
@@ -130,13 +154,13 @@ pub fn run(plan: &PhysicalPlan, ctx: &ExecContext) -> EngineResult<Vec<Tuple>> {
     Ok(out)
 }
 
-struct SeqScanExec {
+struct SeqScanExec<I> {
     ctx: ExecContext,
-    scan: HeapScan,
+    scan: I,
     predicate: Option<Expr>,
 }
 
-impl Executor for SeqScanExec {
+impl<I: Iterator<Item = StorageResult<(Rid, Tuple)>>> Executor for SeqScanExec<I> {
     fn next(&mut self) -> EngineResult<Option<Tuple>> {
         for item in self.scan.by_ref() {
             let (_, tuple) = item?;
@@ -147,6 +171,53 @@ impl Executor for SeqScanExec {
             }
         }
         Ok(None)
+    }
+}
+
+/// Sequential union over partition-partial plans.
+struct ExchangeExec {
+    children: Vec<Box<dyn Executor>>,
+    cur: usize,
+}
+
+impl Executor for ExchangeExec {
+    fn next(&mut self) -> EngineResult<Option<Tuple>> {
+        while self.cur < self.children.len() {
+            if let Some(t) = self.children[self.cur].next()? {
+                return Ok(Some(t));
+            }
+            self.cur += 1;
+        }
+        Ok(None)
+    }
+}
+
+/// Drain every partial-aggregation input, combine the partial states, then
+/// emit final rows.
+struct MergeAggExec {
+    inputs: Option<Vec<Box<dyn Executor>>>,
+    merger: Option<AggMerger>,
+    results: Vec<Tuple>,
+    pos: usize,
+}
+
+impl Executor for MergeAggExec {
+    fn next(&mut self) -> EngineResult<Option<Tuple>> {
+        if let Some(mut inputs) = self.inputs.take() {
+            let mut merger = self.merger.take().expect("merger set at build");
+            for input in inputs.iter_mut() {
+                while let Some(t) = input.next()? {
+                    merger.absorb(&t)?;
+                }
+            }
+            self.results = merger.finish();
+        }
+        if self.pos < self.results.len() {
+            self.pos += 1;
+            Ok(Some(self.results[self.pos - 1].clone()))
+        } else {
+            Ok(None)
+        }
     }
 }
 
@@ -168,7 +239,10 @@ impl IndexScanExec {
         hi: Option<i64>,
         predicate: Option<Expr>,
     ) -> Self {
-        let (rids, err) = match index.btree.range(lo, hi) {
+        // A probe pinning the hash-key column only needs that partition's
+        // tree.
+        let pruned = table.pruned_partition(index.column, lo, hi);
+        let (rids, err) = match index.range_in(pruned, lo, hi) {
             Ok(pairs) => (pairs.into_iter().map(|(_, r)| r).collect(), None),
             Err(e) => (Vec::new(), Some(EngineError::Storage(e))),
         };

@@ -204,6 +204,170 @@ fn concurrent_queries_share_one_engine() {
     engine.shutdown();
 }
 
+// ------------------------------------------------------- partitioned --
+//
+// The partition-parallel differential suite: the same Wisconsin-style data
+// loaded at 1, 2, 4 and 8 partitions must return identical (sorted) result
+// sets from both engines, for every supported query shape. The staged
+// engine runs the partial pipelines on real worker threads, so this also
+// exercises the merge stage under genuine interleaving.
+
+const WIS_ROWS: i64 = 2000;
+
+/// Deterministic Wisconsin-style rows (no RNG available here):
+/// `unique1` = a bijective permutation of 0..n (271 is prime and coprime to
+/// the row count), plus the usual small-domain selector columns.
+fn wisconsin_like_row(i: i64) -> Tuple {
+    let u1 = (i * 271) % WIS_ROWS;
+    Tuple::new(vec![
+        Value::Int(u1),
+        Value::Int(i),
+        Value::Int(u1 % 2),
+        Value::Int(u1 % 10),
+        Value::Int(u1 % 20),
+        Value::Str(format!("s{}", u1 % 4)),
+    ])
+}
+
+fn setup_partitioned(parts: usize, with_index: bool) -> Arc<Catalog> {
+    let pool = BufferPool::new(Arc::new(MemDisk::new()), 2048);
+    let cat = Arc::new(Catalog::new(pool));
+    let w = cat
+        .create_table_partitioned(
+            "w",
+            Schema::new(vec![
+                Column::new("unique1", DataType::Int),
+                Column::new("unique2", DataType::Int),
+                Column::new("two", DataType::Int),
+                Column::new("ten", DataType::Int),
+                Column::new("twenty", DataType::Int),
+                Column::new("s4", DataType::Str),
+            ]),
+            parts,
+            0,
+        )
+        .unwrap();
+    for i in 0..WIS_ROWS {
+        w.heap.insert(&wisconsin_like_row(i)).unwrap();
+    }
+    let x = cat
+        .create_table_partitioned(
+            "x",
+            Schema::new(vec![Column::new("k", DataType::Int), Column::new("g", DataType::Int)]),
+            parts,
+            0,
+        )
+        .unwrap();
+    for i in 0..90i64 {
+        x.heap.insert(&Tuple::new(vec![Value::Int(i * 7), Value::Int(i % 4)])).unwrap();
+    }
+    if with_index {
+        cat.create_index("w_u1", "w", "unique1").unwrap();
+    }
+    cat.analyze_table("w").unwrap();
+    cat.analyze_table("x").unwrap();
+    cat
+}
+
+/// The differential query shapes: scans, point lookups (partition-pruned),
+/// joins, and every aggregate combination the merge stage must combine.
+const PARTITIONED_SHAPES: &[&str] = &[
+    "SELECT * FROM w",
+    "SELECT unique2, s4 FROM w WHERE unique1 = 123",
+    "SELECT w.unique1, x.g FROM w, x WHERE w.unique1 = x.k",
+    "SELECT ten, COUNT(*), SUM(unique2), MIN(unique1), MAX(unique2), AVG(unique1) \
+     FROM w GROUP BY ten",
+    "SELECT COUNT(*), AVG(unique2) FROM w WHERE two = 0",
+    "SELECT COUNT(*), SUM(unique1) FROM w WHERE unique1 < 0",
+    "SELECT DISTINCT twenty FROM w ORDER BY twenty DESC LIMIT 7",
+    "SELECT x.g, COUNT(*), AVG(w.unique2) FROM w, x WHERE w.unique1 = x.k GROUP BY x.g",
+];
+
+fn run_volcano_on(cat: &Arc<Catalog>, sql: &str) -> Vec<Tuple> {
+    let Statement::Select(sel) = parse_statement(sql).unwrap() else { panic!("not a select") };
+    let bound = Binder::new(BindContext::new(cat)).bind_select(sel).unwrap();
+    let plan = plan_select(&bound, cat, &PlannerConfig::default()).unwrap();
+    volcano::run(&plan, &ExecContext::new(Arc::clone(cat))).unwrap()
+}
+
+fn run_both_on(cat: &Arc<Catalog>, sql: &str, cfg: &EngineConfig) -> (Vec<Tuple>, Vec<Tuple>) {
+    let Statement::Select(sel) = parse_statement(sql).unwrap() else { panic!("not a select") };
+    let bound = Binder::new(BindContext::new(cat)).bind_select(sel).unwrap();
+    let plan = plan_select(&bound, cat, &PlannerConfig::default()).unwrap();
+    let ctx = ExecContext::new(Arc::clone(cat));
+    let volcano_rows = volcano::run(&plan, &ctx).unwrap();
+    let engine = StagedEngine::new(ctx, cfg.clone());
+    let staged_rows = engine.execute(&plan).collect().unwrap();
+    engine.shutdown();
+    (volcano_rows, staged_rows)
+}
+
+#[test]
+fn partitioned_differential_suite_matches_volcano_at_every_partition_count() {
+    // Reference: the unpartitioned catalog through Volcano only.
+    let reference: Vec<Vec<String>> = {
+        let cat = setup_partitioned(1, false);
+        PARTITIONED_SHAPES
+            .iter()
+            .map(|sql| canonical(run_volcano_on(&cat, sql)))
+            .collect()
+    };
+    for parts in [1usize, 2, 4, 8] {
+        let cat = setup_partitioned(parts, false);
+        let cfg = EngineConfig { workers_per_stage: 2, ..Default::default() };
+        for (sql, expect) in PARTITIONED_SHAPES.iter().zip(&reference) {
+            let (v, s) = run_both_on(&cat, sql, &cfg);
+            let (vc, sc) = (canonical(v), canonical(s));
+            assert_eq!(vc, *expect, "volcano drifted at {parts} partitions for {sql}");
+            assert_eq!(sc, *expect, "staged drifted at {parts} partitions for {sql}");
+        }
+    }
+}
+
+#[test]
+fn partitioned_index_scans_merge_per_partition_btrees() {
+    for parts in [1usize, 4] {
+        let cat = setup_partitioned(parts, true);
+        let sqls = [
+            "SELECT * FROM w WHERE unique1 = 77",
+            "SELECT unique1, unique2 FROM w WHERE unique1 BETWEEN 100 AND 105",
+        ];
+        for sql in sqls {
+            let Statement::Select(sel) = parse_statement(sql).unwrap() else { panic!() };
+            let bound = Binder::new(BindContext::new(&cat)).bind_select(sel).unwrap();
+            let plan = plan_select(&bound, &cat, &PlannerConfig::default()).unwrap();
+            assert!(plan.to_string().contains("IndexScan"), "{plan}");
+            let ctx = ExecContext::new(Arc::clone(&cat));
+            let v = volcano::run(&plan, &ctx).unwrap();
+            let engine = StagedEngine::new(ctx, EngineConfig::default());
+            let s = engine.execute(&plan).collect().unwrap();
+            engine.shutdown();
+            assert_eq!(canonical(v.clone()), canonical(s), "{sql} at {parts} partitions");
+            if sql.contains("BETWEEN") {
+                assert_eq!(v.len(), 6, "index range must see every partition");
+            }
+        }
+    }
+}
+
+#[test]
+fn partitioned_point_lookup_is_pruned_and_complete() {
+    let cat = setup_partitioned(8, false);
+    // Every key must still be found after pruning to one partition.
+    for k in (0..WIS_ROWS).step_by(53) {
+        let sql = format!("SELECT unique1 FROM w WHERE unique1 = {k}");
+        let Statement::Select(sel) = parse_statement(&sql).unwrap() else { panic!() };
+        let bound = Binder::new(BindContext::new(&cat)).bind_select(sel).unwrap();
+        let plan = plan_select(&bound, &cat, &PlannerConfig::default()).unwrap();
+        let text = plan.to_string();
+        assert!(text.contains("PartitionScan") && !text.contains("Exchange"), "{text}");
+        let ctx = ExecContext::new(Arc::clone(&cat));
+        let rows = volcano::run(&plan, &ctx).unwrap();
+        assert_eq!(rows.len(), 1, "key {k} lost by pruning");
+        assert_eq!(rows[0].get(0), &Value::Int(k));
+    }
+}
+
 #[test]
 fn error_in_task_reaches_the_client() {
     let cat = setup();

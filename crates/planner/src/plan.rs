@@ -32,6 +32,34 @@ pub enum PhysicalPlan {
         /// Residual predicate evaluated per tuple.
         predicate: Option<Expr>,
     },
+    /// Scan of one hash partition of a table (a *partial* scan; N of these
+    /// under an [`PhysicalPlan::Exchange`] cover the whole table).
+    PartitionScan {
+        /// Table to scan.
+        table: Arc<TableInfo>,
+        /// Which partition.
+        partition: usize,
+        /// Residual predicate evaluated per tuple.
+        predicate: Option<Expr>,
+    },
+    /// Bag union of N independent inputs (the partition-parallel exchange:
+    /// each input runs as its own pipeline; the merge preserves no order).
+    Exchange {
+        /// Partial plans, one per partition.
+        inputs: Vec<PhysicalPlan>,
+    },
+    /// Combine partially-aggregated inputs into final aggregate values.
+    /// Each input emits `group values ⧺ partial-aggregate values` (the
+    /// layout produced by a HashAggregate over [`partial_agg_specs`]); this
+    /// node re-groups and merges the partial states.
+    MergeAggregate {
+        /// Partial-aggregation pipelines, one per partition.
+        inputs: Vec<PhysicalPlan>,
+        /// How many leading columns are group keys.
+        group_by_len: usize,
+        /// The *final* aggregate list (partial layout is derived from it).
+        aggs: Vec<AggSpec>,
+    },
     /// B+tree index scan with inclusive key bounds.
     IndexScan {
         /// Table whose rows are fetched.
@@ -127,9 +155,13 @@ impl PhysicalPlan {
     /// Number of columns this node emits (for layout checks).
     pub fn output_arity(&self) -> usize {
         match self {
-            PhysicalPlan::SeqScan { table, .. } | PhysicalPlan::IndexScan { table, .. } => {
-                table.schema.len()
+            PhysicalPlan::SeqScan { table, .. }
+            | PhysicalPlan::PartitionScan { table, .. }
+            | PhysicalPlan::IndexScan { table, .. } => table.schema.len(),
+            PhysicalPlan::Exchange { inputs } => {
+                inputs.first().map_or(0, PhysicalPlan::output_arity)
             }
+            PhysicalPlan::MergeAggregate { group_by_len, aggs, .. } => group_by_len + aggs.len(),
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::Distinct { input }
@@ -153,8 +185,18 @@ impl PhysicalPlan {
 
     fn collect_tables(&self, out: &mut Vec<String>) {
         match self {
-            PhysicalPlan::SeqScan { table, .. } | PhysicalPlan::IndexScan { table, .. } => {
-                out.push(table.name.clone())
+            PhysicalPlan::SeqScan { table, .. }
+            | PhysicalPlan::PartitionScan { table, .. }
+            | PhysicalPlan::IndexScan { table, .. } => out.push(table.name.clone()),
+            PhysicalPlan::Exchange { inputs } | PhysicalPlan::MergeAggregate { inputs, .. } => {
+                // One partial per partition scans the same table; report
+                // each table once.
+                let mut nested = Vec::new();
+                for i in inputs {
+                    i.collect_tables(&mut nested);
+                }
+                nested.dedup();
+                out.append(&mut nested);
             }
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Sort { input, .. }
@@ -180,6 +222,37 @@ impl PhysicalPlan {
                     write!(f, " filter={p}")?;
                 }
                 writeln!(f)
+            }
+            PhysicalPlan::PartitionScan { table, partition, predicate } => {
+                write!(f, "{pad}PartitionScan {}[{}/{}]", table.name, partition, table.partitions())?;
+                if let Some(p) = predicate {
+                    write!(f, " filter={p}")?;
+                }
+                writeln!(f)
+            }
+            PhysicalPlan::Exchange { inputs } => {
+                writeln!(f, "{pad}Exchange x{}", inputs.len())?;
+                for i in inputs {
+                    i.fmt_indented(f, depth + 1)?;
+                }
+                Ok(())
+            }
+            PhysicalPlan::MergeAggregate { inputs, group_by_len, aggs } => {
+                write!(f, "{pad}MergeAggregate groups={group_by_len} aggs=[")?;
+                for (i, a) in aggs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match &a.arg {
+                        Some(e) => write!(f, "{}({e})", a.func.sql())?,
+                        None => write!(f, "{}(*)", a.func.sql())?,
+                    }
+                }
+                writeln!(f, "]")?;
+                for i in inputs {
+                    i.fmt_indented(f, depth + 1)?;
+                }
+                Ok(())
             }
             PhysicalPlan::IndexScan { table, index, lo, hi, predicate } => {
                 write!(f, "{pad}IndexScan {} via {} ", table.name, index.name)?;
@@ -297,6 +370,29 @@ impl fmt::Display for PhysicalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.fmt_indented(f, 0)
     }
+}
+
+/// Decompose final aggregates into partition-local *partial* aggregates.
+///
+/// COUNT/SUM/MIN/MAX each keep one partial column; AVG contributes two
+/// (SUM of the argument, then COUNT of the argument) because an average of
+/// averages is wrong under skewed partitions. The merge side walks the
+/// final list with the same expansion rule, so no explicit column mapping
+/// is carried in the plan. DISTINCT aggregates are not decomposable — the
+/// planner keeps those single-phase.
+pub fn partial_agg_specs(aggs: &[AggSpec]) -> Vec<AggSpec> {
+    let mut out = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        debug_assert!(!a.distinct, "DISTINCT aggregates are never two-phase");
+        match a.func {
+            AggFunc::Avg => {
+                out.push(AggSpec { func: AggFunc::Sum, arg: a.arg.clone(), distinct: false });
+                out.push(AggSpec { func: AggFunc::Count, arg: a.arg.clone(), distinct: false });
+            }
+            _ => out.push(a.clone()),
+        }
+    }
+    out
 }
 
 /// A bound column reference with a synthetic name (planner-generated).

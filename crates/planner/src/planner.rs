@@ -2,14 +2,14 @@
 //! join ordering and physical operator choice.
 
 use crate::estimate::{conjunct_selectivity, sargable_bounds, CostModel, Estimate};
-use crate::plan::{col_at, shift_columns, substitute, AggSpec, PhysicalPlan};
+use crate::plan::{col_at, partial_agg_specs, shift_columns, substitute, AggSpec, PhysicalPlan};
 use staged_sql::ast::{BinOp, Expr, SelectStmt};
 use staged_sql::binder::BoundSelect;
 use staged_sql::error::{SqlError, SqlResult};
 use staged_sql::rewrite::{join_conjuncts, split_conjuncts};
 use staged_storage::catalog::TableInfo;
 use staged_storage::stats::TableStats;
-use staged_storage::Catalog;
+use staged_storage::{partition_of_value, Catalog, DataType, Value};
 use std::sync::Arc;
 
 /// Beyond this many FROM tables the planner switches from exhaustive DP to
@@ -27,6 +27,10 @@ pub struct PlannerConfig {
     pub enable_merge_join: bool,
     /// Use an index scan when the estimated selectivity is below this.
     pub index_selectivity_threshold: f64,
+    /// Fan scans of hash-partitioned tables out into per-partition partial
+    /// scans under an Exchange, with two-phase aggregation above them
+    /// (paper §6). When off, partitioned tables are scanned serially.
+    pub enable_partition_parallel: bool,
     /// Cost model constants.
     pub cost: CostModel,
 }
@@ -38,6 +42,7 @@ impl Default for PlannerConfig {
             enable_hash_join: true,
             enable_merge_join: true,
             index_selectivity_threshold: 0.2,
+            enable_partition_parallel: true,
             cost: CostModel::default(),
         }
     }
@@ -173,11 +178,7 @@ pub fn plan_select(
         for (j, ae) in agg_exprs.iter().enumerate() {
             map.push((ae.clone(), g + j));
         }
-        plan = PhysicalPlan::HashAggregate {
-            input: Box::new(plan),
-            group_by: stmt.group_by.clone(),
-            aggs,
-        };
+        plan = build_aggregate(plan, stmt.group_by.clone(), aggs);
         if let Some(h) = &stmt.having {
             let rewritten = substitute(h, &map)
                 .ok_or_else(|| SqlError::new("HAVING uses an expression not in GROUP BY"))?;
@@ -331,9 +332,89 @@ fn plan_access_path(
         // Index lost on cost: fall through to the sequential scan, which
         // keeps the full conjunct list.
     }
+    let nparts = table.partitions();
+    if nparts > 1 && config.enable_partition_parallel {
+        return plan_partitioned_scan(table, conjuncts, nparts, seq_est);
+    }
     let plan =
         PhysicalPlan::SeqScan { table: Arc::clone(table), predicate: join_conjuncts(conjuncts) };
     (plan, seq_est)
+}
+
+/// Partition-parallel access path: N partial scans under an Exchange, or a
+/// single pruned partition scan when a conjunct pins the hash key.
+fn plan_partitioned_scan(
+    table: &Arc<TableInfo>,
+    conjuncts: Vec<Expr>,
+    nparts: usize,
+    seq_est: Estimate,
+) -> (PhysicalPlan, Estimate) {
+    let key = table.partition_key();
+    // Pruning is only sound when the key column is INT: then every stored
+    // key is an Int (schema-validated) and hashes exactly like the pinned
+    // literal. The full conjunct list stays on the scan — hashing is not
+    // injective, so the pinned partition still holds non-matching rows.
+    let pinned = (table.schema.column(key).ty == DataType::Int)
+        .then(|| {
+            conjuncts.iter().find_map(|c| match sargable_bounds(c, key) {
+                Some((Some(lo), Some(hi))) if lo == hi => Some(lo),
+                _ => None,
+            })
+        })
+        .flatten();
+    let predicate = join_conjuncts(conjuncts);
+    match pinned {
+        Some(k) => {
+            let plan = PhysicalPlan::PartitionScan {
+                table: Arc::clone(table),
+                partition: partition_of_value(&Value::Int(k), nparts),
+                predicate,
+            };
+            // One partition's worth of pages and rows.
+            let est = Estimate::new(seq_est.rows, seq_est.cost / nparts as f64);
+            (plan, est)
+        }
+        None => {
+            let inputs = (0..nparts)
+                .map(|p| PhysicalPlan::PartitionScan {
+                    table: Arc::clone(table),
+                    partition: p,
+                    predicate: predicate.clone(),
+                })
+                .collect();
+            // Same total work; the win is wall-clock parallelism, which the
+            // serial cost model does not price.
+            (PhysicalPlan::Exchange { inputs }, seq_est)
+        }
+    }
+}
+
+/// Place the aggregation operator. Directly above a partition-parallel
+/// Exchange the aggregate splits into two phases: per-partition partial
+/// HashAggregates (running inside each partial pipeline) converging at a
+/// MergeAggregate that combines partial states. DISTINCT aggregates cannot
+/// be combined from partials, so they stay single-phase above the union.
+fn build_aggregate(input: PhysicalPlan, group_by: Vec<Expr>, aggs: Vec<AggSpec>) -> PhysicalPlan {
+    if let PhysicalPlan::Exchange { inputs } = input {
+        if aggs.iter().all(|a| !a.distinct) {
+            let partial = partial_agg_specs(&aggs);
+            let inputs = inputs
+                .into_iter()
+                .map(|i| PhysicalPlan::HashAggregate {
+                    input: Box::new(i),
+                    group_by: group_by.clone(),
+                    aggs: partial.clone(),
+                })
+                .collect();
+            return PhysicalPlan::MergeAggregate { inputs, group_by_len: group_by.len(), aggs };
+        }
+        return PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::Exchange { inputs }),
+            group_by,
+            aggs,
+        };
+    }
+    PhysicalPlan::HashAggregate { input: Box::new(input), group_by, aggs }
 }
 
 fn collect_aggs(expr: &Expr, aggs: &mut Vec<AggSpec>, agg_exprs: &mut Vec<Expr>) {
@@ -928,6 +1009,85 @@ mod tests {
         tables.sort();
         assert_eq!(tables, vec!["t", "u", "w3"]);
         assert_eq!(p.output_arity(), 7);
+    }
+
+    fn setup_partitioned(parts: usize) -> Catalog {
+        let cat = Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 512));
+        let t = cat
+            .create_table_partitioned(
+                "p",
+                Schema::new(vec![
+                    Column::new("k", DataType::Int),
+                    Column::new("g", DataType::Int),
+                ]),
+                parts,
+                0,
+            )
+            .unwrap();
+        for i in 0..400i64 {
+            t.heap.insert(&Tuple::new(vec![Value::Int(i), Value::Int(i % 5)])).unwrap();
+        }
+        cat.analyze_table("p").unwrap();
+        cat
+    }
+
+    #[test]
+    fn partitioned_scan_fans_out_under_an_exchange() {
+        let cat = setup_partitioned(4);
+        let p = plan(&cat, "SELECT k FROM p WHERE g = 2", &PlannerConfig::default());
+        let s = p.to_string();
+        assert!(s.contains("Exchange x4"), "{s}");
+        for i in 0..4 {
+            assert!(s.contains(&format!("PartitionScan p[{i}/4]")), "{s}");
+        }
+    }
+
+    #[test]
+    fn pinned_hash_key_prunes_to_one_partition() {
+        let cat = setup_partitioned(4);
+        let p = plan(&cat, "SELECT * FROM p WHERE k = 37", &PlannerConfig::default());
+        let s = p.to_string();
+        assert!(!s.contains("Exchange"), "pruned plan needs no exchange:\n{s}");
+        assert!(s.contains("PartitionScan"), "{s}");
+        // The filter must survive on the pruned scan: hashing is lossy.
+        assert!(s.contains("filter="), "{s}");
+        let expected = staged_storage::partition_of_value(&Value::Int(37), 4);
+        assert!(s.contains(&format!("p[{expected}/4]")), "{s}");
+    }
+
+    #[test]
+    fn aggregates_over_partitions_split_into_two_phases() {
+        let cat = setup_partitioned(4);
+        let p = plan(
+            &cat,
+            "SELECT g, COUNT(*), SUM(k), MIN(k), MAX(k), AVG(k) FROM p GROUP BY g",
+            &PlannerConfig::default(),
+        );
+        let s = p.to_string();
+        assert!(s.contains("MergeAggregate"), "{s}");
+        // One partial HashAggregate per partition, each with AVG decomposed
+        // into SUM + COUNT.
+        assert_eq!(s.matches("HashAggregate").count(), 4, "{s}");
+        assert_eq!(s.matches("SUM(k)").count(), 4 * 2 + 1, "partials carry avg-sum:\n{s}");
+    }
+
+    #[test]
+    fn distinct_aggregates_stay_single_phase() {
+        let cat = setup_partitioned(4);
+        let p = plan(&cat, "SELECT COUNT(DISTINCT g) FROM p", &PlannerConfig::default());
+        let s = p.to_string();
+        assert!(!s.contains("MergeAggregate"), "{s}");
+        assert!(s.contains("HashAggregate"), "{s}");
+        assert!(s.contains("Exchange x4"), "union still fans out:\n{s}");
+    }
+
+    #[test]
+    fn partition_parallel_can_be_disabled() {
+        let cat = setup_partitioned(4);
+        let cfg = PlannerConfig { enable_partition_parallel: false, ..Default::default() };
+        let s = plan(&cat, "SELECT COUNT(*) FROM p", &cfg).to_string();
+        assert!(s.contains("SeqScan"), "{s}");
+        assert!(!s.contains("Exchange"), "{s}");
     }
 
     #[test]

@@ -326,7 +326,11 @@ fn execute_ddl(
                     })
                     .collect(),
             );
-            ctx.catalog.create_table(&name, schema).map_err(cat_err)?;
+            // Partitioning (hashed on column 0) comes from the server's
+            // context, so servers sharing one catalog stay independent.
+            ctx.catalog
+                .create_table_partitioned(&name, schema, ctx.ddl_partitions, 0)
+                .map_err(cat_err)?;
             Ok(QueryOutput::message("CREATE TABLE"))
         }
         Statement::CreateIndex { name, table, column } => {

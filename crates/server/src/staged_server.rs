@@ -192,7 +192,9 @@ impl StagedServer {
         config: ServerConfig,
         tracker: Option<Arc<RefTracker>>,
     ) -> Arc<Self> {
-        let mut ctx = ExecContext::new(Arc::clone(&catalog));
+        // Tables created through this server's DDL path inherit the
+        // configured partition count (scoped to this server's context).
+        let mut ctx = ExecContext::new(Arc::clone(&catalog)).with_partitions(config.partitions);
         if let Some(t) = &tracker {
             ctx = ctx.with_tracker(Arc::clone(t));
         }

@@ -10,12 +10,13 @@
 use crate::pipeline::{self, Exec, Parsed};
 use crate::types::{Request, RequestBody, Response, ServerError};
 use crossbeam::channel::{bounded, Receiver};
+use parking_lot::Mutex;
 use staged_core::queue::{Dequeued, StageQueue};
 use staged_engine::context::ExecContext;
 use staged_planner::PlannerConfig;
 use staged_storage::wal::Wal;
 use staged_storage::{Catalog, MemDisk};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -28,13 +29,12 @@ struct Inner {
     queue: StageQueue<Request>,
     next_xid: AtomicU64,
     served: AtomicU64,
-    stopping: AtomicBool,
 }
 
 /// The thread-pool server.
 pub struct ThreadedServer {
     inner: Arc<Inner>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl ThreadedServer {
@@ -48,7 +48,6 @@ impl ThreadedServer {
             queue: StageQueue::new(1024),
             next_xid: AtomicU64::new(1),
             served: AtomicU64::new(0),
-            stopping: AtomicBool::new(false),
         });
         let workers = (0..pool_size.max(1))
             .map(|i| {
@@ -59,7 +58,7 @@ impl ThreadedServer {
                     .expect("spawn pool worker")
             })
             .collect();
-        Self { inner, workers }
+        Self { inner, workers: Mutex::new(workers) }
     }
 
     /// Submit SQL for execution.
@@ -87,11 +86,14 @@ impl ThreadedServer {
         self.inner.queue.len()
     }
 
-    /// Stop the pool, draining queued requests first.
-    pub fn shutdown(mut self) {
-        self.inner.stopping.store(true, Ordering::SeqCst);
+    /// Stop the pool, draining queued requests first. Takes `&self` —
+    /// the same shutdown contract as `StagedServer::shutdown` — and is
+    /// idempotent: every request admitted before the call is answered
+    /// (closing the queue lets workers drain pending packets and then
+    /// observe `Closed`), later submissions get `ShuttingDown`.
+    pub fn shutdown(&self) {
         self.inner.queue.close();
-        for w in self.workers.drain(..) {
+        for w in self.workers.lock().drain(..) {
             let _ = w.join();
         }
     }
@@ -163,6 +165,28 @@ mod tests {
             assert_eq!(out.rows[0].to_string(), "[32]");
         }
         assert!(s.served() >= 16 + 33);
+        s.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_every_admitted_request() {
+        let s = server(1);
+        s.execute_sql("CREATE TABLE d (x INT)").unwrap();
+        s.execute_sql("INSERT INTO d VALUES (1), (2), (3)").unwrap();
+        // Flood the single worker so most requests are still queued when
+        // shutdown is called: none may be silently dropped.
+        let receivers: Vec<_> = (0..64).map(|_| s.submit("SELECT COUNT(*) FROM d")).collect();
+        s.shutdown();
+        for rx in receivers {
+            let out = rx.recv().expect("drained response").unwrap();
+            assert_eq!(out.rows[0].to_string(), "[3]");
+        }
+        // After shutdown new submissions are refused loudly, not dropped.
+        assert!(matches!(
+            s.submit("SELECT COUNT(*) FROM d").recv(),
+            Ok(Err(ServerError::ShuttingDown))
+        ));
+        // And shutdown is idempotent under the unified `&self` contract.
         s.shutdown();
     }
 

@@ -93,6 +93,11 @@ pub struct ServerConfig {
     /// Capacity of each top-level stage queue (connect-queue capacity is
     /// the admission limit under overload).
     pub queue_capacity: usize,
+    /// Hash partitions for tables created through this server's DDL path
+    /// (1 = unpartitioned). Partitioned tables are scanned and aggregated
+    /// partition-parallel by the staged engine (paper §6), and DML routes
+    /// rows by hash key through the normal WAL-logged path.
+    pub partitions: usize,
     /// Staged-engine tuning.
     pub engine: EngineConfig,
     /// Planner switches.
@@ -106,6 +111,7 @@ impl Default for ServerConfig {
             control_workers: 1,
             execute_workers: 4,
             queue_capacity: 128,
+            partitions: 1,
             engine: EngineConfig::default(),
             planner: PlannerConfig::default(),
         }

@@ -8,9 +8,10 @@
 use crate::btree::BTree;
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};
-use crate::heap::HeapFile;
+use crate::partition::PartitionedHeap;
 use crate::schema::Schema;
 use crate::stats::{analyze, TableStats};
+use crate::tuple::Rid;
 use crate::value::DataType;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -32,13 +33,46 @@ pub struct TableInfo {
     pub name: String,
     /// Schema.
     pub schema: Schema,
-    /// Row storage.
-    pub heap: Arc<HeapFile>,
+    /// Row storage (hash-partitioned; single-partition for plain tables).
+    pub heap: Arc<PartitionedHeap>,
     /// Optimizer statistics (refreshed by [`Catalog::analyze_table`]).
     pub stats: RwLock<TableStats>,
 }
 
-/// A registered index.
+impl TableInfo {
+    /// Number of storage partitions (≥ 1).
+    pub fn partitions(&self) -> usize {
+        self.heap.partitions()
+    }
+
+    /// The hash-key column the rows are partitioned on.
+    pub fn partition_key(&self) -> usize {
+        self.heap.key_column()
+    }
+
+    /// The single partition an index probe on `column` with bounds
+    /// `[lo, hi]` can match in, when the bounds pin the hash-key column to
+    /// one value (index columns are always `Int`, so the hash agrees with
+    /// row routing). `None` = the probe must visit every partition.
+    pub fn pruned_partition(
+        &self,
+        column: usize,
+        lo: Option<i64>,
+        hi: Option<i64>,
+    ) -> Option<usize> {
+        match (lo, hi) {
+            (Some(l), Some(h))
+                if l == h && column == self.partition_key() && self.partitions() > 1 =>
+            {
+                Some(crate::partition::partition_of_value(&crate::value::Value::Int(l), self.partitions()))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A registered index: one B+tree per table partition, so index maintenance
+/// and index-only probes stay partition-local.
 pub struct IndexInfo {
     /// Id.
     pub id: IndexId,
@@ -48,8 +82,68 @@ pub struct IndexInfo {
     pub table: TableId,
     /// Indexed column (must be `Int`).
     pub column: usize,
-    /// The B+tree.
-    pub btree: Arc<BTree>,
+    /// Per-partition B+trees, aligned with the table's partitions.
+    pub btrees: Vec<Arc<BTree>>,
+}
+
+impl IndexInfo {
+    /// Number of partitions this index covers.
+    pub fn partitions(&self) -> usize {
+        self.btrees.len()
+    }
+
+    /// The B+tree for one partition.
+    pub fn btree_for(&self, partition: usize) -> &Arc<BTree> {
+        &self.btrees[partition]
+    }
+
+    /// Insert an entry into the given partition's tree.
+    pub fn insert(&self, partition: usize, key: i64, rid: Rid) -> StorageResult<()> {
+        self.btrees[partition].insert(key, rid)
+    }
+
+    /// Delete an entry from the given partition's tree.
+    pub fn delete(&self, partition: usize, key: i64, rid: Rid) -> StorageResult<bool> {
+        self.btrees[partition].delete(key, rid)
+    }
+
+    /// Point probe across every partition.
+    pub fn search(&self, key: i64) -> StorageResult<Vec<Rid>> {
+        let mut out = Vec::new();
+        for bt in &self.btrees {
+            out.extend(bt.search(key)?);
+        }
+        Ok(out)
+    }
+
+    /// Range probe across every partition, merged back into key order.
+    pub fn range(&self, lo: Option<i64>, hi: Option<i64>) -> StorageResult<Vec<(i64, Rid)>> {
+        let mut out = Vec::new();
+        for bt in &self.btrees {
+            out.extend(bt.range(lo, hi)?);
+        }
+        if self.btrees.len() > 1 {
+            // Concatenation of k key-ordered runs; std's stable sort
+            // detects and merges existing runs, so this is an O(n log k)
+            // k-way merge, not a from-scratch sort.
+            out.sort_by_key(|(k, _)| *k);
+        }
+        Ok(out)
+    }
+
+    /// Range probe pruned to one partition's tree when the caller knows
+    /// (via [`TableInfo::pruned_partition`]) the key can only live there.
+    pub fn range_in(
+        &self,
+        partition: Option<usize>,
+        lo: Option<i64>,
+        hi: Option<i64>,
+    ) -> StorageResult<Vec<(i64, Rid)>> {
+        match partition {
+            Some(p) => self.btrees[p].range(lo, hi),
+            None => self.range(lo, hi),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -78,9 +172,28 @@ impl Catalog {
         &self.pool
     }
 
-    /// Create a table.
+    /// Create an unpartitioned table. (Partition choice is the *caller's*
+    /// policy — e.g. `ExecContext::ddl_partitions` on the server's DDL
+    /// path — never catalog-global state, so servers sharing one catalog
+    /// stay independent.)
     pub fn create_table(&self, name: &str, schema: Schema) -> StorageResult<Arc<TableInfo>> {
+        self.create_table_partitioned(name, schema, 1, 0)
+    }
+
+    /// Create a table hash-partitioned `partitions` ways on column `key`.
+    pub fn create_table_partitioned(
+        &self,
+        name: &str,
+        schema: Schema,
+        partitions: usize,
+        key: usize,
+    ) -> StorageResult<Arc<TableInfo>> {
         let name = name.to_ascii_lowercase();
+        if key >= schema.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "partition key column {key} out of range"
+            )));
+        }
         let mut inner = self.inner.write();
         if inner.tables.contains_key(&name) {
             return Err(StorageError::AlreadyExists(name));
@@ -92,7 +205,7 @@ impl Catalog {
             id,
             name: name.clone(),
             schema,
-            heap: Arc::new(HeapFile::create(Arc::clone(&self.pool))),
+            heap: Arc::new(PartitionedHeap::create(Arc::clone(&self.pool), partitions, key)),
             stats: RwLock::new(TableStats {
                 row_count: 0,
                 page_count: 0,
@@ -168,12 +281,16 @@ impl Catalog {
                 return Err(StorageError::AlreadyExists(name));
             }
         }
-        let btree = Arc::new(BTree::create(Arc::clone(&self.pool))?);
-        for item in table.heap.scan() {
-            let (rid, tuple) = item?;
-            if let Some(k) = tuple.get(column).as_int() {
-                btree.insert(k, rid)?;
+        let mut btrees = Vec::with_capacity(table.heap.partitions());
+        for p in 0..table.heap.partitions() {
+            let btree = Arc::new(BTree::create(Arc::clone(&self.pool))?);
+            for item in table.heap.scan_partition(p) {
+                let (rid, tuple) = item?;
+                if let Some(k) = tuple.get(column).as_int() {
+                    btree.insert(k, rid)?;
+                }
             }
+            btrees.push(btree);
         }
         let mut inner = self.inner.write();
         if inner.indexes.contains_key(&name) {
@@ -182,7 +299,7 @@ impl Catalog {
         let id = IndexId(inner.next_index);
         inner.next_index += 1;
         let info =
-            Arc::new(IndexInfo { id, name: name.clone(), table: table.id, column, btree });
+            Arc::new(IndexInfo { id, name: name.clone(), table: table.id, column, btrees });
         inner.indexes.insert(name, Arc::clone(&info));
         Ok(info)
     }
@@ -269,9 +386,66 @@ mod tests {
             );
         }
         let ix = c.create_index("t_id", "t", "id").unwrap();
-        assert_eq!(ix.btree.search(42).unwrap(), vec![rids[42]]);
+        assert_eq!(ix.search(42).unwrap(), vec![rids[42]]);
         assert_eq!(c.index_on(t.id, 0).unwrap().id, ix.id);
         assert!(c.index_on(t.id, 1).is_none());
+    }
+
+    #[test]
+    fn partitioned_table_routes_rows_and_indexes_per_partition() {
+        let c = catalog();
+        let t = c.create_table_partitioned("p", two_col(), 4, 0).unwrap();
+        assert_eq!(t.partitions(), 4);
+        assert_eq!(t.partition_key(), 0);
+        for i in 0..200i64 {
+            t.heap.insert(&Tuple::new(vec![Value::Int(i), Value::Str(format!("n{i}"))])).unwrap();
+        }
+        let ix = c.create_index("p_id", "p", "id").unwrap();
+        assert_eq!(ix.partitions(), 4);
+        // Each key is in exactly one partition's tree — the one its row
+        // hashed to.
+        for k in 0..200i64 {
+            let p = crate::partition::partition_of_value(&Value::Int(k), 4);
+            assert_eq!(ix.btree_for(p).search(k).unwrap().len(), 1, "key {k}");
+            let elsewhere: usize = (0..4)
+                .filter(|q| *q != p)
+                .map(|q| ix.btree_for(q).search(k).unwrap().len())
+                .sum();
+            assert_eq!(elsewhere, 0, "key {k} leaked into another partition");
+        }
+        // Merged range covers everything, in key order.
+        let all = ix.range(None, None).unwrap();
+        assert_eq!(all.len(), 200);
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn index_probes_prune_to_the_hash_partition_when_the_key_is_pinned() {
+        let c = catalog();
+        let t = c.create_table_partitioned("p", two_col(), 4, 0).unwrap();
+        for i in 0..100i64 {
+            t.heap.insert(&Tuple::new(vec![Value::Int(i), Value::Str("x".into())])).unwrap();
+        }
+        let ix = c.create_index("p_id", "p", "id").unwrap();
+        // A pinned key on the partition-key column prunes to its hash
+        // partition, and the pruned probe still finds the row.
+        let p = t.pruned_partition(0, Some(42), Some(42)).unwrap();
+        assert_eq!(p, crate::partition::partition_of_value(&Value::Int(42), 4));
+        assert_eq!(ix.range_in(Some(p), Some(42), Some(42)).unwrap().len(), 1);
+        // Ranges, other columns, and single-partition tables don't prune.
+        assert!(t.pruned_partition(0, Some(1), Some(5)).is_none());
+        assert!(t.pruned_partition(1, Some(42), Some(42)).is_none());
+        let flat = c.create_table("f", two_col()).unwrap();
+        assert!(flat.pruned_partition(0, Some(42), Some(42)).is_none());
+    }
+
+    #[test]
+    fn bad_partition_key_is_rejected() {
+        let c = catalog();
+        assert!(matches!(
+            c.create_table_partitioned("bad", two_col(), 2, 9),
+            Err(StorageError::SchemaMismatch(_))
+        ));
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod disk;
 pub mod error;
 pub mod heap;
 pub mod page;
+pub mod partition;
 pub mod schema;
 pub mod stats;
 pub mod tuple;
@@ -30,6 +31,7 @@ pub use catalog::Catalog;
 pub use disk::{DiskManager, FileDisk, MemDisk};
 pub use error::{StorageError, StorageResult};
 pub use page::{PageId, PAGE_SIZE};
+pub use partition::{partition_of_value, PartitionedHeap};
 pub use schema::{Column, Schema};
 pub use tuple::{Rid, Tuple};
 pub use value::{DataType, Value};

@@ -1,0 +1,248 @@
+//! Hash-partitioned heap storage — the shared-nothing data layout behind
+//! partition-parallel execution (paper §6: "data can be partitioned … so
+//! that one query fans out across many stage instances").
+//!
+//! A [`PartitionedHeap`] is N independent [`HeapFile`]s over one shared
+//! buffer pool. Every tuple is routed to exactly one partition by hashing
+//! its *partition key* column; scans can read one partition or all of them.
+//! A single-partition heap degenerates to the old behaviour, so the rest of
+//! the system treats every table as partitioned (usually with N = 1).
+
+use crate::buffer::BufferPool;
+use crate::error::StorageResult;
+use crate::heap::{HeapFile, HeapScan};
+use crate::page::PageId;
+use crate::tuple::{Rid, Tuple};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Deterministic partition of a key value: FNV-1a over the value's storage
+/// encoding, reduced mod `partitions`. Both DML routing and planner
+/// partition pruning go through this single function, so a pruned scan can
+/// never disagree with the insert path about where a row lives.
+pub fn partition_of_value(v: &Value, partitions: usize) -> usize {
+    if partitions <= 1 {
+        return 0;
+    }
+    let mut bytes = Vec::with_capacity(v.encoded_len());
+    v.encode(&mut bytes);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in &bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % partitions as u64) as usize
+}
+
+/// N heap files behind one table, with hash routing on a key column.
+pub struct PartitionedHeap {
+    parts: Vec<Arc<HeapFile>>,
+    key: usize,
+}
+
+impl PartitionedHeap {
+    /// An empty partitioned heap: `partitions` heap files over `pool`,
+    /// routing on column `key`.
+    pub fn create(pool: Arc<BufferPool>, partitions: usize, key: usize) -> Self {
+        let n = partitions.max(1);
+        let parts = (0..n).map(|_| Arc::new(HeapFile::create(Arc::clone(&pool)))).collect();
+        Self { parts, key }
+    }
+
+    /// Number of partitions (≥ 1).
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The hash-key column index.
+    pub fn key_column(&self) -> usize {
+        self.key
+    }
+
+    /// The heap file backing partition `p`.
+    pub fn partition(&self, p: usize) -> &Arc<HeapFile> {
+        &self.parts[p]
+    }
+
+    /// Which partition a tuple routes to.
+    pub fn partition_of(&self, tuple: &Tuple) -> usize {
+        match tuple.values().get(self.key) {
+            Some(v) => partition_of_value(v, self.parts.len()),
+            None => 0,
+        }
+    }
+
+    /// Insert a tuple into its hash partition, returning its rid.
+    pub fn insert(&self, tuple: &Tuple) -> StorageResult<Rid> {
+        self.insert_routed(tuple).map(|(_, rid)| rid)
+    }
+
+    /// Insert a tuple, returning `(partition, rid)` so callers maintaining
+    /// per-partition indexes know where it landed.
+    pub fn insert_routed(&self, tuple: &Tuple) -> StorageResult<(usize, Rid)> {
+        let p = self.partition_of(tuple);
+        let rid = self.parts[p].insert(tuple)?;
+        Ok((p, rid))
+    }
+
+    /// Read the tuple at `rid` (rids are global page addresses, so any
+    /// partition can resolve them).
+    pub fn get(&self, rid: Rid) -> StorageResult<Tuple> {
+        self.parts[0].get(rid)
+    }
+
+    /// Delete the tuple at `rid`.
+    pub fn delete(&self, rid: Rid) -> StorageResult<()> {
+        self.parts[0].delete(rid)
+    }
+
+    /// Replace the tuple at `rid`; the new rid may land in a different
+    /// partition when the key column changed.
+    pub fn update(&self, rid: Rid, tuple: &Tuple) -> StorageResult<Rid> {
+        self.delete(rid)?;
+        self.insert(tuple)
+    }
+
+    /// Full scan over every partition, in partition order.
+    pub fn scan(&self) -> PartitionedScan {
+        PartitionedScan { parts: self.parts.clone(), next: 0, current: None }
+    }
+
+    /// Scan of one partition only.
+    pub fn scan_partition(&self, p: usize) -> HeapScan {
+        self.parts[p].scan()
+    }
+
+    /// Total pages across partitions.
+    pub fn num_pages(&self) -> usize {
+        self.parts.iter().map(|h| h.num_pages()).sum()
+    }
+
+    /// Page ids of every partition, concatenated in partition order.
+    pub fn page_ids(&self) -> Vec<PageId> {
+        self.parts.iter().flat_map(|h| h.page_ids()).collect()
+    }
+
+    /// Exact count of live tuples across all partitions.
+    pub fn count(&self) -> StorageResult<usize> {
+        let mut n = 0;
+        for h in &self.parts {
+            n += h.count()?;
+        }
+        Ok(n)
+    }
+}
+
+/// Streaming scan chaining each partition's [`HeapScan`].
+pub struct PartitionedScan {
+    parts: Vec<Arc<HeapFile>>,
+    next: usize,
+    current: Option<HeapScan>,
+}
+
+impl PartitionedScan {
+    /// Pages this scan will visit (for I/O accounting).
+    pub fn num_pages(&self) -> usize {
+        self.parts.iter().map(|h| h.num_pages()).sum()
+    }
+}
+
+impl Iterator for PartitionedScan {
+    type Item = StorageResult<(Rid, Tuple)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(scan) = &mut self.current {
+                if let Some(item) = scan.next() {
+                    return Some(item);
+                }
+            }
+            if self.next >= self.parts.len() {
+                return None;
+            }
+            self.current = Some(self.parts[self.next].scan());
+            self.next += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use std::collections::HashSet;
+
+    fn heap(parts: usize) -> PartitionedHeap {
+        PartitionedHeap::create(BufferPool::new(Arc::new(MemDisk::new()), 256), parts, 0)
+    }
+
+    fn row(i: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i), Value::Str(format!("row-{i}"))])
+    }
+
+    #[test]
+    fn single_partition_behaves_like_plain_heap() {
+        let h = heap(1);
+        let rid = h.insert(&row(7)).unwrap();
+        assert_eq!(h.partitions(), 1);
+        assert_eq!(h.get(rid).unwrap(), row(7));
+        assert_eq!(h.scan().count(), 1);
+    }
+
+    #[test]
+    fn rows_route_consistently_and_scan_unions_partitions() {
+        let h = heap(4);
+        for i in 0..400 {
+            let (p, _) = h.insert_routed(&row(i)).unwrap();
+            assert_eq!(p, partition_of_value(&Value::Int(i), 4));
+        }
+        assert_eq!(h.count().unwrap(), 400);
+        // Union of per-partition scans == full scan, and partitions are
+        // disjoint.
+        let full: HashSet<i64> =
+            h.scan().map(|r| r.unwrap().1.get(0).as_int().unwrap()).collect();
+        assert_eq!(full.len(), 400);
+        let mut union = HashSet::new();
+        for p in 0..4 {
+            for r in h.scan_partition(p) {
+                let k = r.unwrap().1.get(0).as_int().unwrap();
+                assert!(union.insert(k), "row {k} in more than one partition");
+            }
+        }
+        assert_eq!(union, full);
+        // A reasonable spread: no partition is empty at 400 rows.
+        for p in 0..4 {
+            assert!(h.scan_partition(p).count() > 0, "partition {p} empty");
+        }
+    }
+
+    #[test]
+    fn update_moves_rows_between_partitions() {
+        let h = heap(8);
+        let rid = h.insert(&row(1)).unwrap();
+        // Rewrite the key until the row provably changes partition.
+        let mut rid = rid;
+        let from = partition_of_value(&Value::Int(1), 8);
+        let mut moved = false;
+        for k in 2..64 {
+            rid = h.update(rid, &row(k)).unwrap();
+            if partition_of_value(&Value::Int(k), 8) != from {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved);
+        assert_eq!(h.count().unwrap(), 1);
+    }
+
+    #[test]
+    fn null_and_string_keys_hash_somewhere_stable() {
+        for parts in [1, 2, 4, 8] {
+            for v in [Value::Null, Value::Str("abc".into()), Value::Float(1.5), Value::Bool(true)] {
+                let p = partition_of_value(&v, parts);
+                assert!(p < parts);
+                assert_eq!(p, partition_of_value(&v, parts), "hash must be stable");
+            }
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! order decisions. `ANALYZE` scans the heap once.
 
 use crate::error::StorageResult;
-use crate::heap::HeapFile;
+use crate::partition::PartitionedHeap;
 use crate::schema::Schema;
 use crate::value::Value;
 use std::collections::HashSet;
@@ -63,8 +63,9 @@ impl TableStats {
     }
 }
 
-/// Compute statistics with one scan of the heap (the `ANALYZE` operation).
-pub fn analyze(heap: &HeapFile, schema: &Schema) -> StorageResult<TableStats> {
+/// Compute statistics with one scan of the heap (the `ANALYZE` operation);
+/// partitioned heaps are scanned partition by partition.
+pub fn analyze(heap: &PartitionedHeap, schema: &Schema) -> StorageResult<TableStats> {
     let ncols = schema.len();
     let mut columns = vec![ColumnStats::default(); ncols];
     let mut distinct: Vec<HashSet<String>> = vec![HashSet::new(); ncols];
@@ -119,9 +120,9 @@ mod tests {
     use crate::value::DataType;
     use std::sync::Arc;
 
-    fn setup() -> (HeapFile, Schema) {
+    fn setup() -> (PartitionedHeap, Schema) {
         let pool = BufferPool::new(Arc::new(MemDisk::new()), 64);
-        let heap = HeapFile::create(pool);
+        let heap = PartitionedHeap::create(pool, 1, 0);
         let schema = Schema::new(vec![
             Column::new("k", DataType::Int),
             Column::new("grp", DataType::Int),

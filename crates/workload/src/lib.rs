@@ -83,6 +83,24 @@ pub fn load_wisconsin_table(
     Ok(())
 }
 
+/// Like [`load_wisconsin_table`] but hash-partitioned `partitions` ways on
+/// `unique1` (the partition-parallel experiments sweep this), without an
+/// index so scans exercise the partial-scan path.
+pub fn load_wisconsin_table_partitioned(
+    catalog: &Arc<Catalog>,
+    name: &str,
+    rows: usize,
+    seed: u64,
+    partitions: usize,
+) -> staged_storage::StorageResult<()> {
+    let info = catalog.create_table_partitioned(name, wisconsin_schema(), partitions, 0)?;
+    for row in wisconsin_rows(rows, seed) {
+        info.heap.insert(&row)?;
+    }
+    catalog.analyze_table(name)?;
+    Ok(())
+}
+
 /// One generated query plus its workload class.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GeneratedQuery {

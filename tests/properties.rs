@@ -6,7 +6,9 @@ use staged_db::core::policy::Policy;
 use staged_db::sql::parser::parse_statement;
 use staged_db::storage::btree::BTree;
 use staged_db::storage::page::{SlottedPage, PAGE_SIZE};
-use staged_db::storage::{BufferPool, MemDisk, PageId, Rid, Tuple, Value};
+use staged_db::storage::{
+    partition_of_value, BufferPool, MemDisk, PageId, PartitionedHeap, Rid, Tuple, Value,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -93,6 +95,68 @@ proptest! {
         let mut got_sorted = got.clone();
         got_sorted.sort();
         prop_assert_eq!(got_sorted, want);
+    }
+
+    /// Partition-parallel storage invariant 1: every inserted row lands in
+    /// exactly one partition, and invariant 2: the union of per-partition
+    /// scans is exactly the unpartitioned table (same multiset of rows).
+    #[test]
+    fn partitioned_heap_routes_each_row_to_exactly_one_partition(
+        keys in prop::collection::vec(any::<i64>(), 1..150),
+        parts in 1usize..9,
+    ) {
+        let ph = PartitionedHeap::create(
+            BufferPool::new(Arc::new(MemDisk::new()), 256), parts, 0);
+        let flat = PartitionedHeap::create(
+            BufferPool::new(Arc::new(MemDisk::new()), 256), 1, 0);
+        for (i, k) in keys.iter().enumerate() {
+            let row = Tuple::new(vec![Value::Int(*k), Value::Int(i as i64)]);
+            let (p, _) = ph.insert_routed(&row).unwrap();
+            prop_assert_eq!(p, partition_of_value(&Value::Int(*k), parts));
+            flat.insert(&row).unwrap();
+        }
+        // Exactly-once: per-partition counts sum to the total, and each
+        // row id (the second column, unique per row) shows up once.
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for p in 0..parts {
+            for item in ph.scan_partition(p) {
+                let (_, t) = item.unwrap();
+                prop_assert!(seen.insert(t.get(1).as_int().unwrap()),
+                    "row emitted by two partitions");
+                total += 1;
+            }
+        }
+        prop_assert_eq!(total, keys.len());
+        // Union == unpartitioned table, as multisets.
+        let mut union: Vec<String> = ph.scan().map(|r| r.unwrap().1.to_string()).collect();
+        let mut plain: Vec<String> = flat.scan().map(|r| r.unwrap().1.to_string()).collect();
+        union.sort();
+        plain.sort();
+        prop_assert_eq!(union, plain);
+    }
+
+    /// Partition-parallel storage invariant 3: pruning to the hash
+    /// partition of a probe key never drops a qualifying row — every row
+    /// whose key equals the probe is found in that single partition.
+    #[test]
+    fn partition_pruning_never_drops_a_qualifying_row(
+        keys in prop::collection::vec(-40i64..40, 1..150),
+        probe in -40i64..40,
+        parts in 1usize..9,
+    ) {
+        let ph = PartitionedHeap::create(
+            BufferPool::new(Arc::new(MemDisk::new()), 256), parts, 0);
+        for (i, k) in keys.iter().enumerate() {
+            ph.insert(&Tuple::new(vec![Value::Int(*k), Value::Int(i as i64)])).unwrap();
+        }
+        let expected = keys.iter().filter(|k| **k == probe).count();
+        let pruned = partition_of_value(&Value::Int(probe), parts);
+        let found = ph
+            .scan_partition(pruned)
+            .filter(|r| r.as_ref().unwrap().1.get(0).as_int() == Some(probe))
+            .count();
+        prop_assert_eq!(found, expected, "pruned partition {} lost rows", pruned);
     }
 
     /// Printing a parsed statement and reparsing it is a fixpoint.
