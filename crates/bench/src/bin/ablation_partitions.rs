@@ -73,7 +73,9 @@ fn main() {
         // measures per-query overhead, not parallelism.
         let n_lookups = if quick { 50 } else { 400 };
         let lookups: Vec<PhysicalPlan> = (0..n_lookups)
-            .map(|i| plan(&catalog, &format!("SELECT * FROM big WHERE unique1 = {}", i * 37 % rows)))
+            .map(|i| {
+                plan(&catalog, &format!("SELECT * FROM big WHERE unique1 = {}", i * 37 % rows))
+            })
             .collect();
         let start = Instant::now();
         let handles: Vec<_> = lookups.iter().map(|p| engine.execute(p)).collect();

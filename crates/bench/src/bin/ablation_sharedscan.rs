@@ -55,16 +55,10 @@ fn main() {
         }
         let ms = start.elapsed().as_secs_f64() * 1000.0;
         let reads = catalog.pool().disk().stats().reads - disk_reads_before;
-        let convoys = engine
-            .registry
-            .stats
-            .groups_started
-            .load(std::sync::atomic::Ordering::Relaxed);
+        let convoys =
+            engine.registry.stats.groups_started.load(std::sync::atomic::Ordering::Relaxed);
         engine.shutdown();
-        println!(
-            "{:>14} {reads:>14} {convoys:>14} {ms:>12.1}",
-            if shared { "on" } else { "off" }
-        );
+        println!("{:>14} {reads:>14} {convoys:>14} {ms:>12.1}", if shared { "on" } else { "off" });
     }
     println!(
         "\nExpected: without sharing every query reads the table through the small\n\

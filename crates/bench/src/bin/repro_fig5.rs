@@ -13,8 +13,11 @@ fn main() {
     let horizon = if long { 2400.0 } else { 600.0 };
     let fractions = [0.0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.60];
     let policies = Policy::figure5_set();
-    eprintln!("simulating {} policies × {} load fractions (horizon {horizon}s virtual)…",
-        policies.len(), fractions.len());
+    eprintln!(
+        "simulating {} policies × {} load fractions (horizon {horizon}s virtual)…",
+        policies.len(),
+        fractions.len()
+    );
     let series = figure5_sweep(&fractions, &policies, 42, horizon);
     println!("Mean response time (seconds), 95% system load, 5 modules, m+l = 100 ms");
     print!("{:>6}", "l%");

@@ -21,7 +21,11 @@ use staged_sql::parser::{ParseInstrument, Parser};
 /// identical).
 const BASE_PARSE_CPU: f64 = 120e-6;
 
-fn parse_cost(sql: &str, probe: &SimProbe, regions: (staged_cachesim::Region, staged_cachesim::Region, staged_cachesim::Region)) -> f64 {
+fn parse_cost(
+    sql: &str,
+    probe: &SimProbe,
+    regions: (staged_cachesim::Region, staged_cachesim::Region, staged_cachesim::Region),
+) -> f64 {
     probe.reset_cost();
     let inst = ParseInstrument { probe, code: regions.0, symtab: regions.1, private: regions.2 };
     let mut p = Parser::new(sql, Some(inst)).expect("lex");
@@ -43,7 +47,11 @@ fn main() {
 
     // Scenario (a): q1 parses, the CPU optimizes/scans (evicting the
     // parser's working set), then q2 parses.
-    let probe = SimProbe::new(CacheSim::new(CacheConfig { capacity: 16 * 1024, line: 32, ways: 4 }), 2e-9, 60e-9);
+    let probe = SimProbe::new(
+        CacheSim::new(CacheConfig { capacity: 16 * 1024, line: 32, ways: 4 }),
+        2e-9,
+        60e-9,
+    );
     let _ = parse_cost(q1, &probe, (parser_code, symtab, private_q1));
     probe.touch(optimizer_ws, 0, optimizer_ws.len);
     probe.touch(scan_ws, 0, scan_ws.len);
@@ -51,7 +59,11 @@ fn main() {
     let cost_a = parse_cost(q2, &probe, (parser_code, symtab, private_q2));
 
     // Scenario (b): q2 parses immediately after q1.
-    let probe = SimProbe::new(CacheSim::new(CacheConfig { capacity: 16 * 1024, line: 32, ways: 4 }), 2e-9, 60e-9);
+    let probe = SimProbe::new(
+        CacheSim::new(CacheConfig { capacity: 16 * 1024, line: 32, ways: 4 }),
+        2e-9,
+        60e-9,
+    );
     let _ = parse_cost(q1, &probe, (parser_code, symtab, private_q1));
     let cost_b = parse_cost(q2, &probe, (parser_code, symtab, private_q2));
 

@@ -31,7 +31,7 @@ fn main() {
             }
             Parsed::Action(a) => *a,
         };
-        pipeline::execute_stage(action, &ctx, &wal, i as u64, Exec::Volcano).unwrap();
+        pipeline::execute_stage(action, &ctx, &wal, i as u64, Exec::Volcano, None).unwrap();
     }
 
     headline("Table 1 (measured): data/code references across 50 queries");
@@ -45,14 +45,8 @@ fn main() {
     );
 
     headline("Table 1 (paper, qualitative)");
-    println!(
-        "{:<10} {:<44} code",
-        "class", "data"
-    );
-    println!(
-        "{:<10} {:<44} —",
-        "PRIVATE", "query execution plan, client state, results"
-    );
+    println!("{:<10} {:<44} code", "class", "data");
+    println!("{:<10} {:<44} —", "PRIVATE", "query execution plan, client state, results");
     println!("{:<10} {:<44} operator-specific code", "SHARED", "tables, indices");
     println!("{:<10} {:<44} rest of DBMS code", "COMMON", "catalog, symbol table");
     println!(

@@ -167,7 +167,11 @@ impl RefTable {
 
 impl std::fmt::Display for RefTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{:<10} {:>14} {:>14} {:>14} {:>14}", "class", "data refs", "data bytes", "code refs", "code bytes")?;
+        writeln!(
+            f,
+            "{:<10} {:>14} {:>14} {:>14} {:>14}",
+            "class", "data refs", "data bytes", "code refs", "code bytes"
+        )?;
         for class in RefClass::ALL {
             let data = self.rows.iter().find(|r| r.class == class && r.kind == RefKind::Data);
             let code = self.rows.iter().find(|r| r.class == class && r.kind == RefKind::Code);

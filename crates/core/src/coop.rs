@@ -114,12 +114,8 @@ impl CoopReport {
 
     /// The `q`-quantile (0..=1) of response times after `warmup`.
     pub fn quantile_response(&self, q: f64, warmup: f64) -> f64 {
-        let mut r: Vec<f64> = self
-            .completions
-            .iter()
-            .filter(|c| c.arrival >= warmup)
-            .map(|c| c.response())
-            .collect();
+        let mut r: Vec<f64> =
+            self.completions.iter().filter(|c| c.arrival >= warmup).map(|c| c.response()).collect();
         if r.is_empty() {
             return f64::NAN;
         }
@@ -247,7 +243,11 @@ impl Sim {
     }
 
     fn complete(&mut self, j: &Live) {
-        self.report.completions.push(Completion { id: j.id, arrival: j.arrival, finish: self.clock });
+        self.report.completions.push(Completion {
+            id: j.id,
+            arrival: j.arrival,
+            finish: self.clock,
+        });
     }
 }
 
@@ -524,24 +524,22 @@ mod tests {
         // Two queries arriving together: non-gated serves both per module, so
         // each module load is paid once, not twice.
         let cfg = CoopConfig::uniform(2, 1.0, Policy::NonGated);
-        let r = CoopExecutor::new(cfg)
-            .run(vec![job(1, 0.0, &[1.0, 1.0]), job(2, 0.0, &[1.0, 1.0])]);
+        let r =
+            CoopExecutor::new(cfg).run(vec![job(1, 0.0, &[1.0, 1.0]), job(2, 0.0, &[1.0, 1.0])]);
         approx(r.total_load_time, 2.0); // one load per module
         approx(r.total_work_time, 4.0);
         approx(r.makespan, 6.0);
         // Under FCFS the same jobs pay every load twice.
         let cfg = CoopConfig::uniform(2, 1.0, Policy::Fcfs);
-        let r = CoopExecutor::new(cfg)
-            .run(vec![job(1, 0.0, &[1.0, 1.0]), job(2, 0.0, &[1.0, 1.0])]);
+        let r =
+            CoopExecutor::new(cfg).run(vec![job(1, 0.0, &[1.0, 1.0]), job(2, 0.0, &[1.0, 1.0])]);
         approx(r.total_load_time, 4.0);
         approx(r.makespan, 8.0);
     }
 
     #[test]
     fn work_is_conserved_across_policies() {
-        let jobs: Vec<Job> = (0..20)
-            .map(|i| job(i, i as f64 * 0.1, &[0.05, 0.1, 0.02]))
-            .collect();
+        let jobs: Vec<Job> = (0..20).map(|i| job(i, i as f64 * 0.1, &[0.05, 0.1, 0.02])).collect();
         for p in Policy::figure5_set() {
             let cfg = CoopConfig {
                 loads: vec![0.01; 3],
@@ -562,14 +560,14 @@ mod tests {
         // Stage demands chosen so that a second query arrives while the first
         // batch is in service at module 0.
         let jobs = vec![job(1, 0.0, &[1.0, 1.0]), job(2, 0.5, &[1.0, 1.0])];
-        let gated = CoopExecutor::new(CoopConfig::uniform(2, 0.0, Policy::DGated)).run(jobs.clone());
+        let gated =
+            CoopExecutor::new(CoopConfig::uniform(2, 0.0, Policy::DGated)).run(jobs.clone());
         let exhaustive =
             CoopExecutor::new(CoopConfig::uniform(2, 0.0, Policy::NonGated)).run(jobs.clone());
         // Exhaustive serves job 2 at module 0 right after job 1 (it arrived
         // during job 1's service), so job 1 finishes later than under gating.
-        let finish = |r: &CoopReport, id: u64| {
-            r.completions.iter().find(|c| c.id == id).unwrap().finish
-        };
+        let finish =
+            |r: &CoopReport, id: u64| r.completions.iter().find(|c| c.id == id).unwrap().finish;
         assert!(finish(&gated, 1) < finish(&exhaustive, 1));
         assert_eq!(gated.completions.len(), 2);
         assert_eq!(exhaustive.completions.len(), 2);
@@ -645,8 +643,7 @@ mod tests {
     #[test]
     fn idle_period_jumps_to_next_arrival() {
         let cfg = CoopConfig::uniform(1, 0.0, Policy::Fcfs);
-        let r = CoopExecutor::new(cfg)
-            .run(vec![job(1, 0.0, &[0.5]), job(2, 10.0, &[0.5])]);
+        let r = CoopExecutor::new(cfg).run(vec![job(1, 0.0, &[0.5]), job(2, 10.0, &[0.5])]);
         approx(r.completions[1].finish, 10.5);
         approx(r.completions[1].response(), 0.5);
     }

@@ -19,6 +19,7 @@ pub struct StageMonitor {
     busy_nanos: AtomicU64,
     idle_polls: AtomicU64,
     io_blocked_nanos: AtomicU64,
+    retries: AtomicU64,
     pub(crate) active_workers: AtomicUsize,
 }
 
@@ -46,6 +47,14 @@ impl StageMonitor {
         self.io_blocked_nanos.fetch_add(blocked.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Record a packet requeued because it is waiting on a condition (paper
+    /// §4.1.1 case iii — e.g. the lock-manager stage parking a transaction
+    /// behind a conflicting lock). High retry counts flag contention to the
+    /// monitor without any stage-specific plumbing.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Packets processed so far.
     pub fn processed(&self) -> u64 {
         self.processed.load(Ordering::Relaxed)
@@ -64,6 +73,11 @@ impl StageMonitor {
     /// Total I/O-blocked time in nanoseconds.
     pub fn io_blocked_nanos(&self) -> u64 {
         self.io_blocked_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Condition-wait requeues so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 }
 
@@ -84,6 +98,9 @@ pub struct StageStats {
     pub io_blocked_nanos: u64,
     /// Idle polls (wakeups with an empty queue).
     pub idle_polls: u64,
+    /// Packets requeued while waiting on a condition (lock conflicts, full
+    /// output buffers).
+    pub retries: u64,
     /// Workers currently allowed to dequeue.
     pub target_workers: usize,
     /// Workers currently alive (spawned).
@@ -120,6 +137,7 @@ pub(crate) fn snapshot(
         busy_nanos: monitor.busy_nanos(),
         io_blocked_nanos: monitor.io_blocked_nanos(),
         idle_polls: monitor.idle_polls.load(Ordering::Relaxed),
+        retries: monitor.retries(),
         target_workers,
         spawned_workers,
         queue,
@@ -144,9 +162,12 @@ mod tests {
         m.record_processed(Duration::from_nanos(700));
         m.record_error();
         m.record_io_blocked(Duration::from_nanos(300));
+        m.record_retry();
+        m.record_retry();
         assert_eq!(m.processed(), 2);
         assert_eq!(m.errors(), 1);
         assert_eq!(m.busy_nanos(), 1200);
         assert_eq!(m.io_blocked_nanos(), 300);
+        assert_eq!(m.retries(), 2);
     }
 }

@@ -323,7 +323,8 @@ mod tests {
         for i in 0..10 {
             rt.enqueue(first, i).unwrap();
         }
-        let mut got: Vec<u64> = (0..10).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        let mut got: Vec<u64> =
+            (0..10).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
         got.sort_unstable();
         assert_eq!(got, (0..10).map(|i| i * 2).collect::<Vec<_>>());
         rt.shutdown();

@@ -124,4 +124,11 @@ impl<'a, P: Send + 'static> StageCtx<'a, P> {
     pub fn record_io_blocked(&self, blocked: std::time::Duration) {
         self.shared.stage(self.stage_id).monitor.record_io_blocked(blocked);
     }
+
+    /// Report that the current packet was requeued to wait on a condition
+    /// (case iii of §4.1.1). The lock-manager stage calls this on every
+    /// conflict-requeue, so `StageStats::retries` exposes lock contention.
+    pub fn record_retry(&self) {
+        self.shared.stage(self.stage_id).monitor.record_retry();
+    }
 }

@@ -54,9 +54,10 @@ impl Accumulator {
             AggFunc::Count => {}
             AggFunc::Sum | AggFunc::Avg => match v {
                 Value::Int(i) => {
-                    self.sum_i = self.sum_i.checked_add(*i).ok_or_else(|| {
-                        EngineError::Eval("SUM overflow".into())
-                    })?;
+                    self.sum_i = self
+                        .sum_i
+                        .checked_add(*i)
+                        .ok_or_else(|| EngineError::Eval("SUM overflow".into()))?;
                     self.sum_f += *i as f64;
                 }
                 Value::Float(f) => {
@@ -138,9 +139,7 @@ impl AggMerger {
     fn combine_accs(&self) -> Vec<Accumulator> {
         let mut accs = Vec::new();
         for a in &self.aggs {
-            let acc = |func| {
-                Accumulator::new(&AggSpec { func, arg: None, distinct: false })
-            };
+            let acc = |func| Accumulator::new(&AggSpec { func, arg: None, distinct: false });
             match a.func {
                 // Final COUNT = sum of partial counts.
                 AggFunc::Count | AggFunc::Sum => accs.push(acc(AggFunc::Sum)),
@@ -308,11 +307,21 @@ mod tests {
         let mut m = AggMerger::new(1, aggs);
         // Partition 1: group 7 saw rows {1, 3}; partition 2: group 7 saw {5}.
         m.absorb(&Tuple::new(vec![
-            Value::Int(7), Value::Int(2), Value::Int(4), Value::Int(1), Value::Int(4), Value::Int(2),
+            Value::Int(7),
+            Value::Int(2),
+            Value::Int(4),
+            Value::Int(1),
+            Value::Int(4),
+            Value::Int(2),
         ]))
         .unwrap();
         m.absorb(&Tuple::new(vec![
-            Value::Int(7), Value::Int(1), Value::Int(5), Value::Int(5), Value::Int(5), Value::Int(1),
+            Value::Int(7),
+            Value::Int(1),
+            Value::Int(5),
+            Value::Int(5),
+            Value::Int(5),
+            Value::Int(1),
         ]))
         .unwrap();
         let rows = m.finish();
@@ -325,7 +334,8 @@ mod tests {
 
     #[test]
     fn merger_global_aggregate_handles_empty_partials() {
-        let aggs = vec![spec(AggFunc::Count, false), spec(AggFunc::Sum, false), spec(AggFunc::Avg, false)];
+        let aggs =
+            vec![spec(AggFunc::Count, false), spec(AggFunc::Sum, false), spec(AggFunc::Avg, false)];
         let mut m = AggMerger::new(0, aggs);
         // Two partitions, both empty: each partial emits COUNT 0, SUM NULL,
         // AVG partials (NULL, 0).

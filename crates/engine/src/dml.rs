@@ -4,6 +4,7 @@
 use crate::context::ExecContext;
 use crate::error::{EngineError, EngineResult};
 use crate::expr::{eval, eval_predicate};
+use crate::txn::{TxnManager, Undo};
 use staged_planner::{plan_table_filter, PhysicalPlan, PlannerConfig};
 use staged_sql::ast::Expr;
 use staged_storage::catalog::TableInfo;
@@ -11,12 +12,44 @@ use staged_storage::wal::{LogRecord, Wal};
 use staged_storage::{Rid, Tuple, Value};
 use std::sync::Arc;
 
+/// Where a DML statement's changes are recorded: the WAL (redo), and —
+/// when the statement runs inside a transaction — the transaction
+/// manager's undo log (rollback). Passing `None` to the DML entry points
+/// skips logging entirely (bulk loads, tests).
+pub struct DmlLog<'a> {
+    /// The write-ahead log.
+    pub wal: &'a Wal,
+    /// Transaction the records belong to.
+    pub xid: u64,
+    /// Undo-log sink; `None` for unmanaged (bare-WAL) callers.
+    pub txn: Option<&'a TxnManager>,
+}
+
+impl<'a> DmlLog<'a> {
+    /// WAL-only logging (no in-memory undo), as used before the
+    /// transaction subsystem existed.
+    pub fn wal_only(wal: &'a Wal, xid: u64) -> Self {
+        Self { wal, xid, txn: None }
+    }
+
+    /// Full transactional logging: WAL plus the manager's undo log.
+    pub fn txn(wal: &'a Wal, xid: u64, txn: &'a TxnManager) -> Self {
+        Self { wal, xid, txn: Some(txn) }
+    }
+
+    fn note_undo(&self, undo: Undo) {
+        if let Some(mgr) = self.txn {
+            mgr.record_undo(self.xid, undo);
+        }
+    }
+}
+
 /// Insert fully-evaluated rows; returns the number inserted.
 pub fn insert_rows(
     ctx: &ExecContext,
     table: &Arc<TableInfo>,
     rows: Vec<Tuple>,
-    wal: Option<(&Wal, u64)>,
+    log: Option<&DmlLog<'_>>,
 ) -> EngineResult<u64> {
     let indexes = ctx.catalog.indexes_for(table.id);
     let mut n = 0;
@@ -29,13 +62,14 @@ pub fn insert_rows(
                 ix.insert(part, k, rid)?;
             }
         }
-        if let Some((wal, xid)) = wal {
-            wal.append(&LogRecord::Insert {
-                xid,
+        if let Some(log) = log {
+            log.wal.append(&LogRecord::Insert {
+                xid: log.xid,
                 table: table.id.0,
                 rid,
                 bytes: row.encode(),
             })?;
+            log.note_undo(Undo::Insert { table: table.id.0, rid });
         }
         n += 1;
     }
@@ -49,8 +83,7 @@ pub fn matching_rids(
     table: &Arc<TableInfo>,
     predicate: &Option<Expr>,
 ) -> EngineResult<Vec<(Rid, Tuple)>> {
-    let plan =
-        plan_table_filter(table, predicate.clone(), &ctx.catalog, &PlannerConfig::default());
+    let plan = plan_table_filter(table, predicate.clone(), &ctx.catalog, &PlannerConfig::default());
     let mut out = Vec::new();
     match &plan {
         PhysicalPlan::IndexScan { index, lo, hi, predicate: residual, .. } => {
@@ -102,7 +135,7 @@ pub fn delete_rows(
     ctx: &ExecContext,
     table: &Arc<TableInfo>,
     predicate: &Option<Expr>,
-    wal: Option<(&Wal, u64)>,
+    log: Option<&DmlLog<'_>>,
 ) -> EngineResult<u64> {
     let victims = matching_rids(ctx, table, predicate)?;
     let indexes = ctx.catalog.indexes_for(table.id);
@@ -115,8 +148,15 @@ pub fn delete_rows(
                 ix.delete(part, k, rid)?;
             }
         }
-        if let Some((wal, xid)) = wal {
-            wal.append(&LogRecord::Delete { xid, table: table.id.0, rid })?;
+        if let Some(log) = log {
+            let before = row.encode();
+            log.wal.append(&LogRecord::Delete {
+                xid: log.xid,
+                table: table.id.0,
+                rid,
+                before: before.clone(),
+            })?;
+            log.note_undo(Undo::Delete { table: table.id.0, rid, before });
         }
         n += 1;
     }
@@ -130,7 +170,7 @@ pub fn update_rows(
     table: &Arc<TableInfo>,
     sets: &[(usize, Expr)],
     predicate: &Option<Expr>,
-    wal: Option<(&Wal, u64)>,
+    log: Option<&DmlLog<'_>>,
 ) -> EngineResult<u64> {
     let victims = matching_rids(ctx, table, predicate)?;
     let indexes = ctx.catalog.indexes_for(table.id);
@@ -156,33 +196,61 @@ pub fn update_rows(
                 ix.insert(new_part, k, new_rid)?;
             }
         }
-        if let Some((wal, xid)) = wal {
-            wal.append(&LogRecord::Delete { xid, table: table.id.0, rid })?;
-            wal.append(&LogRecord::Insert {
-                xid,
+        if let Some(log) = log {
+            let before = old.encode();
+            log.wal.append(&LogRecord::Delete {
+                xid: log.xid,
+                table: table.id.0,
+                rid,
+                before: before.clone(),
+            })?;
+            log.wal.append(&LogRecord::Insert {
+                xid: log.xid,
                 table: table.id.0,
                 rid: new_rid,
                 bytes: new.encode(),
             })?;
+            // Forward order Delete-then-Insert; rollback walks the undo log
+            // in reverse, so it removes the new image before restoring the
+            // old one.
+            log.note_undo(Undo::Delete { table: table.id.0, rid, before });
+            log.note_undo(Undo::Insert { table: table.id.0, rid: new_rid });
         }
         n += 1;
     }
     Ok(n)
 }
 
-/// Redo recovery: replay every durable WAL record into the catalog's
-/// (freshly re-created, empty) tables. Inserts re-route through the hash
-/// partitioner and rebuild per-partition index entries, so a partitioned
-/// table comes back with exactly the layout it had before the crash. Rids
-/// in the log are translated through a map because page allocation order
-/// after restart need not match the original run.
+/// Redo recovery: replay the durable WAL records of *committed*
+/// transactions into the catalog's (freshly re-created, empty) tables. A
+/// first pass collects the xids with a durable `Commit` record; the replay
+/// pass skips every record of an uncommitted or aborted transaction, so a
+/// crash between `Begin` and `Commit` erases that transaction entirely.
+/// Inserts re-route through the hash partitioner and rebuild per-partition
+/// index entries, so a partitioned table comes back with exactly the
+/// layout it had before the crash. Rids in the log are translated through
+/// a map because page allocation order after restart need not match the
+/// original run.
 ///
 /// Returns the number of records applied.
 pub fn redo(ctx: &ExecContext, wal: &Wal) -> EngineResult<u64> {
-    use std::collections::HashMap;
+    use std::collections::{HashMap, HashSet};
+    // One decode pass: collect the committed xids from the record stream,
+    // then replay it.
+    let records = wal.read_all()?;
+    let committed: HashSet<u64> = records
+        .iter()
+        .filter_map(|r| match r {
+            LogRecord::Commit { xid } => Some(*xid),
+            _ => None,
+        })
+        .collect();
     let mut rid_map: HashMap<(u32, Rid), Rid> = HashMap::new();
     let mut applied = 0u64;
-    for rec in wal.read_all()? {
+    for rec in records {
+        if !committed.contains(&rec.xid()) {
+            continue;
+        }
         match rec {
             LogRecord::Insert { table, rid, bytes, .. } => {
                 let info = ctx.catalog.table_by_id(staged_storage::catalog::TableId(table))?;
@@ -276,7 +344,10 @@ mod tests {
         let (ctx, t) = setup();
         insert_rows(&ctx, &t, rows(10), None).unwrap();
         let pred = Some(Expr::binary(col(0), BinOp::Eq, Expr::int(3)));
-        let sets = vec![(0usize, Expr::int(333)), (1usize, Expr::binary(col(1), BinOp::Add, Expr::int(1)))];
+        let sets = vec![
+            (0usize, Expr::int(333)),
+            (1usize, Expr::binary(col(1), BinOp::Add, Expr::int(1))),
+        ];
         assert_eq!(update_rows(&ctx, &t, &sets, &pred, None).unwrap(), 1);
         let ix = ctx.catalog.index_on(t.id, 0).unwrap();
         assert!(ix.search(3).unwrap().is_empty());
@@ -332,13 +403,48 @@ mod tests {
     fn wal_records_dml() {
         let (ctx, t) = setup();
         let wal = Wal::new(Arc::new(MemDisk::new()));
-        insert_rows(&ctx, &t, rows(3), Some((&wal, 9))).unwrap();
-        delete_rows(&ctx, &t, &None, Some((&wal, 9))).unwrap();
+        let log = DmlLog::wal_only(&wal, 9);
+        insert_rows(&ctx, &t, rows(3), Some(&log)).unwrap();
+        delete_rows(&ctx, &t, &None, Some(&log)).unwrap();
         wal.flush().unwrap();
         let recs = wal.read_all().unwrap();
         let inserts = recs.iter().filter(|r| matches!(r, LogRecord::Insert { .. })).count();
         let deletes = recs.iter().filter(|r| matches!(r, LogRecord::Delete { .. })).count();
         assert_eq!(inserts, 3);
         assert_eq!(deletes, 3);
+        // Delete records carry the before-image of what they destroyed.
+        for r in &recs {
+            if let LogRecord::Delete { before, .. } = r {
+                let row = Tuple::decode(before).unwrap();
+                assert_eq!(row.values().len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn redo_skips_uncommitted_and_aborted_transactions() {
+        let (ctx, t) = setup();
+        let wal = Wal::new(Arc::new(MemDisk::new()));
+        // xid 1 commits, xid 2 aborts, xid 3 crashes mid-flight.
+        wal.append(&LogRecord::Begin { xid: 1 }).unwrap();
+        insert_rows(&ctx, &t, rows(5), Some(&DmlLog::wal_only(&wal, 1))).unwrap();
+        wal.append(&LogRecord::Commit { xid: 1 }).unwrap();
+        wal.append(&LogRecord::Begin { xid: 2 }).unwrap();
+        let aborted: Vec<Tuple> =
+            (100..105).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(0)])).collect();
+        insert_rows(&ctx, &t, aborted, Some(&DmlLog::wal_only(&wal, 2))).unwrap();
+        wal.append(&LogRecord::Abort { xid: 2 }).unwrap();
+        wal.append(&LogRecord::Begin { xid: 3 }).unwrap();
+        let inflight: Vec<Tuple> =
+            (200..203).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(0)])).collect();
+        insert_rows(&ctx, &t, inflight, Some(&DmlLog::wal_only(&wal, 3))).unwrap();
+        wal.flush().unwrap();
+
+        let (ctx2, t2) = setup();
+        let applied = redo(&ctx2, &wal).unwrap();
+        assert_eq!(applied, 5, "only xid 1's records replay");
+        let ids: Vec<i64> = t2.heap.scan().map(|r| r.unwrap().1.get(0).as_int().unwrap()).collect();
+        assert_eq!(ids.len(), 5);
+        assert!(ids.iter().all(|i| *i < 5), "uncommitted rows leaked into redo: {ids:?}");
     }
 }

@@ -16,6 +16,12 @@ pub enum EngineError {
     Sql(SqlError),
     /// Expression evaluation failed (type error, division by zero, …).
     Eval(String),
+    /// Transaction-state misuse (BEGIN inside a transaction, COMMIT with
+    /// none active, operations on an already-finished xid, …) or a commit
+    /// whose log write failed and was rolled back. Lock timeouts surface
+    /// as [`crate::txn::LockError`] at the lock table and are reported by
+    /// the servers.
+    Txn(String),
     /// Internal invariant violated.
     Internal(String),
 }
@@ -26,6 +32,7 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "storage: {e}"),
             EngineError::Sql(e) => write!(f, "{e}"),
             EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
+            EngineError::Txn(m) => write!(f, "transaction error: {m}"),
             EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
         }
     }

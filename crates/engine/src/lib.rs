@@ -27,6 +27,7 @@ pub mod dml;
 pub mod error;
 pub mod expr;
 pub mod staged;
+pub mod txn;
 pub mod volcano;
 
 pub use batch::TupleBatch;

@@ -167,7 +167,12 @@ pub struct QueryCtl {
 
 impl QueryCtl {
     fn new(query: QueryId, sink: Sender<EngineResult<Tuple>>) -> Arc<Self> {
-        Arc::new(Self { query, sink, cancelled: AtomicBool::new(false), live_tasks: AtomicU64::new(0) })
+        Arc::new(Self {
+            query,
+            sink,
+            cancelled: AtomicBool::new(false),
+            live_tasks: AtomicU64::new(0),
+        })
     }
 
     /// A control block not tied to any client (used by shared-scan drivers,
@@ -287,14 +292,7 @@ impl StagedEngine {
             stage_ids.push((kind, id));
         }
         let runtime = builder.build();
-        Arc::new(Self {
-            runtime,
-            stage_ids,
-            registry,
-            ctx,
-            config,
-            next_query: AtomicU64::new(0),
-        })
+        Arc::new(Self { runtime, stage_ids, registry, ctx, config, next_query: AtomicU64::new(0) })
     }
 
     /// Stage id for a kind.
@@ -350,7 +348,11 @@ struct EngineStageLogic {
 }
 
 impl StageLogic<TaskPacket> for EngineStageLogic {
-    fn process(&self, mut packet: TaskPacket, ctx: &StageCtx<'_, TaskPacket>) -> Result<(), StageError> {
+    fn process(
+        &self,
+        mut packet: TaskPacket,
+        ctx: &StageCtx<'_, TaskPacket>,
+    ) -> Result<(), StageError> {
         if packet.ctl.is_cancelled() {
             return Ok(()); // drop the packet; query aborted
         }

@@ -10,7 +10,7 @@
 //! table is read from disk once per convoy.
 
 use super::tasks::Emitter;
-use super::{OperatorTask, QueryCtl, StepResult, StagedEngine, StageKind, TaskPacket, Transform};
+use super::{OperatorTask, QueryCtl, StageKind, StagedEngine, StepResult, TaskPacket, Transform};
 use crate::context::ExecContext;
 use crate::error::EngineResult;
 use parking_lot::Mutex;
@@ -112,10 +112,7 @@ pub fn subscribe(engine: &Arc<StagedEngine>, table: &Arc<TableInfo>, mut sub: Su
     registry.stats.groups_started.fetch_add(1, Ordering::Relaxed);
     drop(groups);
     let driver = DriverTask { group, registry: Arc::clone(&registry), ctx: engine.ctx().clone() };
-    engine.enqueue(
-        StageKind::FScan,
-        TaskPacket { ctl: detached_ctl(), task: Box::new(driver) },
-    );
+    engine.enqueue(StageKind::FScan, TaskPacket { ctl: detached_ctl(), task: Box::new(driver) });
 }
 
 /// A control block that never cancels: the driver outlives any single
@@ -229,7 +226,11 @@ impl OperatorTask for DriverTask {
             match self.deliver_one_page()? {
                 DriverProgress::Finished => return Ok(StepResult::Done),
                 DriverProgress::Congested => {
-                    return Ok(if delivered > 0 { StepResult::Working } else { StepResult::Blocked })
+                    return Ok(if delivered > 0 {
+                        StepResult::Working
+                    } else {
+                        StepResult::Blocked
+                    })
                 }
                 DriverProgress::Delivered => delivered += 1,
             }

@@ -2,8 +2,8 @@
 
 use super::sharing::{self, Subscriber};
 use super::{
-    apply_transforms, Activator, EngineConfig, ExchangeBuffer, OperatorTask, QueryCtl,
-    StageKind, StagedEngine, StepResult, TaskPacket, Transform, TupleBatch,
+    apply_transforms, Activator, EngineConfig, ExchangeBuffer, OperatorTask, QueryCtl, StageKind,
+    StagedEngine, StepResult, TaskPacket, Transform, TupleBatch,
 };
 use crate::agg::AggMerger;
 use crate::context::ExecContext;
@@ -138,7 +138,10 @@ pub fn compile_and_launch(engine: &Arc<StagedEngine>, plan: &PhysicalPlan, ctl: 
         engine.stage_id(StageKind::Send),
         TaskPacket {
             ctl: Arc::clone(&ctl),
-            task: Box::new(SendTask { input: Intake::new(Arc::clone(&root_buf)), ctl: Arc::clone(&ctl) }),
+            task: Box::new(SendTask {
+                input: Intake::new(Arc::clone(&root_buf)),
+                ctl: Arc::clone(&ctl),
+            }),
         },
     );
     build(engine, plan, root_buf, Vec::new(), send_act, ctl, &cfg);
@@ -539,7 +542,11 @@ impl OperatorTask for SortTask {
                         break;
                     }
                     None => {
-                        return Ok(if consumed > 0 { StepResult::Working } else { StepResult::Blocked })
+                        return Ok(if consumed > 0 {
+                            StepResult::Working
+                        } else {
+                            StepResult::Blocked
+                        })
                     }
                 }
             }
@@ -596,7 +603,11 @@ impl OperatorTask for UnionTask {
                         return Ok(StepResult::Working);
                     }
                     if !self.emitter.ready() {
-                        return Ok(if moved > 0 { StepResult::Working } else { StepResult::Blocked });
+                        return Ok(if moved > 0 {
+                            StepResult::Working
+                        } else {
+                            StepResult::Blocked
+                        });
                     }
                     match self.inputs[i].next() {
                         Some(t) => {
@@ -660,7 +671,11 @@ impl OperatorTask for MergeAggTask {
                     if self.inputs.iter().all(Intake::finished) {
                         break;
                     }
-                    return Ok(if consumed > 0 { StepResult::Working } else { StepResult::Blocked });
+                    return Ok(if consumed > 0 {
+                        StepResult::Working
+                    } else {
+                        StepResult::Blocked
+                    });
                 }
             }
             let merger = self.merger.take().expect("merger present until finish");
@@ -731,7 +746,11 @@ impl OperatorTask for AggTask {
                     }
                     None if self.input.finished() => break,
                     None => {
-                        return Ok(if consumed > 0 { StepResult::Working } else { StepResult::Blocked })
+                        return Ok(if consumed > 0 {
+                            StepResult::Working
+                        } else {
+                            StepResult::Blocked
+                        })
                     }
                 }
             }

@@ -70,14 +70,12 @@ pub fn build(plan: &PhysicalPlan, ctx: &ExecContext) -> EngineResult<Box<dyn Exe
                 predicate.clone(),
             ))
         }
-        PhysicalPlan::Filter { input, predicate } => Box::new(FilterExec {
-            input: build(input, ctx)?,
-            predicate: predicate.clone(),
-        }),
-        PhysicalPlan::Project { input, exprs, .. } => Box::new(ProjectExec {
-            input: build(input, ctx)?,
-            exprs: exprs.clone(),
-        }),
+        PhysicalPlan::Filter { input, predicate } => {
+            Box::new(FilterExec { input: build(input, ctx)?, predicate: predicate.clone() })
+        }
+        PhysicalPlan::Project { input, exprs, .. } => {
+            Box::new(ProjectExec { input: build(input, ctx)?, exprs: exprs.clone() })
+        }
         PhysicalPlan::NestedLoopJoin { left, right, predicate } => {
             ctx.note_operator_code(8192);
             Box::new(NestedLoopJoinExec {
@@ -137,10 +135,9 @@ pub fn build(plan: &PhysicalPlan, ctx: &ExecContext) -> EngineResult<Box<dyn Exe
             input: build(input, ctx)?,
             seen: std::collections::HashSet::new(),
         }),
-        PhysicalPlan::Limit { input, n } => Box::new(LimitExec {
-            input: build(input, ctx)?,
-            remaining: *n,
-        }),
+        PhysicalPlan::Limit { input, n } => {
+            Box::new(LimitExec { input: build(input, ctx)?, remaining: *n })
+        }
     })
 }
 
@@ -431,7 +428,16 @@ impl MergeJoinExec {
         keys: (Expr, Expr),
         residual: Option<Expr>,
     ) -> Self {
-        Self { ctx, left: Some(left), right: Some(right), keys, residual, output: Vec::new(), pos: 0, done: false }
+        Self {
+            ctx,
+            left: Some(left),
+            right: Some(right),
+            keys,
+            residual,
+            output: Vec::new(),
+            pos: 0,
+            done: false,
+        }
     }
 
     /// Sort-merge both inputs and materialize the join output.
@@ -467,11 +473,15 @@ impl MergeJoinExec {
                     // Emit the cross product of the two equal-key groups.
                     let key = lrows[i].0.clone();
                     let li0 = i;
-                    while i < lrows.len() && lrows[i].0.sql_cmp(&key) == Some(std::cmp::Ordering::Equal) {
+                    while i < lrows.len()
+                        && lrows[i].0.sql_cmp(&key) == Some(std::cmp::Ordering::Equal)
+                    {
                         i += 1;
                     }
                     let rj0 = j;
-                    while j < rrows.len() && rrows[j].0.sql_cmp(&key) == Some(std::cmp::Ordering::Equal) {
+                    while j < rrows.len()
+                        && rrows[j].0.sql_cmp(&key) == Some(std::cmp::Ordering::Equal)
+                    {
                         j += 1;
                     }
                     for (_, lt) in &lrows[li0..i] {

@@ -144,7 +144,10 @@ fn order_by_is_respected_by_both() {
 fn merge_join_forced_by_config() {
     let cat = setup();
     let Statement::Select(sel) =
-        parse_statement("SELECT t.a, u.w FROM t, u WHERE t.a = u.a").unwrap() else { panic!() };
+        parse_statement("SELECT t.a, u.w FROM t, u WHERE t.a = u.a").unwrap()
+    else {
+        panic!()
+    };
     let bound = Binder::new(BindContext::new(&cat)).bind_select(sel).unwrap();
     let pcfg = PlannerConfig { enable_hash_join: false, ..Default::default() };
     let plan = plan_select(&bound, &cat, &pcfg).unwrap();
@@ -191,10 +194,8 @@ fn concurrent_queries_share_one_engine() {
     ];
     // Launch all queries concurrently against the same stage set.
     let handles: Vec<_> = queries.iter().map(|q| engine.execute(&mk_plan(q))).collect();
-    let expected: Vec<Vec<String>> = queries
-        .iter()
-        .map(|q| canonical(volcano::run(&mk_plan(q), &ctx).unwrap()))
-        .collect();
+    let expected: Vec<Vec<String>> =
+        queries.iter().map(|q| canonical(volcano::run(&mk_plan(q), &ctx).unwrap())).collect();
     for (h, exp) in handles.into_iter().zip(expected) {
         let rows = h.collect().unwrap();
         assert_eq!(canonical(rows), exp);
@@ -307,10 +308,7 @@ fn partitioned_differential_suite_matches_volcano_at_every_partition_count() {
     // Reference: the unpartitioned catalog through Volcano only.
     let reference: Vec<Vec<String>> = {
         let cat = setup_partitioned(1, false);
-        PARTITIONED_SHAPES
-            .iter()
-            .map(|sql| canonical(run_volcano_on(&cat, sql)))
-            .collect()
+        PARTITIONED_SHAPES.iter().map(|sql| canonical(run_volcano_on(&cat, sql))).collect()
     };
     for parts in [1usize, 2, 4, 8] {
         let cat = setup_partitioned(parts, false);

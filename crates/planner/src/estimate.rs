@@ -158,16 +158,14 @@ pub fn sargable_bounds(conjunct: &Expr, col: usize) -> Option<(Option<i64>, Opti
                 _ => None,
             }
         }
-        Expr::Between { expr, lo, hi, negated: false } => {
-            match (&**expr, &**lo, &**hi) {
-                (Expr::Column(c), Expr::Literal(Value::Int(a)), Expr::Literal(Value::Int(b)))
-                    if c.index == Some(col) =>
-                {
-                    Some((Some(*a), Some(*b)))
-                }
-                _ => None,
+        Expr::Between { expr, lo, hi, negated: false } => match (&**expr, &**lo, &**hi) {
+            (Expr::Column(c), Expr::Literal(Value::Int(a)), Expr::Literal(Value::Int(b)))
+                if c.index == Some(col) =>
+            {
+                Some((Some(*a), Some(*b)))
             }
-        }
+            _ => None,
+        },
         _ => None,
     }
 }

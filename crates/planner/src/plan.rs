@@ -224,7 +224,13 @@ impl PhysicalPlan {
                 writeln!(f)
             }
             PhysicalPlan::PartitionScan { table, partition, predicate } => {
-                write!(f, "{pad}PartitionScan {}[{}/{}]", table.name, partition, table.partitions())?;
+                write!(
+                    f,
+                    "{pad}PartitionScan {}[{}/{}]",
+                    table.name,
+                    partition,
+                    table.partitions()
+                )?;
                 if let Some(p) = predicate {
                     write!(f, " filter={p}")?;
                 }
@@ -410,9 +416,7 @@ pub fn substitute(expr: &Expr, map: &[(Expr, usize)]) -> Option<Expr> {
     Some(match expr {
         Expr::Agg { .. } => return None,
         Expr::Literal(_) | Expr::Column(_) => expr.clone(),
-        Expr::Unary { op, expr } => {
-            Expr::Unary { op: *op, expr: Box::new(substitute(expr, map)?) }
-        }
+        Expr::Unary { op, expr } => Expr::Unary { op: *op, expr: Box::new(substitute(expr, map)?) },
         Expr::Binary { left, op, right } => Expr::Binary {
             left: Box::new(substitute(left, map)?),
             op: *op,
@@ -496,7 +500,8 @@ mod tests {
 
     #[test]
     fn substitute_fails_on_unmapped_aggregate() {
-        let agg = Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("x"))), distinct: false };
+        let agg =
+            Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("x"))), distinct: false };
         assert!(substitute(&agg, &[]).is_none());
     }
 

@@ -91,7 +91,8 @@ pub fn plan_select(
                 let tl = owner_table(sl, &offsets, &lens).expect("bound column");
                 let tr = owner_table(sr, &offsets, &lens).expect("bound column");
                 if tl != tr {
-                    let (tl, tr, sl, sr) = if tl < tr { (tl, tr, sl, sr) } else { (tr, tl, sr, sl) };
+                    let (tl, tr, sl, sr) =
+                        if tl < tr { (tl, tr, sl, sr) } else { (tr, tl, sr, sl) };
                     equi_edges.push((tl, tr, sl, sr, c));
                     continue;
                 }
@@ -131,11 +132,7 @@ pub fn plan_select(
                 .ok_or_else(|| SqlError::new("internal: column lost during join ordering"))?;
             exprs.push(col_at(pos));
         }
-        plan = PhysicalPlan::Project {
-            input: Box::new(plan),
-            exprs,
-            schema: bound.scope.clone(),
-        };
+        plan = PhysicalPlan::Project { input: Box::new(plan), exprs, schema: bound.scope.clone() };
         order = (0..tables.len()).collect();
         let _ = &order;
     }
@@ -285,7 +282,8 @@ fn plan_access_path(
 
     // (conjunct index, key bounds, selectivity, index) of the best sargable
     // index found so far.
-    type IndexChoice = (usize, (Option<i64>, Option<i64>), f64, Arc<staged_storage::catalog::IndexInfo>);
+    type IndexChoice =
+        (usize, (Option<i64>, Option<i64>), f64, Arc<staged_storage::catalog::IndexInfo>);
     let mut best_index: Option<IndexChoice> = None;
     if config.enable_index_scan {
         for ix in catalog.indexes_for(table.id) {
@@ -517,7 +515,12 @@ fn rebase_in_place(expr: &mut Expr, offset: usize) {
 
 /// Position of a scope column in the concatenated layout given a table
 /// output order.
-fn layout_index(order: &[usize], lens: &[usize], offsets: &[usize], scope_idx: usize) -> Option<usize> {
+fn layout_index(
+    order: &[usize],
+    lens: &[usize],
+    offsets: &[usize],
+    scope_idx: usize,
+) -> Option<usize> {
     let t = owner_table(scope_idx, offsets, lens)?;
     let mut pos = 0;
     for &o in order {
@@ -537,7 +540,13 @@ fn remap_expr(expr: &Expr, order: &[usize], lens: &[usize], offsets: &[usize]) -
     ok.then_some(e)
 }
 
-fn remap_in_place(expr: &mut Expr, order: &[usize], lens: &[usize], offsets: &[usize], ok: &mut bool) {
+fn remap_in_place(
+    expr: &mut Expr,
+    order: &[usize],
+    lens: &[usize],
+    offsets: &[usize],
+    ok: &mut bool,
+) {
     match expr {
         Expr::Column(c) => match c.index.and_then(|i| layout_index(order, lens, offsets, i)) {
             Some(p) => c.index = Some(p),
@@ -833,9 +842,9 @@ pub fn needs_optimizer(stmt: &SelectStmt) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use staged_sql::ast::Statement;
     use staged_sql::binder::{BindContext, Binder};
     use staged_sql::parser::parse_statement;
-    use staged_sql::ast::Statement;
     use staged_storage::{BufferPool, Column, DataType, MemDisk, Schema, Tuple, Value};
 
     fn setup() -> Catalog {
@@ -853,10 +862,7 @@ mod tests {
         let u = cat
             .create_table(
                 "u",
-                Schema::new(vec![
-                    Column::new("a", DataType::Int),
-                    Column::new("w", DataType::Int),
-                ]),
+                Schema::new(vec![Column::new("a", DataType::Int), Column::new("w", DataType::Int)]),
             )
             .unwrap();
         for i in 0..1000i64 {
@@ -911,12 +917,8 @@ mod tests {
     #[test]
     fn equijoin_prefers_hash_join() {
         let cat = setup();
-        let s = plan(
-            &cat,
-            "SELECT * FROM t, u WHERE t.a = u.a",
-            &PlannerConfig::default(),
-        )
-        .to_string();
+        let s =
+            plan(&cat, "SELECT * FROM t, u WHERE t.a = u.a", &PlannerConfig::default()).to_string();
         assert!(s.contains("HashJoin"), "{s}");
     }
 
@@ -931,12 +933,8 @@ mod tests {
     #[test]
     fn non_equi_join_falls_back_to_nested_loops() {
         let cat = setup();
-        let s = plan(
-            &cat,
-            "SELECT * FROM t, u WHERE t.a < u.a",
-            &PlannerConfig::default(),
-        )
-        .to_string();
+        let s =
+            plan(&cat, "SELECT * FROM t, u WHERE t.a < u.a", &PlannerConfig::default()).to_string();
         assert!(s.contains("NestedLoopJoin"), "{s}");
     }
 
@@ -1016,10 +1014,7 @@ mod tests {
         let t = cat
             .create_table_partitioned(
                 "p",
-                Schema::new(vec![
-                    Column::new("k", DataType::Int),
-                    Column::new("g", DataType::Int),
-                ]),
+                Schema::new(vec![Column::new("k", DataType::Int), Column::new("g", DataType::Int)]),
                 parts,
                 0,
             )
@@ -1094,8 +1089,9 @@ mod tests {
     fn plan_table_filter_uses_index_for_point_predicates() {
         let cat = setup();
         let table = cat.table("t").unwrap();
-        let Statement::Select(sel) =
-            parse_statement("SELECT * FROM t WHERE a = 3").unwrap() else { panic!() };
+        let Statement::Select(sel) = parse_statement("SELECT * FROM t WHERE a = 3").unwrap() else {
+            panic!()
+        };
         let bound = Binder::new(BindContext::new(&cat)).bind_select(sel).unwrap();
         let pred = bound.stmt.filter.clone();
         let p = plan_table_filter(&table, pred, &cat, &PlannerConfig::default());

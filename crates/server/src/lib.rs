@@ -21,10 +21,12 @@
 //! the architectural comparison is apples-to-apples.
 
 pub mod pipeline;
+pub mod session;
 pub mod staged_server;
 pub mod threaded;
 pub mod types;
 
-pub use staged_server::StagedServer;
-pub use threaded::ThreadedServer;
+pub use session::TxnRuntime;
+pub use staged_server::{StagedServer, StagedSession};
+pub use threaded::{ThreadedServer, ThreadedSession};
 pub use types::{QueryOutput, Request, Response, ServerConfig, ServerError};

@@ -1,19 +1,21 @@
 //! The query pipeline, factored into the stage bodies of Figure 3 so the
 //! staged server and the threaded baseline run byte-identical logic.
 
+use crate::session::TxnRuntime;
 use crate::types::{QueryOutput, ServerError};
 use staged_cachesim::tracker::RefTracker;
 use staged_engine::context::ExecContext;
-use staged_engine::dml;
+use staged_engine::dml::{self, DmlLog};
 use staged_engine::staged::StagedEngine;
+use staged_engine::txn::{LockKey, TxnManager};
 use staged_engine::volcano;
-use staged_planner::{plan_select, PhysicalPlan, PlannerConfig};
+use staged_planner::{plan_select, plan_table_filter, PhysicalPlan, PlannerConfig};
 use staged_sql::ast::{Expr, Statement};
 use staged_sql::binder::{BindContext, Binder, BoundSelect};
 use staged_sql::parser::parse_statement;
 use staged_sql::rewrite::fold;
 use staged_storage::catalog::TableInfo;
-use staged_storage::wal::{LogRecord, Wal};
+use staged_storage::wal::Wal;
 use staged_storage::{Catalog, DataType, Schema, Tuple, Value};
 use std::sync::Arc;
 
@@ -63,8 +65,24 @@ pub enum PlannedAction {
         /// Bound row filter.
         predicate: Option<Expr>,
     },
-    /// DDL and transaction control, executed directly.
+    /// `BEGIN` / `COMMIT` / `ROLLBACK`, executed against the server's
+    /// [`TxnRuntime`] (never reaches the execute engine proper).
+    TxnControl(Statement),
+    /// DDL, executed directly.
     Ddl(Statement),
+}
+
+impl PlannedAction {
+    /// True for actions that write table data — the ones the lock-manager
+    /// stage must grant partition locks for before execution.
+    pub fn is_dml(&self) -> bool {
+        matches!(
+            self,
+            PlannedAction::Insert { .. }
+                | PlannedAction::Update { .. }
+                | PlannedAction::Delete { .. }
+        )
+    }
 }
 
 /// Parse + bind one statement (the parse stage of Figure 3).
@@ -95,14 +113,16 @@ pub fn bind_statement(
             Ok(Parsed::NeedsPlan(Box::new(bound)))
         }
         Statement::Explain(inner) => match bind_statement(*inner, catalog, tracker)? {
-            Parsed::NeedsPlan(bound) => Ok(Parsed::NeedsPlan(Box::new(BoundSelect {
-                stmt: bound.stmt,
-                tables: bound.tables,
-                scope: bound.scope,
-                output: bound.output,
-                projections: bound.projections,
-            })
-            .explained())),
+            Parsed::NeedsPlan(bound) => Ok(Parsed::NeedsPlan(
+                Box::new(BoundSelect {
+                    stmt: bound.stmt,
+                    tables: bound.tables,
+                    scope: bound.scope,
+                    output: bound.output,
+                    projections: bound.projections,
+                })
+                .explained(),
+            )),
             Parsed::Action(_) => Ok(Parsed::Action(Box::new(PlannedAction::Explain {
                 text: "non-SELECT statements execute directly".into(),
             }))),
@@ -172,7 +192,81 @@ pub fn bind_statement(
             let predicate = bind_filter(filter, &binder, &info)?;
             Ok(Parsed::Action(Box::new(PlannedAction::Delete { table: info, predicate })))
         }
+        txn if txn.is_txn_control() => Ok(Parsed::Action(Box::new(PlannedAction::TxnControl(txn)))),
         ddl => Ok(Parsed::Action(Box::new(PlannedAction::Ddl(ddl)))),
+    }
+}
+
+/// The lock-manager stage's policy: which partition locks a DML action
+/// needs, at the finest granularity that is provably safe.
+///
+/// - INSERT locks exactly the partitions its rows hash to.
+/// - DELETE locks the single partition the planner prunes the predicate to,
+///   or every partition of the table when the predicate doesn't pin the
+///   hash key.
+/// - UPDATE is like DELETE, except that an assignment to the partition-key
+///   column can move rows anywhere, so it locks the whole table.
+///
+/// Non-DML actions need no locks (reads are not locked; see DESIGN.md §9).
+/// Both engines acquire exactly this key set — the staged server in its
+/// lock stage, the Volcano baseline sequentially — so the two remain
+/// diffable under concurrency.
+pub fn dml_lock_keys(
+    action: &PlannedAction,
+    catalog: &Catalog,
+    planner: &PlannerConfig,
+) -> Vec<LockKey> {
+    let all = |table: &Arc<TableInfo>| -> Vec<LockKey> {
+        (0..table.partitions()).map(|p| LockKey::new(table.id.0, p as u32)).collect()
+    };
+    let pruned_to = |table: &Arc<TableInfo>, predicate: &Option<Expr>| -> Vec<LockKey> {
+        match plan_table_filter(table, predicate.clone(), catalog, planner) {
+            PhysicalPlan::PartitionScan { partition, .. } => {
+                vec![LockKey::new(table.id.0, partition as u32)]
+            }
+            PhysicalPlan::IndexScan { index, lo, hi, .. } => {
+                match table.pruned_partition(index.column, lo, hi) {
+                    Some(p) => vec![LockKey::new(table.id.0, p as u32)],
+                    None => all(table),
+                }
+            }
+            _ => all(table),
+        }
+    };
+    let mut keys = match action {
+        PlannedAction::Insert { table, rows } => rows
+            .iter()
+            .map(|r| LockKey::new(table.id.0, table.heap.partition_of(r) as u32))
+            .collect(),
+        PlannedAction::Delete { table, predicate } => pruned_to(table, predicate),
+        PlannedAction::Update { table, sets, predicate } => {
+            if sets.iter().any(|(col, _)| *col == table.partition_key()) {
+                all(table)
+            } else {
+                pruned_to(table, predicate)
+            }
+        }
+        _ => Vec::new(),
+    };
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Execute `BEGIN`/`COMMIT`/`ROLLBACK` against the server's transaction
+/// runtime. Shared verbatim by both servers.
+pub fn execute_txn_control(
+    stmt: &Statement,
+    session: Option<u64>,
+    txn: &TxnRuntime,
+    ctx: &ExecContext,
+    wal: &Wal,
+) -> Result<QueryOutput, ServerError> {
+    match stmt {
+        Statement::Begin => txn.begin(session, wal),
+        Statement::Commit => txn.commit(session, ctx, wal),
+        Statement::Rollback => txn.rollback(session, ctx, wal),
+        other => Err(ServerError::Sql(format!("not transaction control: {other}"))),
     }
 }
 
@@ -258,13 +352,19 @@ pub enum Exec<'a> {
 }
 
 /// The execute stage of Figure 3: run the action, produce client output.
+/// DML records redo into `wal` under `xid` and, when `txn` is given, undo
+/// into that transaction's in-memory undo log (rollback support). The
+/// caller is responsible for having acquired the action's locks
+/// ([`dml_lock_keys`]) beforehand.
 pub fn execute_stage(
     action: PlannedAction,
     ctx: &ExecContext,
     wal: &Wal,
     xid: u64,
     exec: Exec<'_>,
+    txn: Option<&TxnManager>,
 ) -> Result<QueryOutput, ServerError> {
+    let log = DmlLog { wal, xid, txn };
     let exec_err = |e: staged_engine::EngineError| ServerError::Execution(e.to_string());
     match action {
         PlannedAction::Select { plan, schema } => {
@@ -273,44 +373,34 @@ pub fn execute_stage(
                 Exec::Staged(engine) => engine.execute(&plan).collect().map_err(exec_err)?,
             };
             let n = rows.len();
-            Ok(QueryOutput {
-                rows,
-                schema: Some(schema),
-                message: format!("SELECT {n}"),
-            })
+            Ok(QueryOutput { rows, schema: Some(schema), message: format!("SELECT {n}") })
         }
         PlannedAction::Explain { text } => Ok(QueryOutput {
             rows: text.lines().map(|l| Tuple::new(vec![Value::Str(l.to_string())])).collect(),
-            schema: Some(Schema::new(vec![staged_storage::Column::new(
-                "plan",
-                DataType::Str,
-            )])),
+            schema: Some(Schema::new(vec![staged_storage::Column::new("plan", DataType::Str)])),
             message: "EXPLAIN".into(),
         }),
         PlannedAction::Insert { table, rows } => {
-            let n = dml::insert_rows(ctx, &table, rows, Some((wal, xid))).map_err(exec_err)?;
+            let n = dml::insert_rows(ctx, &table, rows, Some(&log)).map_err(exec_err)?;
             Ok(QueryOutput::message(format!("INSERT {n}")))
         }
         PlannedAction::Update { table, sets, predicate } => {
-            let n = dml::update_rows(ctx, &table, &sets, &predicate, Some((wal, xid)))
-                .map_err(exec_err)?;
+            let n =
+                dml::update_rows(ctx, &table, &sets, &predicate, Some(&log)).map_err(exec_err)?;
             Ok(QueryOutput::message(format!("UPDATE {n}")))
         }
         PlannedAction::Delete { table, predicate } => {
-            let n = dml::delete_rows(ctx, &table, &predicate, Some((wal, xid)))
-                .map_err(exec_err)?;
+            let n = dml::delete_rows(ctx, &table, &predicate, Some(&log)).map_err(exec_err)?;
             Ok(QueryOutput::message(format!("DELETE {n}")))
         }
-        PlannedAction::Ddl(stmt) => execute_ddl(stmt, ctx, wal, xid),
+        PlannedAction::TxnControl(stmt) => Err(ServerError::Execution(format!(
+            "{stmt} must be dispatched through the transaction runtime"
+        ))),
+        PlannedAction::Ddl(stmt) => execute_ddl(stmt, ctx),
     }
 }
 
-fn execute_ddl(
-    stmt: Statement,
-    ctx: &ExecContext,
-    wal: &Wal,
-    xid: u64,
-) -> Result<QueryOutput, ServerError> {
+fn execute_ddl(stmt: Statement, ctx: &ExecContext) -> Result<QueryOutput, ServerError> {
     let cat_err = |e: staged_storage::StorageError| ServerError::Execution(e.to_string());
     match stmt {
         Statement::CreateTable { name, columns } => {
@@ -344,18 +434,6 @@ fn execute_ddl(
         Statement::Analyze { table } => {
             ctx.catalog.analyze_table(&table).map_err(cat_err)?;
             Ok(QueryOutput::message("ANALYZE"))
-        }
-        Statement::Begin => {
-            wal.append(&LogRecord::Begin { xid }).map_err(cat_err)?;
-            Ok(QueryOutput::message("BEGIN"))
-        }
-        Statement::Commit => {
-            wal.append(&LogRecord::Commit { xid }).map_err(cat_err)?;
-            Ok(QueryOutput::message("COMMIT"))
-        }
-        Statement::Rollback => {
-            wal.append(&LogRecord::Abort { xid }).map_err(cat_err)?;
-            Ok(QueryOutput::message("ROLLBACK"))
         }
         other => Err(ServerError::Sql(format!("unsupported statement {other}"))),
     }

@@ -1,6 +1,7 @@
 //! The staged DBMS server (paper Figure 3, top row).
 
 use crate::pipeline::{self, Exec, Parsed, PlannedAction};
+use crate::session::TxnRuntime;
 use crate::types::{ExecutionMode, Response, ServerConfig, ServerError};
 use crossbeam::channel::{bounded, Receiver};
 use parking_lot::Mutex;
@@ -9,20 +10,51 @@ use staged_core::monitor::StageStats;
 use staged_core::prelude::*;
 use staged_engine::context::ExecContext;
 use staged_engine::staged::StagedEngine;
+use staged_engine::txn::{LockKey, LockMode};
 use staged_planner::PhysicalPlan;
 use staged_sql::binder::BoundSelect;
-use staged_storage::wal::{LogRecord, Wal};
+use staged_storage::wal::Wal;
 use staged_storage::{Catalog, MemDisk, Schema};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-/// A packet travelling through the five top-level stages. The enum body is
-/// the query's *backpack* — its state at the current point of execution.
+/// A packet travelling through the six top-level stages (connect → parse →
+/// optimize → lock → execute → disconnect). The enum body is the query's
+/// *backpack* — its state at the current point of execution.
 pub struct SPacket {
+    /// Transaction the statement runs under (0 = none: reads, DDL).
     xid: u64,
+    /// Session the statement came from (None = one-shot autocommit).
+    session: Option<u64>,
+    /// True when `xid` is a statement-scoped implicit transaction that the
+    /// disconnect stage must commit (success) or abort (failure).
+    implicit: bool,
+    /// Partition locks still to be granted by the lock stage.
+    lock_keys: Vec<LockKey>,
+    /// Deadline for lock acquisition (timeout-abort deadlock resolution).
+    lock_deadline: Option<Instant>,
     body: PacketBody,
     reply: crossbeam::channel::Sender<Response>,
+}
+
+impl SPacket {
+    fn new(
+        body: PacketBody,
+        session: Option<u64>,
+        reply: crossbeam::channel::Sender<Response>,
+    ) -> Self {
+        Self {
+            xid: 0,
+            session,
+            implicit: false,
+            lock_keys: Vec::new(),
+            lock_deadline: None,
+            body,
+            reply,
+        }
+    }
 }
 
 enum PacketBody {
@@ -47,7 +79,7 @@ struct ServerShared {
     config: ServerConfig,
     prepared: Mutex<HashMap<String, Arc<(PhysicalPlan, Schema)>>>,
     tracker: Option<Arc<RefTracker>>,
-    next_xid: AtomicU64,
+    txn: TxnRuntime,
     served: AtomicU64,
 }
 
@@ -77,23 +109,17 @@ macro_rules! stage_logic {
 }
 
 fn forward(ctx: &StageCtx<'_, SPacket>, stage: &str, pkt: SPacket) -> Result<(), StageError> {
-    let id = ctx
-        .stage_id_of(stage)
-        .ok_or_else(|| StageError::new(format!("missing stage {stage}")))?;
+    let id =
+        ctx.stage_id_of(stage).ok_or_else(|| StageError::new(format!("missing stage {stage}")))?;
     ctx.send(id, pkt).map_err(|_| StageError::new("pipeline closed"))
 }
 
-fn finish(
-    ctx: &StageCtx<'_, SPacket>,
-    mut pkt: SPacket,
-    res: Response,
-) -> Result<(), StageError> {
+fn finish(ctx: &StageCtx<'_, SPacket>, mut pkt: SPacket, res: Response) -> Result<(), StageError> {
     pkt.body = PacketBody::Finished(Box::new(res));
     forward(ctx, "disconnect", pkt)
 }
 
 stage_logic!(ConnectStage, shared, pkt, ctx, {
-    pkt.xid = shared.next_xid.fetch_add(1, Ordering::Relaxed);
     match std::mem::replace(&mut pkt.body, PacketBody::Raw(String::new())) {
         PacketBody::Raw(sql) => {
             pkt.body = PacketBody::Raw(sql);
@@ -127,16 +153,98 @@ stage_logic!(ParseStage, shared, pkt, ctx, {
     };
     match pipeline::parse_stage(&sql, &shared.catalog, shared.tracker.as_deref()) {
         Ok(Parsed::NeedsPlan(bound)) => {
+            if let Err(e) = shared.txn.statement_xid(pkt.session) {
+                return finish(ctx, pkt, Err(e));
+            }
             pkt.body = PacketBody::Bound(bound);
             forward(ctx, "optimize", pkt)
         }
         Ok(Parsed::Action(action)) => {
             // DDL / DML bypass the optimizer (§4.1: "the query can route
             // itself from the connect stage directly to the execute stage").
+            // DML makes one extra hop through the lock-manager stage first.
+            // A session in the failed-transaction state refuses everything
+            // except the COMMIT/ROLLBACK acknowledgement.
+            if !matches!(action.as_ref(), PlannedAction::TxnControl(_)) {
+                if let Err(e) = shared.txn.statement_xid(pkt.session) {
+                    return finish(ctx, pkt, Err(e));
+                }
+            }
+            let dest = if action.is_dml() { "lock" } else { "execute" };
             pkt.body = PacketBody::Action(action);
-            forward(ctx, "execute", pkt)
+            forward(ctx, dest, pkt)
         }
         Err(e) => finish(ctx, pkt, Err(e)),
+    }
+});
+
+stage_logic!(LockStage, shared, pkt, ctx, {
+    // The lock-manager stage (paper Figure 3 names it as a first-class
+    // OLTP stage). On first visit the packet joins its session's open
+    // transaction — or starts a statement-scoped implicit one — and
+    // computes its lock set; then it acquires locks incrementally in
+    // sorted key order. A packet that hits a conflict requeues itself
+    // (case iii of §4.1.1) until its deadline, at which point the
+    // transaction is aborted: timeout-abort deadlock resolution.
+    if pkt.lock_deadline.is_none() {
+        match shared.txn.statement_xid(pkt.session) {
+            Err(e) => return finish(ctx, pkt, Err(e)),
+            Ok(Some(xid)) => {
+                pkt.xid = xid;
+                pkt.implicit = false;
+            }
+            Ok(None) => match shared.txn.mgr().begin(&shared.wal) {
+                Ok(xid) => {
+                    pkt.xid = xid;
+                    pkt.implicit = true;
+                }
+                Err(e) => return finish(ctx, pkt, Err(ServerError::Execution(e.to_string()))),
+            },
+        }
+        let keys = match &pkt.body {
+            PacketBody::Action(action) => {
+                pipeline::dml_lock_keys(action, &shared.catalog, &shared.config.planner)
+            }
+            _ => return finish(ctx, pkt, Err(ServerError::Execution("bad packet at lock".into()))),
+        };
+        pkt.lock_keys = keys;
+        pkt.lock_deadline = Some(Instant::now() + shared.config.lock_timeout);
+    }
+    let locks = shared.txn.mgr().locks();
+    while let Some(key) = pkt.lock_keys.first().copied() {
+        if locks.try_lock(pkt.xid, key, LockMode::Exclusive) {
+            pkt.lock_keys.remove(0);
+        } else {
+            break;
+        }
+    }
+    if pkt.lock_keys.is_empty() {
+        return forward(ctx, "execute", pkt);
+    }
+    if Instant::now() >= pkt.lock_deadline.unwrap_or_else(Instant::now) {
+        shared.txn.fail_txn(pkt.session, pkt.xid, &shared.ctx, &shared.wal);
+        return finish(
+            ctx,
+            pkt,
+            Err(ServerError::Execution(
+                "lock timeout: transaction aborted (presumed deadlock)".into(),
+            )),
+        );
+    }
+    // Parked behind a conflicting lock: yield and retry. The retry counter
+    // makes contention visible in this stage's StageStats. The requeue must
+    // never block on this stage's own full queue (the only dequeuer is this
+    // worker — blocking here would deadlock the stage against itself), so
+    // it tries the back non-blocking and falls back to the capacity-exempt
+    // front slot under overload.
+    ctx.record_retry();
+    std::thread::sleep(std::time::Duration::from_micros(100));
+    match ctx.try_send(ctx.stage_id, pkt) {
+        Ok(()) => Ok(()),
+        Err(EnqueueError::Full(pkt)) => {
+            ctx.requeue(pkt).map_err(|_| StageError::new("pipeline closed"))
+        }
+        Err(EnqueueError::Closed(_)) => Err(StageError::new("pipeline closed")),
     }
 });
 
@@ -155,26 +263,46 @@ stage_logic!(OptimizeStage, shared, pkt, ctx, {
 });
 
 stage_logic!(ExecuteStage, shared, pkt, ctx, {
-    let PacketBody::Action(action) = std::mem::replace(&mut pkt.body, PacketBody::Raw(String::new()))
+    let PacketBody::Action(action) =
+        std::mem::replace(&mut pkt.body, PacketBody::Raw(String::new()))
     else {
         return finish(ctx, pkt, Err(ServerError::Execution("bad packet at execute".into())));
     };
+    if let PlannedAction::TxnControl(stmt) = action.as_ref() {
+        let res =
+            pipeline::execute_txn_control(stmt, pkt.session, &shared.txn, &shared.ctx, &shared.wal);
+        return finish(ctx, pkt, res);
+    }
     let exec = match shared.config.mode {
         ExecutionMode::Volcano => Exec::Volcano,
         ExecutionMode::Staged => Exec::Staged(&shared.engine),
     };
-    let res = pipeline::execute_stage(*action, &shared.ctx, &shared.wal, pkt.xid, exec);
+    let txn = (pkt.xid != 0).then(|| shared.txn.mgr());
+    let res = pipeline::execute_stage(*action, &shared.ctx, &shared.wal, pkt.xid, exec, txn);
     finish(ctx, pkt, res)
 });
 
 stage_logic!(DisconnectStage, shared, pkt, _ctx, {
-    // "end Xaction, delete state, disconnect": autocommit + reply.
-    let _ = shared.wal.append(&LogRecord::Commit { xid: pkt.xid });
+    // "end Xaction, delete state, disconnect": statement-level commit for
+    // implicit transactions (the Commit record's forced flush is the
+    // atomic durability point), abort of the transaction on statement
+    // failure, then the reply.
     let body = std::mem::replace(&mut pkt.body, PacketBody::Raw(String::new()));
-    let res = match body {
+    let mut res = match body {
         PacketBody::Finished(r) => *r,
         _ => Err(ServerError::Execution("bad packet at disconnect".into())),
     };
+    if pkt.xid != 0 {
+        match (&res, pkt.implicit) {
+            (Ok(_), true) => {
+                if let Err(e) = shared.txn.mgr().commit(pkt.xid, &shared.ctx, &shared.wal) {
+                    res = Err(ServerError::Execution(e.to_string()));
+                }
+            }
+            (Err(_), _) => shared.txn.fail_txn(pkt.session, pkt.xid, &shared.ctx, &shared.wal),
+            (Ok(_), false) => {} // explicit txn continues; COMMIT ends it
+        }
+    }
     shared.served.fetch_add(1, Ordering::Relaxed);
     let _ = pkt.reply.send(res);
     Ok(())
@@ -207,7 +335,7 @@ impl StagedServer {
             config: config.clone(),
             prepared: Mutex::new(HashMap::new()),
             tracker,
-            next_xid: AtomicU64::new(1),
+            txn: TxnRuntime::new(),
             served: AtomicU64::new(0),
         });
         let mut b = StagedRuntime::<SPacket>::builder();
@@ -227,6 +355,11 @@ impl StagedServer {
                 .with_workers(config.control_workers),
         );
         b.add_stage(
+            StageSpec::new("lock", LockStage { shared: Arc::clone(&shared) })
+                .with_queue_capacity(config.queue_capacity)
+                .with_workers(config.control_workers),
+        );
+        b.add_stage(
             StageSpec::new("execute", ExecuteStage { shared: Arc::clone(&shared) })
                 .with_queue_capacity(config.queue_capacity)
                 .with_workers(config.execute_workers),
@@ -241,10 +374,15 @@ impl StagedServer {
     }
 
     /// Submit SQL; returns the response channel (blocking admission under
-    /// back-pressure).
+    /// back-pressure). One-shot autocommit; use [`session`](Self::session)
+    /// for multi-statement transactions.
     pub fn submit(&self, sql: impl Into<String>) -> Receiver<Response> {
+        self.submit_in(sql, None)
+    }
+
+    fn submit_in(&self, sql: impl Into<String>, session: Option<u64>) -> Receiver<Response> {
         let (tx, rx) = bounded(1);
-        let pkt = SPacket { xid: 0, body: PacketBody::Raw(sql.into()), reply: tx };
+        let pkt = SPacket::new(PacketBody::Raw(sql.into()), session, tx);
         if let Err(e) = self.runtime.enqueue(self.connect_id, pkt) {
             let _ = e.into_packet().reply.send(Err(ServerError::ShuttingDown));
         }
@@ -255,7 +393,7 @@ impl StagedServer {
     /// full (paper §5.2 overload conditioning).
     pub fn try_submit(&self, sql: impl Into<String>) -> Result<Receiver<Response>, ServerError> {
         let (tx, rx) = bounded(1);
-        let pkt = SPacket { xid: 0, body: PacketBody::Raw(sql.into()), reply: tx };
+        let pkt = SPacket::new(PacketBody::Raw(sql.into()), None, tx);
         match self.runtime.try_enqueue(self.connect_id, pkt) {
             Ok(()) => Ok(rx),
             Err(EnqueueError::Full(_)) => Err(ServerError::Overloaded),
@@ -263,11 +401,22 @@ impl StagedServer {
         }
     }
 
+    /// Open a client session: statements run through the handle share the
+    /// session's transaction state (`BEGIN` … `COMMIT`/`ROLLBACK`), and
+    /// dropping the handle aborts any transaction still open, releasing
+    /// its locks (abort-on-drop).
+    pub fn session(self: &Arc<Self>) -> StagedSession {
+        StagedSession { server: Arc::clone(self), sid: self.shared.txn.open_session() }
+    }
+
+    /// Live transactions (diagnostics).
+    pub fn active_txns(&self) -> usize {
+        self.shared.txn.mgr().active_count()
+    }
+
     /// Run one statement to completion.
     pub fn execute_sql(&self, sql: &str) -> Response {
-        self.submit(sql)
-            .recv()
-            .unwrap_or(Err(ServerError::ShuttingDown))
+        self.submit(sql).recv().unwrap_or(Err(ServerError::ShuttingDown))
     }
 
     /// Parse + plan a SELECT once, store it under `name`. Later
@@ -291,7 +440,7 @@ impl StagedServer {
     /// Invoke a prepared statement (the fast path).
     pub fn execute_prepared(&self, name: &str) -> Receiver<Response> {
         let (tx, rx) = bounded(1);
-        let pkt = SPacket { xid: 0, body: PacketBody::Prepared(name.to_string()), reply: tx };
+        let pkt = SPacket::new(PacketBody::Prepared(name.to_string()), None, tx);
         if let Err(e) = self.runtime.enqueue(self.connect_id, pkt) {
             let _ = e.into_packet().reply.send(Err(ServerError::ShuttingDown));
         }
@@ -327,5 +476,38 @@ impl StagedServer {
     pub fn shutdown(&self) {
         self.runtime.shutdown();
         self.shared.engine.shutdown();
+    }
+}
+
+/// A client session on the staged server. Statements submitted here flow
+/// through the normal stage pipeline but share the session's transaction
+/// state. Dropping the handle aborts an in-flight transaction
+/// (abort-on-drop), releasing its locks and undoing its writes.
+pub struct StagedSession {
+    server: Arc<StagedServer>,
+    sid: u64,
+}
+
+impl StagedSession {
+    /// Session id.
+    pub fn id(&self) -> u64 {
+        self.sid
+    }
+
+    /// Submit SQL under this session.
+    pub fn submit(&self, sql: impl Into<String>) -> Receiver<Response> {
+        self.server.submit_in(sql, Some(self.sid))
+    }
+
+    /// Run one statement to completion under this session.
+    pub fn execute_sql(&self, sql: &str) -> Response {
+        self.submit(sql).recv().unwrap_or(Err(ServerError::ShuttingDown))
+    }
+}
+
+impl Drop for StagedSession {
+    fn drop(&mut self) {
+        let shared = &self.server.shared;
+        shared.txn.close_session(self.sid, &shared.ctx, &shared.wal);
     }
 }

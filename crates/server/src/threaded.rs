@@ -7,12 +7,14 @@
 //! Volcano engine; the pool size is the knob whose tuning dilemma Figure 2
 //! demonstrates.
 
-use crate::pipeline::{self, Exec, Parsed};
+use crate::pipeline::{self, Exec, Parsed, PlannedAction};
+use crate::session::TxnRuntime;
 use crate::types::{Request, RequestBody, Response, ServerError};
 use crossbeam::channel::{bounded, Receiver};
 use parking_lot::Mutex;
 use staged_core::queue::{Dequeued, StageQueue};
 use staged_engine::context::ExecContext;
+use staged_engine::txn::LockMode;
 use staged_planner::PlannerConfig;
 use staged_storage::wal::Wal;
 use staged_storage::{Catalog, MemDisk};
@@ -27,8 +29,20 @@ struct Inner {
     wal: Wal,
     planner: PlannerConfig,
     queue: StageQueue<Request>,
-    next_xid: AtomicU64,
+    txn: TxnRuntime,
+    lock_timeout: Duration,
     served: AtomicU64,
+}
+
+impl Inner {
+    fn submit(&self, sql: String, session: Option<u64>) -> Receiver<Response> {
+        let (tx, rx) = bounded(1);
+        let req = Request { body: RequestBody::Sql(sql), session, reply: tx };
+        if let Err(e) = self.queue.enqueue(req) {
+            let _ = e.into_packet().reply.send(Err(ServerError::ShuttingDown));
+        }
+        rx
+    }
 }
 
 /// The thread-pool server.
@@ -40,13 +54,25 @@ pub struct ThreadedServer {
 impl ThreadedServer {
     /// Start a pool of `pool_size` workers over `catalog`.
     pub fn new(catalog: Arc<Catalog>, pool_size: usize, planner: PlannerConfig) -> Self {
+        Self::with_lock_timeout(catalog, pool_size, planner, Duration::from_secs(2))
+    }
+
+    /// Like [`new`](Self::new) with an explicit deadlock timeout for the
+    /// lock manager.
+    pub fn with_lock_timeout(
+        catalog: Arc<Catalog>,
+        pool_size: usize,
+        planner: PlannerConfig,
+        lock_timeout: Duration,
+    ) -> Self {
         let inner = Arc::new(Inner {
             ctx: ExecContext::new(Arc::clone(&catalog)),
             catalog,
             wal: Wal::new(Arc::new(MemDisk::new())),
             planner,
             queue: StageQueue::new(1024),
-            next_xid: AtomicU64::new(1),
+            txn: TxnRuntime::new(),
+            lock_timeout,
             served: AtomicU64::new(0),
         });
         let workers = (0..pool_size.max(1))
@@ -61,19 +87,27 @@ impl ThreadedServer {
         Self { inner, workers: Mutex::new(workers) }
     }
 
-    /// Submit SQL for execution.
+    /// Submit SQL for execution (one-shot autocommit; use
+    /// [`session`](Self::session) for multi-statement transactions).
     pub fn submit(&self, sql: impl Into<String>) -> Receiver<Response> {
-        let (tx, rx) = bounded(1);
-        let req = Request { body: RequestBody::Sql(sql.into()), reply: tx };
-        if let Err(e) = self.inner.queue.enqueue(req) {
-            let _ = e.into_packet().reply.send(Err(ServerError::ShuttingDown));
-        }
-        rx
+        self.inner.submit(sql.into(), None)
     }
 
     /// Run one statement to completion.
     pub fn execute_sql(&self, sql: &str) -> Response {
         self.submit(sql).recv().unwrap_or(Err(ServerError::ShuttingDown))
+    }
+
+    /// Open a client session. Statements run through the handle share the
+    /// session's transaction state (`BEGIN` … `COMMIT`/`ROLLBACK`);
+    /// dropping the handle aborts any transaction still open.
+    pub fn session(&self) -> ThreadedSession {
+        ThreadedSession { inner: Arc::clone(&self.inner), sid: self.inner.txn.open_session() }
+    }
+
+    /// Live transactions (diagnostics).
+    pub fn active_txns(&self) -> usize {
+        self.inner.txn.mgr().active_count()
     }
 
     /// Queries completed so far.
@@ -113,19 +147,97 @@ fn worker_loop(inner: Arc<Inner>) {
     }
 }
 
+/// A client session on the thread-pool server. Statements submitted here
+/// run sequentially under the session's transaction state. Dropping the
+/// handle aborts an in-flight transaction (abort-on-drop), releasing its
+/// locks and undoing its writes.
+pub struct ThreadedSession {
+    inner: Arc<Inner>,
+    sid: u64,
+}
+
+impl ThreadedSession {
+    /// Session id.
+    pub fn id(&self) -> u64 {
+        self.sid
+    }
+
+    /// Submit SQL under this session.
+    pub fn submit(&self, sql: impl Into<String>) -> Receiver<Response> {
+        self.inner.submit(sql.into(), Some(self.sid))
+    }
+
+    /// Run one statement to completion under this session.
+    pub fn execute_sql(&self, sql: &str) -> Response {
+        self.submit(sql).recv().unwrap_or(Err(ServerError::ShuttingDown))
+    }
+}
+
+impl Drop for ThreadedSession {
+    fn drop(&mut self) {
+        self.inner.txn.close_session(self.sid, &self.inner.ctx, &self.inner.wal);
+    }
+}
+
 /// The whole pipeline as one procedure call chain — the monolithic model.
+/// Lock acquisition is *sequential* here (block, then execute), the
+/// baseline counterpart of the staged server's lock-manager stage.
 fn process(inner: &Inner, req: &Request) -> Response {
     let RequestBody::Sql(sql) = &req.body else {
         return Err(ServerError::Sql("threaded server accepts raw SQL only".into()));
     };
-    let xid = inner.next_xid.fetch_add(1, Ordering::Relaxed);
     let action = match pipeline::parse_stage(sql, &inner.catalog, None)? {
         Parsed::NeedsPlan(bound) => {
             pipeline::optimize_stage(&bound, &inner.catalog, &inner.planner)?
         }
         Parsed::Action(a) => *a,
     };
-    pipeline::execute_stage(action, &inner.ctx, &inner.wal, xid, Exec::Volcano)
+    if let PlannedAction::TxnControl(stmt) = &action {
+        return pipeline::execute_txn_control(
+            stmt,
+            req.session,
+            &inner.txn,
+            &inner.ctx,
+            &inner.wal,
+        );
+    }
+    // A session whose transaction was aborted server-side refuses every
+    // statement until the client acknowledges with COMMIT/ROLLBACK.
+    let explicit = inner.txn.statement_xid(req.session)?;
+    let mut keys = pipeline::dml_lock_keys(&action, &inner.catalog, &inner.planner);
+    if keys.is_empty() {
+        // Reads and DDL bypass the transaction machinery entirely.
+        return pipeline::execute_stage(action, &inner.ctx, &inner.wal, 0, Exec::Volcano, None);
+    }
+    let mgr = inner.txn.mgr();
+    let (xid, implicit) = match explicit {
+        Some(xid) => (xid, false),
+        None => (mgr.begin(&inner.wal).map_err(|e| ServerError::Execution(e.to_string()))?, true),
+    };
+    if mgr.locks().lock_all(xid, &mut keys, LockMode::Exclusive, inner.lock_timeout).is_err() {
+        inner.txn.fail_txn(req.session, xid, &inner.ctx, &inner.wal);
+        return Err(ServerError::Execution(
+            "lock timeout: transaction aborted (presumed deadlock)".into(),
+        ));
+    }
+    let res =
+        pipeline::execute_stage(action, &inner.ctx, &inner.wal, xid, Exec::Volcano, Some(mgr));
+    match &res {
+        Ok(_) if implicit => {
+            // Statement-level autocommit: the implicit transaction's commit
+            // record is what makes it visible to redo recovery.
+            if let Err(e) = mgr.commit(xid, &inner.ctx, &inner.wal) {
+                return Err(ServerError::Execution(e.to_string()));
+            }
+        }
+        Ok(_) => {}
+        Err(_) => {
+            // Failed statements abort the whole transaction (implicit or
+            // explicit): partial writes are undone, locks released.
+            inner.txn.fail_txn(req.session, xid, &inner.ctx, &inner.wal);
+        }
+    }
+    res
 }
 
 #[cfg(test)]
@@ -158,8 +270,7 @@ mod tests {
         for i in 0..32 {
             s.execute_sql(&format!("INSERT INTO n VALUES ({i})")).unwrap();
         }
-        let receivers: Vec<_> =
-            (0..16).map(|_| s.submit("SELECT COUNT(*) FROM n")).collect();
+        let receivers: Vec<_> = (0..16).map(|_| s.submit("SELECT COUNT(*) FROM n")).collect();
         for rx in receivers {
             let out = rx.recv().unwrap().unwrap();
             assert_eq!(out.rows[0].to_string(), "[32]");

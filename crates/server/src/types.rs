@@ -4,6 +4,7 @@ use staged_engine::staged::EngineConfig;
 use staged_planner::PlannerConfig;
 use staged_storage::{Schema, Tuple};
 use std::fmt;
+use std::time::Duration;
 
 /// Result rows (or an affected-row message) returned to a client.
 #[derive(Debug, Clone, Default)]
@@ -59,6 +60,9 @@ pub type Response = Result<QueryOutput, ServerError>;
 pub struct Request {
     /// SQL text, or a prepared-statement invocation.
     pub body: RequestBody,
+    /// Session the statement belongs to (`None` = one-shot autocommit).
+    /// Session-bound DML joins the session's open transaction, if any.
+    pub session: Option<u64>,
     /// Channel the response is delivered on.
     pub reply: crossbeam::channel::Sender<Response>,
 }
@@ -102,6 +106,10 @@ pub struct ServerConfig {
     pub engine: EngineConfig,
     /// Planner switches.
     pub planner: PlannerConfig,
+    /// How long a DML statement may wait for its partition locks before
+    /// its transaction is aborted (timeout-abort deadlock resolution at
+    /// the lock-manager stage).
+    pub lock_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +122,7 @@ impl Default for ServerConfig {
             partitions: 1,
             engine: EngineConfig::default(),
             planner: PlannerConfig::default(),
+            lock_timeout: Duration::from_secs(2),
         }
     }
 }

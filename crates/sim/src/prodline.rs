@@ -117,11 +117,7 @@ pub fn run_prodline(cfg: &ProdlineConfig) -> ProdlineResult {
         timeline_cap: 0,
     });
     let report = coop.run(jobs);
-    let completed = report
-        .completions
-        .iter()
-        .filter(|c| c.arrival >= cfg.warmup)
-        .count();
+    let completed = report.completions.iter().filter(|c| c.arrival >= cfg.warmup).count();
     ProdlineResult {
         policy: cfg.policy.label(),
         load_fraction: cfg.load_fraction,
@@ -233,8 +229,7 @@ mod tests {
     #[test]
     fn ps_matches_mm1_at_zero_load_time() {
         let cfg = ProdlineConfig::figure5(Policy::Fcfs, 0.0);
-        let sim =
-            mean_over_seeds(Policy::ProcessorSharing { quantum: 0.010 }, &[1, 2, 3, 4, 5, 6]);
+        let sim = mean_over_seeds(Policy::ProcessorSharing { quantum: 0.010 }, &[1, 2, 3, 4, 5, 6]);
         let w = mm1_mean_response(cfg.arrival_rate(), 1.0 / cfg.total_demand_mean);
         let rel_err = (sim - w).abs() / w;
         assert!(rel_err < 0.20, "sim {sim} vs theory {w} (rel {rel_err})");

@@ -40,18 +40,12 @@ pub struct QuerySpec {
 impl QuerySpec {
     /// Total CPU demand of the query.
     pub fn cpu_demand(&self) -> f64 {
-        self.phases
-            .iter()
-            .map(|p| if let Phase::Cpu(c) = p { *c } else { 0.0 })
-            .sum()
+        self.phases.iter().map(|p| if let Phase::Cpu(c) = p { *c } else { 0.0 }).sum()
     }
 
     /// Total I/O demand of the query.
     pub fn io_demand(&self) -> f64 {
-        self.phases
-            .iter()
-            .map(|p| if let Phase::Io(d) = p { *d } else { 0.0 })
-            .sum()
+        self.phases.iter().map(|p| if let Phase::Io(d) = p { *d } else { 0.0 }).sum()
     }
 }
 
@@ -155,7 +149,8 @@ pub fn run_threadpool(
     let mut workers: Vec<Worker> = Vec::with_capacity(cfg.threads);
     let mut ready: VecDeque<usize> = VecDeque::new();
     for i in 0..cfg.threads {
-        let mut w = Worker { state: ThreadState::Ready { burst_left: 0.0 }, phases: VecDeque::new() };
+        let mut w =
+            Worker { state: ThreadState::Ready { burst_left: 0.0 }, phases: VecDeque::new() };
         start_query(&mut w, &mut make_query, &mut rng);
         dispatch_phase(&mut w, i, 0.0, &mut disks_free_at, &mut ready);
         workers.push(w);
@@ -167,7 +162,16 @@ pub fn run_threadpool(
         for (i, w) in workers.iter_mut().enumerate() {
             if let ThreadState::Blocked { until } = w.state {
                 if until <= clock {
-                    advance_after_io(w, i, clock, &mut disks_free_at, &mut ready, &mut completed, &mut make_query, &mut rng);
+                    advance_after_io(
+                        w,
+                        i,
+                        clock,
+                        &mut disks_free_at,
+                        &mut ready,
+                        &mut completed,
+                        &mut make_query,
+                        &mut rng,
+                    );
                 }
             }
         }
@@ -237,7 +241,11 @@ pub fn run_threadpool(
     }
 }
 
-fn start_query(w: &mut Worker, make_query: &mut impl FnMut(&mut StdRng) -> QuerySpec, rng: &mut StdRng) {
+fn start_query(
+    w: &mut Worker,
+    make_query: &mut impl FnMut(&mut StdRng) -> QuerySpec,
+    rng: &mut StdRng,
+) {
     w.phases = make_query(rng).phases.into();
 }
 
@@ -371,10 +379,8 @@ pub fn run_figure2_point(workload: Figure2Workload, threads: usize, seed: u64) -
 /// bias that in-flight multi-second queries (Workload B) would otherwise
 /// introduce.
 pub fn figure2_sweep(workload: Figure2Workload, sizes: &[usize], seed: u64) -> Vec<(usize, f64)> {
-    let raw: Vec<(usize, f64)> = sizes
-        .iter()
-        .map(|&m| (m, run_figure2_point(workload, m, seed).cpu_utilization))
-        .collect();
+    let raw: Vec<(usize, f64)> =
+        sizes.iter().map(|&m| (m, run_figure2_point(workload, m, seed).cpu_utilization)).collect();
     let max = raw.iter().map(|r| r.1).fold(0.0, f64::max).max(1e-12);
     raw.into_iter().map(|(m, x)| (m, 100.0 * x / max)).collect()
 }

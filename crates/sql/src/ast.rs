@@ -394,6 +394,12 @@ impl Statement {
     pub fn bypasses_optimizer(&self) -> bool {
         !matches!(self, Statement::Select(_) | Statement::Update { .. } | Statement::Delete { .. })
     }
+
+    /// True for `BEGIN` / `COMMIT` / `ROLLBACK` — statements that drive the
+    /// session's transaction state rather than touching any table.
+    pub fn is_txn_control(&self) -> bool {
+        matches!(self, Statement::Begin | Statement::Commit | Statement::Rollback)
+    }
 }
 
 impl fmt::Display for Expr {
@@ -419,11 +425,9 @@ impl fmt::Display for Expr {
             Expr::IsNull { expr, negated } => {
                 write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
             }
-            Expr::Between { expr, lo, hi, negated } => write!(
-                f,
-                "({expr} {}BETWEEN {lo} AND {hi})",
-                if *negated { "NOT " } else { "" }
-            ),
+            Expr::Between { expr, lo, hi, negated } => {
+                write!(f, "({expr} {}BETWEEN {lo} AND {hi})", if *negated { "NOT " } else { "" })
+            }
             Expr::InList { expr, list, negated } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, e) in list.iter().enumerate() {
@@ -434,11 +438,9 @@ impl fmt::Display for Expr {
                 }
                 write!(f, "))")
             }
-            Expr::Like { expr, pattern, negated } => write!(
-                f,
-                "({expr} {}LIKE '{pattern}')",
-                if *negated { "NOT " } else { "" }
-            ),
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "({expr} {}LIKE '{pattern}')", if *negated { "NOT " } else { "" })
+            }
         }
     }
 }

@@ -84,11 +84,8 @@ impl<'a> Binder<'a> {
         let mut tables = Vec::new();
         let mut scope_cols: Vec<Column> = Vec::new();
         for tref in &stmt.from {
-            let info = self
-                .ctx
-                .catalog
-                .table(&tref.name)
-                .map_err(|e| SqlError::new(e.to_string()))?;
+            let info =
+                self.ctx.catalog.table(&tref.name).map_err(|e| SqlError::new(e.to_string()))?;
             self.ctx.note_catalog_lookup(64 + info.schema.len() as u64 * 24);
             let binding = tref.binding_name().to_string();
             if tables.iter().any(|t: &BoundTable| t.binding == binding) {
@@ -187,17 +184,10 @@ impl<'a> Binder<'a> {
     }
 
     /// Bind a standalone predicate against one table (UPDATE/DELETE).
-    pub fn bind_table_predicate(
-        &self,
-        expr: &mut Expr,
-        table: &Arc<TableInfo>,
-    ) -> SqlResult<()> {
+    pub fn bind_table_predicate(&self, expr: &mut Expr, table: &Arc<TableInfo>) -> SqlResult<()> {
         self.ctx.note_catalog_lookup(64);
-        let tables = vec![BoundTable {
-            binding: table.name.clone(),
-            info: Arc::clone(table),
-            offset: 0,
-        }];
+        let tables =
+            vec![BoundTable { binding: table.name.clone(), info: Arc::clone(table), offset: 0 }];
         let scope = Schema::new(
             table
                 .schema
@@ -321,9 +311,7 @@ pub fn infer_type(expr: &Expr, scope: &Schema) -> SqlResult<Option<DataType>> {
     Ok(match expr {
         Expr::Literal(v) => v.data_type(),
         Expr::Column(c) => {
-            let idx = c
-                .index
-                .ok_or_else(|| SqlError::new(format!("unbound column {}", c.name)))?;
+            let idx = c.index.ok_or_else(|| SqlError::new(format!("unbound column {}", c.name)))?;
             Some(scope.column(idx).ty)
         }
         Expr::Unary { op, expr } => match op {
@@ -485,8 +473,7 @@ mod tests {
     fn tracker_records_catalog_lookups() {
         let cat = catalog();
         let tracker = RefTracker::new();
-        let Statement::Select(sel) =
-            parse_statement("SELECT a FROM t").unwrap() else { panic!() };
+        let Statement::Select(sel) = parse_statement("SELECT a FROM t").unwrap() else { panic!() };
         Binder::new(BindContext::new(&cat).with_tracker(&tracker)).bind_select(sel).unwrap();
         assert!(tracker.count(RefClass::Common, RefKind::Data) > 0);
     }

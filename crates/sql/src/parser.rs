@@ -585,9 +585,10 @@ impl<'a> Parser<'a> {
                 "FALSE" => Ok(Expr::Literal(Value::Bool(false))),
                 "NULL" => Ok(Expr::Literal(Value::Null)),
                 "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" => self.parse_agg(&k),
-                other => {
-                    Err(SqlError::at(self.offset(), format!("unexpected keyword {other} in expression")))
-                }
+                other => Err(SqlError::at(
+                    self.offset(),
+                    format!("unexpected keyword {other} in expression"),
+                )),
             },
             Token::Ident(first) => {
                 if self.eat_symbol(Sym::Dot) {
@@ -636,7 +637,8 @@ mod tests {
 
     #[test]
     fn parses_simple_select() {
-        let s = parse_statement("SELECT a, b FROM t WHERE a = 1 ORDER BY b DESC LIMIT 10;").unwrap();
+        let s =
+            parse_statement("SELECT a, b FROM t WHERE a = 1 ORDER BY b DESC LIMIT 10;").unwrap();
         let Statement::Select(sel) = s else { panic!("not a select") };
         assert_eq!(sel.items.len(), 2);
         assert_eq!(sel.from[0].name, "t");
@@ -648,10 +650,7 @@ mod tests {
 
     #[test]
     fn join_on_folds_into_where() {
-        let s = parse_statement(
-            "SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z > 3",
-        )
-        .unwrap();
+        let s = parse_statement("SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z > 3").unwrap();
         let Statement::Select(sel) = s else { panic!() };
         assert_eq!(sel.from.len(), 2);
         let f = sel.filter.unwrap().to_string();
@@ -661,22 +660,21 @@ mod tests {
 
     #[test]
     fn operator_precedence() {
-        let Statement::Select(sel) =
-            parse_statement("SELECT 1 + 2 * 3").unwrap() else { panic!() };
+        let Statement::Select(sel) = parse_statement("SELECT 1 + 2 * 3").unwrap() else { panic!() };
         let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
         assert_eq!(expr.to_string(), "(1 + (2 * 3))");
-        let Statement::Select(sel) =
-            parse_statement("SELECT a OR b AND NOT c = 1").unwrap() else { panic!() };
+        let Statement::Select(sel) = parse_statement("SELECT a OR b AND NOT c = 1").unwrap() else {
+            panic!()
+        };
         let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
         assert_eq!(expr.to_string(), "(a OR (b AND (NOT (c = 1))))");
     }
 
     #[test]
     fn aggregates_group_by_having() {
-        let s = parse_statement(
-            "SELECT grp, COUNT(*), AVG(v) FROM t GROUP BY grp HAVING COUNT(*) > 2",
-        )
-        .unwrap();
+        let s =
+            parse_statement("SELECT grp, COUNT(*), AVG(v) FROM t GROUP BY grp HAVING COUNT(*) > 2")
+                .unwrap();
         let Statement::Select(sel) = s else { panic!() };
         assert_eq!(sel.group_by.len(), 1);
         assert!(sel.having.unwrap().contains_agg());

@@ -169,16 +169,14 @@ pub fn join_conjuncts(mut conjuncts: Vec<Expr>) -> Option<Expr> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_statement;
     use crate::ast::{SelectItem, Statement};
+    use crate::parser::parse_statement;
 
     fn expr(sql: &str) -> Expr {
         let Statement::Select(sel) = parse_statement(&format!("SELECT {sql}")).unwrap() else {
             panic!()
         };
-        let SelectItem::Expr { expr, .. } = sel.items.into_iter().next().unwrap() else {
-            panic!()
-        };
+        let SelectItem::Expr { expr, .. } = sel.items.into_iter().next().unwrap() else { panic!() };
         expr
     }
 

@@ -60,12 +60,12 @@ pub enum Sym {
 
 /// All recognized keywords.
 pub const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "ASC", "DESC",
-    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "INDEX", "DROP",
-    "ON", "JOIN", "INNER", "AS", "AND", "OR", "NOT", "NULL", "IS", "IN", "BETWEEN", "LIKE",
-    "TRUE", "FALSE", "INT", "INTEGER", "FLOAT", "VARCHAR", "TEXT", "BOOL", "BOOLEAN",
-    "COUNT", "SUM", "AVG", "MIN", "MAX", "DISTINCT", "BEGIN", "COMMIT", "ROLLBACK", "ABORT",
-    "ANALYZE", "EXPLAIN", "PREPARE", "EXECUTE",
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "ASC", "DESC", "INSERT",
+    "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "INDEX", "DROP", "ON", "JOIN",
+    "INNER", "AS", "AND", "OR", "NOT", "NULL", "IS", "IN", "BETWEEN", "LIKE", "TRUE", "FALSE",
+    "INT", "INTEGER", "FLOAT", "VARCHAR", "TEXT", "BOOL", "BOOLEAN", "COUNT", "SUM", "AVG", "MIN",
+    "MAX", "DISTINCT", "BEGIN", "COMMIT", "ROLLBACK", "ABORT", "ANALYZE", "EXPLAIN", "PREPARE",
+    "EXECUTE",
 ];
 
 /// A token plus its byte offset.
@@ -202,7 +202,8 @@ impl<'a> Lexer<'a> {
                 while let Some(&d) = self.src.get(end) {
                     if d.is_ascii_digit() {
                         end += 1;
-                    } else if d == b'.' && !is_float
+                    } else if d == b'.'
+                        && !is_float
                         && self.src.get(end + 1).is_some_and(u8::is_ascii_digit)
                     {
                         is_float = true;

@@ -21,7 +21,9 @@
 
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};
-use crate::page::{read_i64, read_u16, read_u64, write_i64, write_u16, write_u64, PageId, PAGE_SIZE};
+use crate::page::{
+    read_i64, read_u16, read_u64, write_i64, write_u16, write_u64, PageId, PAGE_SIZE,
+};
 use crate::tuple::Rid;
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -183,7 +185,8 @@ impl BTree {
             if keys.first().is_some_and(|&k| k > key) {
                 return Ok(false);
             }
-            if let Some(pos) = keys.iter().zip(rids.iter()).position(|(&k, r)| k == key && *r == rid)
+            if let Some(pos) =
+                keys.iter().zip(rids.iter()).position(|(&k, r)| k == key && *r == rid)
             {
                 keys.remove(pos);
                 rids.remove(pos);

@@ -64,7 +64,10 @@ impl TableInfo {
             (Some(l), Some(h))
                 if l == h && column == self.partition_key() && self.partitions() > 1 =>
             {
-                Some(crate::partition::partition_of_value(&crate::value::Value::Int(l), self.partitions()))
+                Some(crate::partition::partition_of_value(
+                    &crate::value::Value::Int(l),
+                    self.partitions(),
+                ))
             }
             _ => None,
         }
@@ -220,12 +223,7 @@ impl Catalog {
     /// Look up a table by name.
     pub fn table(&self, name: &str) -> StorageResult<Arc<TableInfo>> {
         let name = name.to_ascii_lowercase();
-        self.inner
-            .read()
-            .tables
-            .get(&name)
-            .cloned()
-            .ok_or(StorageError::NotFound(name))
+        self.inner.read().tables.get(&name).cloned().ok_or(StorageError::NotFound(name))
     }
 
     /// Look up a table by id.
@@ -298,22 +296,15 @@ impl Catalog {
         }
         let id = IndexId(inner.next_index);
         inner.next_index += 1;
-        let info =
-            Arc::new(IndexInfo { id, name: name.clone(), table: table.id, column, btrees });
+        let info = Arc::new(IndexInfo { id, name: name.clone(), table: table.id, column, btrees });
         inner.indexes.insert(name, Arc::clone(&info));
         Ok(info)
     }
 
     /// All indexes on a table.
     pub fn indexes_for(&self, table: TableId) -> Vec<Arc<IndexInfo>> {
-        let mut v: Vec<_> = self
-            .inner
-            .read()
-            .indexes
-            .values()
-            .filter(|ix| ix.table == table)
-            .cloned()
-            .collect();
+        let mut v: Vec<_> =
+            self.inner.read().indexes.values().filter(|ix| ix.table == table).cloned().collect();
         v.sort_by(|a, b| a.name.cmp(&b.name));
         v
     }
@@ -382,7 +373,9 @@ mod tests {
         let mut rids = Vec::new();
         for i in 0..200i64 {
             rids.push(
-                t.heap.insert(&Tuple::new(vec![Value::Int(i), Value::Str(format!("n{i}"))])).unwrap(),
+                t.heap
+                    .insert(&Tuple::new(vec![Value::Int(i), Value::Str(format!("n{i}"))]))
+                    .unwrap(),
             );
         }
         let ix = c.create_index("t_id", "t", "id").unwrap();
@@ -407,10 +400,8 @@ mod tests {
         for k in 0..200i64 {
             let p = crate::partition::partition_of_value(&Value::Int(k), 4);
             assert_eq!(ix.btree_for(p).search(k).unwrap().len(), 1, "key {k}");
-            let elsewhere: usize = (0..4)
-                .filter(|q| *q != p)
-                .map(|q| ix.btree_for(q).search(k).unwrap().len())
-                .sum();
+            let elsewhere: usize =
+                (0..4).filter(|q| *q != p).map(|q| ix.btree_for(q).search(k).unwrap().len()).sum();
             assert_eq!(elsewhere, 0, "key {k} leaked into another partition");
         }
         // Merged range covers everything, in key order.
@@ -452,10 +443,7 @@ mod tests {
     fn index_on_string_column_is_rejected() {
         let c = catalog();
         c.create_table("t", two_col()).unwrap();
-        assert!(matches!(
-            c.create_index("bad", "t", "name"),
-            Err(StorageError::SchemaMismatch(_))
-        ));
+        assert!(matches!(c.create_index("bad", "t", "name"), Err(StorageError::SchemaMismatch(_))));
     }
 
     #[test]

@@ -59,11 +59,7 @@ struct Counters {
 
 impl Counters {
     fn new() -> Self {
-        Self {
-            reads: AtomicU64::new(0),
-            writes: AtomicU64::new(0),
-            allocations: AtomicU64::new(0),
-        }
+        Self { reads: AtomicU64::new(0), writes: AtomicU64::new(0), allocations: AtomicU64::new(0) }
     }
 
     fn snapshot(&self) -> IoStats {

@@ -199,8 +199,7 @@ mod tests {
         assert_eq!(h.count().unwrap(), 400);
         // Union of per-partition scans == full scan, and partitions are
         // disjoint.
-        let full: HashSet<i64> =
-            h.scan().map(|r| r.unwrap().1.get(0).as_int().unwrap()).collect();
+        let full: HashSet<i64> = h.scan().map(|r| r.unwrap().1.get(0).as_int().unwrap()).collect();
         assert_eq!(full.len(), 400);
         let mut union = HashSet::new();
         for p in 0..4 {

@@ -101,21 +101,22 @@ impl Schema {
         }
         for (v, c) in tuple.values().iter().zip(&self.columns) {
             match v.data_type() {
-                None
-                    if !c.nullable => {
-                        return Err(StorageError::SchemaMismatch(format!(
-                            "column {} is not nullable",
-                            c.name
-                        )));
-                    }
-                Some(t) if t != c.ty
+                None if !c.nullable => {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "column {} is not nullable",
+                        c.name
+                    )));
+                }
+                Some(t)
+                    if t != c.ty
                     // Int is acceptable where Float is declared.
-                    && !(c.ty == DataType::Float && t == DataType::Int) => {
-                        return Err(StorageError::SchemaMismatch(format!(
-                            "column {} expects {}, got {}",
-                            c.name, c.ty, t
-                        )));
-                    }
+                    && !(c.ty == DataType::Float && t == DataType::Int) =>
+                {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "column {} expects {}, got {}",
+                        c.name, c.ty, t
+                    )));
+                }
                 _ => {}
             }
         }
@@ -171,12 +172,17 @@ mod tests {
         let s = abc();
         assert!(s.validate(&Tuple::new(vec![Value::Int(1)])).is_err(), "arity");
         assert!(
-            s.validate(&Tuple::new(vec![Value::Null, Value::Str("x".into()), Value::Null])).is_err(),
+            s.validate(&Tuple::new(vec![Value::Null, Value::Str("x".into()), Value::Null]))
+                .is_err(),
             "null in non-nullable"
         );
         assert!(
-            s.validate(&Tuple::new(vec![Value::Str("no".into()), Value::Str("x".into()), Value::Null]))
-                .is_err(),
+            s.validate(&Tuple::new(vec![
+                Value::Str("no".into()),
+                Value::Str("x".into()),
+                Value::Null
+            ]))
+            .is_err(),
             "type mismatch"
         );
     }

@@ -134,10 +134,7 @@ mod tests {
     fn concat_preserves_order() {
         let a = Tuple::new(vec![Value::Int(1)]);
         let b = Tuple::new(vec![Value::Int(2), Value::Int(3)]);
-        assert_eq!(
-            a.concat(&b).values(),
-            &[Value::Int(1), Value::Int(2), Value::Int(3)]
-        );
+        assert_eq!(a.concat(&b).values(), &[Value::Int(1), Value::Int(2), Value::Int(3)]);
     }
 
     #[test]

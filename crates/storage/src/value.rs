@@ -254,7 +254,13 @@ mod tests {
 
     #[test]
     fn encoded_len_matches_encoding() {
-        for v in [Value::Null, Value::Int(5), Value::Float(1.0), Value::Str("abc".into()), Value::Bool(true)] {
+        for v in [
+            Value::Null,
+            Value::Int(5),
+            Value::Float(1.0),
+            Value::Str("abc".into()),
+            Value::Bool(true),
+        ] {
             let mut buf = Vec::new();
             v.encode(&mut buf);
             assert_eq!(buf.len(), v.encoded_len());

@@ -35,7 +35,9 @@ pub enum LogRecord {
         /// Encoded tuple.
         bytes: Vec<u8>,
     },
-    /// Tuple deleted.
+    /// Tuple deleted. Carries the *before-image* of the deleted row so the
+    /// transaction layer can undo the delete on `ROLLBACK` (and so the log
+    /// is self-describing about what each transaction destroyed).
     Delete {
         /// Transaction id.
         xid: u64,
@@ -43,17 +45,34 @@ pub enum LogRecord {
         table: u32,
         /// Where it was.
         rid: Rid,
+        /// Encoded before-image of the deleted tuple.
+        before: Vec<u8>,
     },
-    /// Transaction committed (forces a flush).
+    /// Transaction committed (forces a flush — the atomic commit point:
+    /// a transaction's effects are replayed at recovery iff this record
+    /// reached the log disk).
     Commit {
         /// Transaction id.
         xid: u64,
     },
-    /// Transaction aborted.
+    /// Transaction aborted (its records must be skipped by redo).
     Abort {
         /// Transaction id.
         xid: u64,
     },
+}
+
+impl LogRecord {
+    /// The transaction this record belongs to.
+    pub fn xid(&self) -> u64 {
+        match self {
+            LogRecord::Begin { xid }
+            | LogRecord::Insert { xid, .. }
+            | LogRecord::Delete { xid, .. }
+            | LogRecord::Commit { xid }
+            | LogRecord::Abort { xid } => *xid,
+        }
+    }
 }
 
 impl LogRecord {
@@ -73,12 +92,14 @@ impl LogRecord {
                 b.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
                 b.extend_from_slice(bytes);
             }
-            LogRecord::Delete { xid, table, rid } => {
+            LogRecord::Delete { xid, table, rid, before } => {
                 b.push(3);
                 b.extend_from_slice(&xid.to_le_bytes());
                 b.extend_from_slice(&table.to_le_bytes());
                 b.extend_from_slice(&rid.page.0.to_le_bytes());
                 b.extend_from_slice(&rid.slot.to_le_bytes());
+                b.extend_from_slice(&(before.len() as u32).to_le_bytes());
+                b.extend_from_slice(before);
             }
             LogRecord::Commit { xid } => {
                 b.push(4);
@@ -118,8 +139,7 @@ impl LogRecord {
                 let page = u64_at(13)?;
                 let slot = u16_at(21)?;
                 let len = u32_at(23)? as usize;
-                let bytes =
-                    buf.get(27..27 + len).ok_or_else(corrupt)?.to_vec();
+                let bytes = buf.get(27..27 + len).ok_or_else(corrupt)?.to_vec();
                 Ok((
                     LogRecord::Insert { xid, table, rid: Rid::new(PageId(page), slot), bytes },
                     27 + len,
@@ -130,7 +150,12 @@ impl LogRecord {
                 let table = u32_at(9)?;
                 let page = u64_at(13)?;
                 let slot = u16_at(21)?;
-                Ok((LogRecord::Delete { xid, table, rid: Rid::new(PageId(page), slot) }, 23))
+                let len = u32_at(23)? as usize;
+                let before = buf.get(27..27 + len).ok_or_else(corrupt)?.to_vec();
+                Ok((
+                    LogRecord::Delete { xid, table, rid: Rid::new(PageId(page), slot), before },
+                    27 + len,
+                ))
             }
             4 => Ok((LogRecord::Commit { xid: u64_at(1)? }, 9)),
             5 => Ok((LogRecord::Abort { xid: u64_at(1)? }, 9)),
@@ -230,6 +255,18 @@ impl Wal {
         Lsn(self.inner.lock().flushed_lsn)
     }
 
+    /// The set of transactions with a durable `Commit` record — the
+    /// transactions whose effects redo recovery is allowed to replay.
+    pub fn committed_xids(&self) -> StorageResult<std::collections::HashSet<u64>> {
+        let mut out = std::collections::HashSet::new();
+        for rec in self.read_all()? {
+            if let LogRecord::Commit { xid } = rec {
+                out.insert(xid);
+            }
+        }
+        Ok(out)
+    }
+
     /// Read every durable record back, in order (recovery scan).
     pub fn read_all(&self) -> StorageResult<Vec<LogRecord>> {
         self.flush()?;
@@ -240,8 +277,7 @@ impl Wal {
             let used = u16::from_le_bytes([buf[0], buf[1]]) as usize;
             let mut off = WAL_HEADER;
             while off + 4 <= used {
-                let len =
-                    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
                 let (rec, consumed) = LogRecord::decode(&buf[off + 4..off + 4 + len])?;
                 debug_assert_eq!(consumed, len);
                 out.push(rec);
@@ -270,7 +306,12 @@ mod tests {
                 rid: Rid::new(PageId(9), 4),
                 bytes: vec![1, 2, 3, 4, 5],
             },
-            LogRecord::Delete { xid: 1, table: 3, rid: Rid::new(PageId(9), 4) },
+            LogRecord::Delete {
+                xid: 1,
+                table: 3,
+                rid: Rid::new(PageId(9), 4),
+                before: vec![1, 2, 3, 4, 5],
+            },
             LogRecord::Commit { xid: 1 },
             LogRecord::Abort { xid: 2 },
         ]
@@ -324,6 +365,20 @@ mod tests {
             bytes: vec![0; PAGE_SIZE],
         };
         assert!(matches!(w.append(&rec), Err(StorageError::RecordTooLarge(_))));
+    }
+
+    #[test]
+    fn committed_xids_tracks_only_commit_records() {
+        let w = wal();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        w.append(&LogRecord::Begin { xid: 3 }).unwrap();
+        w.flush().unwrap();
+        let committed = w.committed_xids().unwrap();
+        assert!(committed.contains(&1));
+        assert!(!committed.contains(&2), "aborted xid must not count as committed");
+        assert!(!committed.contains(&3), "in-flight xid must not count as committed");
     }
 
     #[test]

@@ -46,9 +46,14 @@ fn main() {
     }
 
     // Prepared statements route connect → execute, skipping parse/optimize.
-    server.prepare("top_paid", "SELECT name, salary FROM employee ORDER BY salary DESC LIMIT 2").unwrap();
+    server
+        .prepare("top_paid", "SELECT name, salary FROM employee ORDER BY salary DESC LIMIT 2")
+        .unwrap();
     let out = server.execute_prepared("top_paid").recv().unwrap().unwrap();
-    println!("\n> prepared fast-path result: {:?}", out.rows.iter().map(|r| r.to_string()).collect::<Vec<_>>());
+    println!(
+        "\n> prepared fast-path result: {:?}",
+        out.rows.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+    );
 
     println!("\nPer-stage monitoring (paper §5.2 — every stage self-reports):");
     for s in server.stage_stats() {

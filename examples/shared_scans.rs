@@ -50,8 +50,7 @@ fn main() {
         println!("query {i}: {}", rows[0]);
     }
     let reads = catalog.pool().disk().stats().reads - reads_before;
-    let convoys =
-        engine.registry.stats.groups_started.load(std::sync::atomic::Ordering::Relaxed);
+    let convoys = engine.registry.stats.groups_started.load(std::sync::atomic::Ordering::Relaxed);
     let attaches = engine.registry.stats.attaches.load(std::sync::atomic::Ordering::Relaxed);
     println!(
         "\n6 full scans of a {}-page table cost {reads} physical page reads \

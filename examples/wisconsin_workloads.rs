@@ -9,7 +9,9 @@
 use staged_db::planner::PlannerConfig;
 use staged_db::server::{ServerConfig, StagedServer, ThreadedServer};
 use staged_db::storage::{BufferPool, Catalog, MemDisk};
-use staged_db::workload::{drive_staged, drive_threaded, load_wisconsin_table, WorkloadA, WorkloadB};
+use staged_db::workload::{
+    drive_staged, drive_threaded, load_wisconsin_table, WorkloadA, WorkloadB,
+};
 use std::sync::Arc;
 
 fn fresh_catalog() -> Arc<Catalog> {

@@ -103,11 +103,7 @@ impl<T> Sender<T> {
         let mut inner = self.0.lock();
         if let Some(cap) = self.0.capacity {
             while inner.queue.len() >= cap && inner.receivers > 0 {
-                inner = self
-                    .0
-                    .not_full
-                    .wait(inner)
-                    .unwrap_or_else(PoisonError::into_inner);
+                inner = self.0.not_full.wait(inner).unwrap_or_else(PoisonError::into_inner);
             }
         }
         if inner.receivers == 0 {
@@ -158,11 +154,7 @@ impl<T> Receiver<T> {
             if inner.senders == 0 {
                 return Err(RecvError);
             }
-            inner = self
-                .0
-                .not_empty
-                .wait(inner)
-                .unwrap_or_else(PoisonError::into_inner);
+            inner = self.0.not_empty.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -348,10 +340,7 @@ mod tests {
         let (tx, rx) = bounded::<u8>(1);
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
         drop(tx);
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(10)),
-            Err(RecvTimeoutError::Disconnected)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]

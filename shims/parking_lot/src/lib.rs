@@ -133,10 +133,7 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let g = guard.0.take().expect("guard taken during condvar wait");
-        let (g, res) = self
-            .0
-            .wait_timeout(g, timeout)
-            .unwrap_or_else(PoisonError::into_inner);
+        let (g, res) = self.0.wait_timeout(g, timeout).unwrap_or_else(PoisonError::into_inner);
         guard.0 = Some(g);
         WaitTimeoutResult(res.timed_out())
     }

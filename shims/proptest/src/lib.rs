@@ -278,9 +278,8 @@ pub mod prelude {
 /// (used by the `proptest!` expansion; public so the macro can reach it).
 #[doc(hidden)]
 pub fn test_rng(name: &str) -> StdRng {
-    let seed = name
-        .bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3));
+    let seed =
+        name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3));
     StdRng::seed_from_u64(seed)
 }
 

@@ -14,7 +14,12 @@ fn overloaded_server_rejects_rather_than_collapses() {
     let catalog = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 256)));
     let server = StagedServer::new(
         catalog,
-        ServerConfig { queue_capacity: 4, control_workers: 1, execute_workers: 1, ..Default::default() },
+        ServerConfig {
+            queue_capacity: 4,
+            control_workers: 1,
+            execute_workers: 1,
+            ..Default::default()
+        },
     );
     server.execute_sql("CREATE TABLE t (x INT)").unwrap();
     for i in 0..200 {
@@ -51,23 +56,18 @@ fn backpressure_blocks_producer_stage_without_deadlock() {
     let delivered = Arc::new(AtomicU64::new(0));
     let d2 = Arc::clone(&delivered);
     let mut b = StagedRuntime::<u64>::builder();
-    let first = b.add_stage(StageSpec::new(
-        "producer",
-        |p: u64, ctx: &StageCtx<'_, u64>| -> StageResult {
+    let first =
+        b.add_stage(StageSpec::new("producer", |p: u64, ctx: &StageCtx<'_, u64>| -> StageResult {
             let sink = ctx.stage_id_of("slow-sink").expect("sink registered");
             ctx.send(sink, p).map_err(|_| StageError::new("closed"))?;
             Ok(())
-        },
-    ));
+        }));
     b.add_stage(
-        StageSpec::new(
-            "slow-sink",
-            move |_: u64, _: &StageCtx<'_, u64>| -> StageResult {
-                std::thread::sleep(Duration::from_micros(300));
-                d2.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            },
-        )
+        StageSpec::new("slow-sink", move |_: u64, _: &StageCtx<'_, u64>| -> StageResult {
+            std::thread::sleep(Duration::from_micros(300));
+            d2.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
         .with_queue_capacity(2),
     );
     let rt = b.build();

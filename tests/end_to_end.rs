@@ -153,9 +153,7 @@ fn prepared_statements_bypass_parse_and_optimize() {
 fn explain_reports_physical_plan() {
     let cat = catalog();
     let server = StagedServer::new(cat, ServerConfig::default());
-    let out = server
-        .execute_sql("EXPLAIN SELECT * FROM wisc1 WHERE unique1 = 5")
-        .unwrap();
+    let out = server.execute_sql("EXPLAIN SELECT * FROM wisc1 WHERE unique1 = 5").unwrap();
     let text: String = out.rows.iter().map(|r| r.to_string()).collect();
     assert!(text.contains("IndexScan"), "expected index plan, got {text}");
     server.shutdown();

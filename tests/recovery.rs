@@ -25,7 +25,7 @@ fn redo_replay_rebuilds_table_contents() {
     let (ctx, t, wal) = setup();
     let rows: Vec<Tuple> =
         (0..50).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * i)])).collect();
-    dml::insert_rows(&ctx, &t, rows, Some((&wal, 1))).unwrap();
+    dml::insert_rows(&ctx, &t, rows, Some(&dml::DmlLog::wal_only(&wal, 1))).unwrap();
     let id_col = staged_db::sql::Expr::Column(staged_db::sql::ast::ColumnRef {
         table: None,
         name: "id".into(),
@@ -39,7 +39,7 @@ fn redo_replay_rebuilds_table_contents() {
             staged_db::sql::ast::BinOp::Lt,
             staged_db::sql::Expr::int(10),
         )),
-        Some((&wal, 1)),
+        Some(&dml::DmlLog::wal_only(&wal, 1)),
     )
     .unwrap();
     wal.append(&LogRecord::Commit { xid: 1 }).unwrap();
@@ -68,11 +68,8 @@ fn redo_replay_rebuilds_table_contents() {
             _ => {}
         }
     }
-    let survivors: Vec<i64> = t2
-        .heap
-        .scan()
-        .map(|r| r.unwrap().1.get(0).as_int().unwrap())
-        .collect();
+    let survivors: Vec<i64> =
+        t2.heap.scan().map(|r| r.unwrap().1.get(0).as_int().unwrap()).collect();
     assert_eq!(survivors.len(), 40);
     assert!(survivors.iter().all(|&i| i >= 10));
     // Matches the live table.
@@ -104,7 +101,7 @@ fn redo_rebuilds_partitioned_table_and_indexes_byte_for_byte() {
     let wal = Wal::new(Arc::new(MemDisk::new()));
     let rows: Vec<Tuple> =
         (0..200).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 3)])).collect();
-    dml::insert_rows(&ctx, &t, rows, Some((&wal, 1))).unwrap();
+    dml::insert_rows(&ctx, &t, rows, Some(&dml::DmlLog::wal_only(&wal, 1))).unwrap();
     // Mixed workload: a ranged delete and a keyed update, all WAL-logged.
     let id_col = staged_db::sql::Expr::Column(staged_db::sql::ast::ColumnRef {
         table: None,
@@ -118,15 +115,21 @@ fn redo_rebuilds_partitioned_table_and_indexes_byte_for_byte() {
             staged_db::sql::Expr::int(n),
         ))
     };
-    dml::delete_rows(&ctx, &t, &lt(30), Some((&wal, 1))).unwrap();
+    dml::delete_rows(&ctx, &t, &lt(30), Some(&dml::DmlLog::wal_only(&wal, 1))).unwrap();
     let eq_77 = Some(staged_db::sql::Expr::binary(
         id_col.clone(),
         staged_db::sql::ast::BinOp::Eq,
         staged_db::sql::Expr::int(77),
     ));
     // Key 77 → 501: the row must hop to partition hash(501).
-    dml::update_rows(&ctx, &t, &[(0, staged_db::sql::Expr::int(501))], &eq_77, Some((&wal, 1)))
-        .unwrap();
+    dml::update_rows(
+        &ctx,
+        &t,
+        &[(0, staged_db::sql::Expr::int(501))],
+        &eq_77,
+        Some(&dml::DmlLog::wal_only(&wal, 1)),
+    )
+    .unwrap();
     wal.append(&LogRecord::Commit { xid: 1 }).unwrap();
 
     // "Crash": fresh catalog of the same shape, then WAL redo.
@@ -162,13 +165,92 @@ fn redo_rebuilds_partitioned_table_and_indexes_byte_for_byte() {
     assert_eq!(t2.heap.count().unwrap(), 170);
 }
 
+/// A crash landing between `Begin` and `Commit` must erase the in-flight
+/// transaction: redo replays only transactions with a durable commit
+/// record, at every partition count.
+#[test]
+fn crash_between_begin_and_commit_replays_only_committed_txns() {
+    for parts in [1usize, 2, 4] {
+        let mk_catalog = || {
+            let pool = BufferPool::new(Arc::new(MemDisk::new()), 512);
+            let catalog = Arc::new(Catalog::new(pool));
+            catalog
+                .create_table_partitioned(
+                    "p",
+                    Schema::new(vec![
+                        Column::new("id", DataType::Int),
+                        Column::new("v", DataType::Int),
+                    ]),
+                    parts,
+                    0,
+                )
+                .unwrap();
+            catalog.create_index("p_id", "p", "id").unwrap();
+            ExecContext::new(catalog)
+        };
+        let ctx = mk_catalog();
+        let t = ctx.catalog.table("p").unwrap();
+        let wal = Wal::new(Arc::new(MemDisk::new()));
+
+        // Transaction 1 commits 100 rows.
+        wal.append(&LogRecord::Begin { xid: 1 }).unwrap();
+        let rows: Vec<Tuple> =
+            (0..100).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i)])).collect();
+        dml::insert_rows(&ctx, &t, rows, Some(&dml::DmlLog::wal_only(&wal, 1))).unwrap();
+        wal.append(&LogRecord::Commit { xid: 1 }).unwrap();
+
+        // Transaction 2 inserts new rows AND deletes committed ones — then
+        // the "crash" happens before its commit record.
+        wal.append(&LogRecord::Begin { xid: 2 }).unwrap();
+        let more: Vec<Tuple> =
+            (1000..1020).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(0)])).collect();
+        let log2 = dml::DmlLog::wal_only(&wal, 2);
+        dml::insert_rows(&ctx, &t, more, Some(&log2)).unwrap();
+        let id_col = staged_db::sql::Expr::Column(staged_db::sql::ast::ColumnRef {
+            table: None,
+            name: "id".into(),
+            index: Some(0),
+        });
+        let lt_10 = Some(staged_db::sql::Expr::binary(
+            id_col,
+            staged_db::sql::ast::BinOp::Lt,
+            staged_db::sql::Expr::int(10),
+        ));
+        dml::delete_rows(&ctx, &t, &lt_10, Some(&log2)).unwrap();
+        wal.flush().unwrap(); // records are durable, the commit is not
+
+        // Transaction 3 aborted explicitly; equally invisible to redo.
+        wal.append(&LogRecord::Begin { xid: 3 }).unwrap();
+        let aborted: Vec<Tuple> =
+            (2000..2005).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(0)])).collect();
+        dml::insert_rows(&ctx, &t, aborted, Some(&dml::DmlLog::wal_only(&wal, 3))).unwrap();
+        wal.append(&LogRecord::Abort { xid: 3 }).unwrap();
+        wal.flush().unwrap();
+
+        let ctx2 = mk_catalog();
+        let applied = dml::redo(&ctx2, &wal).unwrap();
+        assert_eq!(applied, 100, "{parts} partitions: exactly txn 1's inserts replay");
+        let t2 = ctx2.catalog.table("p").unwrap();
+        assert_eq!(t2.heap.count().unwrap(), 100, "{parts} partitions");
+        let ids: std::collections::HashSet<i64> =
+            t2.heap.scan().map(|r| r.unwrap().1.get(0).as_int().unwrap()).collect();
+        assert_eq!(ids, (0..100).collect(), "{parts} partitions: uncommitted writes leaked");
+        // The uncommitted delete of rows 0..10 must not have replayed, and
+        // their index entries must be intact in the partition they hash to.
+        let ix = ctx2.catalog.index_on(t2.id, 0).unwrap();
+        for k in 0..10 {
+            assert_eq!(ix.search(k).unwrap().len(), 1, "{parts} partitions: key {k}");
+        }
+        assert!(ix.search(1000).unwrap().is_empty());
+        assert!(ix.search(2000).unwrap().is_empty());
+    }
+}
+
 #[test]
 fn disk_full_surfaces_cleanly_mid_insert() {
     let pool = BufferPool::new(Arc::new(MemDisk::new().with_capacity(3)), 8);
     let catalog = Arc::new(Catalog::new(pool));
-    let t = catalog
-        .create_table("t", Schema::new(vec![Column::new("x", DataType::Str)]))
-        .unwrap();
+    let t = catalog.create_table("t", Schema::new(vec![Column::new("x", DataType::Str)])).unwrap();
     let big_row = Tuple::new(vec![Value::Str("y".repeat(4000))]);
     let mut inserted = 0;
     let err = loop {
@@ -187,9 +269,7 @@ fn disk_full_surfaces_cleanly_mid_insert() {
 fn torn_page_is_reported_as_corruption() {
     let pool = BufferPool::new(Arc::new(MemDisk::new()), 8);
     let catalog = Arc::new(Catalog::new(Arc::clone(&pool)));
-    let t = catalog
-        .create_table("t", Schema::new(vec![Column::new("x", DataType::Int)]))
-        .unwrap();
+    let t = catalog.create_table("t", Schema::new(vec![Column::new("x", DataType::Int)])).unwrap();
     let rid = t.heap.insert(&Tuple::new(vec![Value::Int(1)])).unwrap();
     // Corrupt the record bytes in place (simulated torn write): the slot
     // now points at garbage that fails tuple decoding.
