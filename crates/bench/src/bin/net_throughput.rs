@@ -1,0 +1,184 @@
+//! Closed-loop multi-client **network** throughput bench.
+//!
+//! Spins up a server behind the TCP front end on an ephemeral loopback
+//! port, then drives it with N closed-loop clients (each a real
+//! `staged-dbclient` connection: send one statement, wait for the tagged
+//! response, send the next). The workload is the PR-3 transfer mix —
+//! `BEGIN; UPDATE -1; UPDATE +1; COMMIT/ROLLBACK` over a hash-partitioned
+//! accounts table — so the numbers are directly comparable with the
+//! in-process `oltp_transfers_*` metrics of `perf_trajectory`: the gap
+//! between the two is the cost of the wire (framing, syscalls, the `net`
+//! admission stage).
+//!
+//! Usage: `net_throughput [quick] [--clients N] [--transfers N]
+//!                        [--partitions N]`
+//!
+//! `quick` (CI smoke) runs 4 clients × 20 transfers on 2 partitions for
+//! both servers and asserts the balance-sum invariant; the full run scales
+//! the client count up. Always exits non-zero if any invariant breaks, so
+//! CI can use it as a correctness smoke test too. EXPERIMENTS.md documents
+//! how to read the output.
+
+use staged_dbclient::Client;
+use staged_planner::PlannerConfig;
+use staged_server::net::{self, NetConfig};
+use staged_server::{ServerConfig, StagedServer, ThreadedServer};
+use staged_storage::{
+    partition_of_value, BufferPool, Catalog, Column, DataType, MemDisk, Schema, Tuple, Value,
+};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ACCOUNTS: i64 = 128;
+const BALANCE: i64 = 100;
+
+fn accounts_catalog(parts: usize) -> Arc<Catalog> {
+    let cat = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 2048)));
+    cat.create_table_partitioned(
+        "accounts",
+        Schema::new(vec![Column::new("id", DataType::Int), Column::new("bal", DataType::Int)]),
+        parts,
+        0,
+    )
+    .unwrap();
+    let t = cat.table("accounts").unwrap();
+    for i in 0..ACCOUNTS {
+        t.heap.insert(&Tuple::new(vec![Value::Int(i), Value::Int(BALANCE)])).unwrap();
+    }
+    cat.create_index("accounts_id", "accounts", "id").unwrap();
+    cat.analyze_table("accounts").unwrap();
+    cat
+}
+
+/// Drive `clients` closed-loop TCP clients for `transfers` transactions
+/// each; returns (txns/sec, statements/sec).
+fn drive(addr: std::net::SocketAddr, clients: usize, transfers: usize, parts: usize) -> (f64, f64) {
+    let start = Instant::now();
+    let stmts: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|cid| {
+                scope.spawn(move || {
+                    let mut db = Client::connect_timeout(addr, Duration::from_secs(10))
+                        .expect("bench client connect");
+                    let mut stmts = 0u64;
+                    let mut state = 0x9e3779b97f4a7c15u64 ^ (cid as u64 + 1);
+                    let mut next = move || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    };
+                    for _ in 0..transfers {
+                        let from = (next() % ACCOUNTS as u64) as i64;
+                        let to = (next() % ACCOUNTS as u64) as i64;
+                        let commit = next() % 4 != 0;
+                        if db.begin().is_err() {
+                            continue;
+                        }
+                        stmts += 1;
+                        // Canonical partition order avoids deadlocks, as in
+                        // perf_trajectory::oltp_transfers — this bench
+                        // measures the wire + pipeline, not timeout-abort.
+                        let part_of = |id: i64| partition_of_value(&Value::Int(id), parts);
+                        let mut ops = [(part_of(from), from, "-"), (part_of(to), to, "+")];
+                        ops.sort_unstable();
+                        let mut failed = false;
+                        for (_, id, op) in ops {
+                            stmts += 1;
+                            if db
+                                .query(&format!(
+                                    "UPDATE accounts SET bal = bal {op} 1 WHERE id = {id}"
+                                ))
+                                .is_err()
+                            {
+                                failed = true;
+                                break;
+                            }
+                        }
+                        stmts += 1;
+                        let _ = if failed || !commit { db.rollback() } else { db.commit() };
+                    }
+                    let _ = db.quit();
+                    stmts
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("bench client")).sum()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    ((clients * transfers) as f64 / secs, stmts as f64 / secs)
+}
+
+fn check_invariant(addr: std::net::SocketAddr) {
+    let mut db = Client::connect_timeout(addr, Duration::from_secs(10)).unwrap();
+    let out = db.query("SELECT SUM(bal) FROM accounts").expect("sum query");
+    let sum: i64 = out.rows[0][0].as_ref().unwrap().parse().unwrap();
+    assert_eq!(sum, ACCOUNTS * BALANCE, "balance-sum invariant broken over TCP");
+    let _ = db.quit();
+}
+
+fn bench_staged(clients: usize, transfers: usize, parts: usize) -> (f64, f64) {
+    let server = StagedServer::new(
+        accounts_catalog(parts),
+        ServerConfig { partitions: parts, ..Default::default() },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = net::serve(
+        listener,
+        Arc::clone(&server),
+        NetConfig { max_connections: clients + 4, ..Default::default() },
+    )
+    .unwrap();
+    let rates = drive(handle.local_addr(), clients, transfers, parts);
+    check_invariant(handle.local_addr());
+    handle.shutdown();
+    server.shutdown();
+    rates
+}
+
+fn bench_threaded(clients: usize, transfers: usize, parts: usize) -> (f64, f64) {
+    let server = Arc::new(ThreadedServer::new(
+        accounts_catalog(parts),
+        clients.max(2),
+        PlannerConfig::default(),
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = net::serve(
+        listener,
+        Arc::clone(&server),
+        NetConfig { max_connections: clients + 4, ..Default::default() },
+    )
+    .unwrap();
+    let rates = drive(handle.local_addr(), clients, transfers, parts);
+    check_invariant(handle.local_addr());
+    handle.shutdown();
+    server.shutdown();
+    rates
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let flag = |name: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let clients = flag("--clients", if quick { 4 } else { 8 });
+    let transfers = flag("--transfers", if quick { 20 } else { 200 });
+    let parts = flag("--partitions", 2);
+
+    println!(
+        "net_throughput: {clients} closed-loop TCP clients x {transfers} transfers, \
+         {parts} partitions"
+    );
+    println!("{:>10} {:>14} {:>16}", "server", "txns/sec", "stmts/sec");
+    let (txns, stmts) = bench_staged(clients, transfers, parts);
+    println!("{:>10} {txns:>14.0} {stmts:>16.0}", "staged");
+    let (txns, stmts) = bench_threaded(clients, transfers, parts);
+    println!("{:>10} {txns:>14.0} {stmts:>16.0}", "threaded");
+    println!("invariants held: SUM(bal) = {} on both servers", ACCOUNTS * BALANCE);
+}

@@ -14,6 +14,10 @@
 //! Usage:
 //!   perf_trajectory [--out FILE] [--baseline FILE] [--gate FRACTION]
 //!
+//! Since PR 4 the slice includes `net_transfers_p2`: the transfer
+//! workload driven through the TCP front end by real client connections
+//! (see EXPERIMENTS.md for the full metric table).
+//!
 //! Exit status 1 = at least one metric regressed more than the gate
 //! fraction below its baseline.
 
@@ -220,6 +224,97 @@ fn oltp_transfers(parts: usize) -> f64 {
     })
 }
 
+/// The transfer workload again, but through the TCP front end with real
+/// `staged-dbclient` connections: the delta against `oltp_transfers_*`
+/// prices the wire (framing, syscalls, the `net` admission stage).
+fn net_transfers(parts: usize) -> f64 {
+    use staged_dbclient::Client;
+    use staged_server::net::{self, NetConfig};
+
+    best_rate((SESSIONS * TRANSFERS) as f64, || {
+        let cat = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 2048)));
+        cat.create_table_partitioned(
+            "accounts",
+            Schema::new(vec![Column::new("id", DataType::Int), Column::new("bal", DataType::Int)]),
+            parts,
+            0,
+        )
+        .unwrap();
+        let t = cat.table("accounts").unwrap();
+        for i in 0..ACCOUNTS {
+            t.heap.insert(&Tuple::new(vec![Value::Int(i), Value::Int(100)])).unwrap();
+        }
+        cat.create_index("accounts_id", "accounts", "id").unwrap();
+        cat.analyze_table("accounts").unwrap();
+        let server = StagedServer::new(
+            Arc::clone(&cat),
+            ServerConfig {
+                mode: ExecutionMode::Staged,
+                partitions: parts,
+                lock_timeout: Duration::from_secs(2),
+                ..Default::default()
+            },
+        );
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = net::serve(
+            listener,
+            Arc::clone(&server),
+            NetConfig { max_connections: SESSIONS + 2, ..Default::default() },
+        )
+        .unwrap();
+        let addr = handle.local_addr();
+        std::thread::scope(|scope| {
+            for sid in 0..SESSIONS {
+                scope.spawn(move || {
+                    let mut db =
+                        Client::connect_timeout(addr, Duration::from_secs(10)).expect("connect");
+                    let mut state = 0x9e3779b97f4a7c15u64 ^ (sid as u64 + 1);
+                    let mut next = move || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    };
+                    for _ in 0..TRANSFERS {
+                        let from = (next() % ACCOUNTS as u64) as i64;
+                        let to = (next() % ACCOUNTS as u64) as i64;
+                        let commit = next() % 4 != 0;
+                        if db.begin().is_err() {
+                            continue;
+                        }
+                        let part_of =
+                            |id: i64| staged_storage::partition_of_value(&Value::Int(id), parts);
+                        let mut stmts = [(part_of(from), from, "-"), (part_of(to), to, "+")];
+                        stmts.sort_unstable();
+                        let mut failed = false;
+                        for (_, id, op) in stmts {
+                            if db
+                                .query(&format!(
+                                    "UPDATE accounts SET bal = bal {op} 1 WHERE id = {id}"
+                                ))
+                                .is_err()
+                            {
+                                failed = true;
+                                break;
+                            }
+                        }
+                        let _ = if failed || !commit { db.rollback() } else { db.commit() };
+                    }
+                    let _ = db.quit();
+                });
+            }
+        });
+        let out = server.execute_sql("SELECT SUM(bal) FROM accounts").unwrap();
+        assert_eq!(
+            out.rows[0].to_string(),
+            format!("[{}]", ACCOUNTS * 100),
+            "sum invariant broken over TCP"
+        );
+        handle.shutdown();
+        server.shutdown();
+    })
+}
+
 fn parse_bind(catalog: &Arc<Catalog>) -> f64 {
     let sqls: Vec<String> = (0..200)
         .map(|i| {
@@ -287,7 +382,7 @@ fn main() {
     let flag = |name: &str| -> Option<String> {
         args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
     };
-    let out_path = flag("--out").unwrap_or_else(|| "BENCH_3.json".into());
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_4.json".into());
     let baseline_path = flag("--baseline");
     let gate: f64 = flag("--gate").and_then(|g| g.parse().ok()).unwrap_or(0.25);
 
@@ -310,6 +405,7 @@ fn main() {
     push("staged_point_lookup_p4", "lookups_per_sec", point_lookups(4));
     push("oltp_transfers_p1", "txns_per_sec", oltp_transfers(1));
     push("oltp_transfers_p4", "txns_per_sec", oltp_transfers(4));
+    push("net_transfers_p2", "txns_per_sec", net_transfers(2));
     push("parse_bind_optimize", "stmts_per_sec", parse_bind(&catalog));
 
     write_json(&out_path, calib, &metrics);

@@ -29,6 +29,8 @@
 //! The crate is dependency-light and knows nothing about databases; the
 //! `staged-server` crate assembles an actual DBMS from it.
 
+#![deny(missing_docs)]
+
 pub mod coop;
 pub mod error;
 pub mod monitor;

@@ -82,6 +82,12 @@ impl StageMonitor {
 }
 
 /// Immutable snapshot of one stage's state, as reported by the runtime.
+///
+/// This is the schema consumed by the autotuner, the bench tables and the
+/// wire protocol's `STATS` command (PROTOCOL.md §6); the field-by-field
+/// interpretation — including how `idle_polls` and `retries` read as
+/// over-provisioning and contention signals — is documented in
+/// EXPERIMENTS.md ("Stage-stats schema").
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct StageStats {
     /// Stage name.

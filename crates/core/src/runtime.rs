@@ -409,6 +409,26 @@ mod tests {
     }
 
     #[test]
+    fn idle_polls_surface_in_stats_snapshots() {
+        // A worker that wakes to an empty queue must be visible in the
+        // monitor: `idle_polls` is how the autotuner (and the STATS wire
+        // command) see over-provisioned stages.
+        let mut b = StagedRuntime::<u8>::builder();
+        let s = b.add_stage(StageSpec::new("sleepy", ok_stage(|_: u8, _: &StageCtx<'_, u8>| {})));
+        let rt = b.build();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while rt.stats()[s].idle_polls == 0 {
+            assert!(std::time::Instant::now() < deadline, "no idle poll recorded");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        rt.enqueue(s, 1).unwrap();
+        rt.shutdown();
+        let st = &rt.stats()[s];
+        assert!(st.idle_polls >= 1);
+        assert_eq!(st.processed, 1);
+    }
+
+    #[test]
     fn requeue_back_retries_later() {
         // A packet that isn't ready the first time goes to the back of the
         // queue and is processed on a later dequeue (paper case iii).

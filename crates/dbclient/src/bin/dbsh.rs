@@ -1,0 +1,119 @@
+//! `dbsh` — the interactive shell for a staged-db network server.
+//!
+//! Reads commands from `-c` arguments or stdin (one statement per line),
+//! sends them over the wire protocol, and pretty-prints result tables.
+//!
+//! ```sh
+//! dbsh --addr 127.0.0.1:5433 -c "SELECT * FROM t"
+//! printf 'BEGIN\nINSERT INTO t VALUES (1)\nCOMMIT\n' | dbsh --addr 127.0.0.1:5433
+//! ```
+//!
+//! Shell meta-commands: `\ping`, `\stats`, `\q` (everything else is sent
+//! as SQL). Exit status is 0 when every statement succeeded, 1 otherwise.
+
+use staged_dbclient::{Client, ClientError};
+use std::io::{BufRead, IsTerminal, Write};
+use std::time::Duration;
+
+const USAGE: &str = "usage: dbsh [--addr HOST:PORT] [-c STATEMENT]...
+  --addr HOST:PORT   server address (default 127.0.0.1:5433)
+  -c STATEMENT       run one statement and continue; repeatable.
+                     Without -c, statements are read from stdin.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:5433".to_string();
+    let mut commands: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).cloned().unwrap_or_else(|| die(USAGE));
+            }
+            "-c" => {
+                i += 1;
+                commands.push(args.get(i).cloned().unwrap_or_else(|| die(USAGE)));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+
+    let mut client = match Client::connect_timeout(&addr, Duration::from_secs(5)) {
+        Ok(c) => c,
+        Err(e) => die(&format!("dbsh: cannot connect to {addr}: {e}")),
+    };
+    let interactive = commands.is_empty() && std::io::stdin().is_terminal();
+    if interactive {
+        println!("connected to {addr} ({})", client.server_greeting());
+    }
+
+    let mut failed = false;
+    let run = |client: &mut Client, line: &str, failed: &mut bool| -> bool {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("--") {
+            return true;
+        }
+        match line {
+            "\\q" | "\\quit" => return false,
+            "\\ping" => match client.ping() {
+                Ok(()) => println!("PONG"),
+                Err(e) => {
+                    *failed = true;
+                    eprintln!("error: {e}");
+                }
+            },
+            "\\stats" => print_result(client.stats(), failed),
+            sql => print_result(client.query(sql.trim_end_matches(';')), failed),
+        }
+        true
+    };
+
+    if commands.is_empty() {
+        let stdin = std::io::stdin();
+        let mut lines = stdin.lock().lines();
+        loop {
+            if interactive {
+                print!("dbsh> ");
+                let _ = std::io::stdout().flush();
+            }
+            let Some(Ok(line)) = lines.next() else { break };
+            if !run(&mut client, &line, &mut failed) {
+                break;
+            }
+        }
+    } else {
+        for cmd in &commands {
+            if !run(&mut client, cmd, &mut failed) {
+                break;
+            }
+        }
+    }
+
+    let _ = client.quit();
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+fn print_result(res: Result<staged_dbclient::QueryResult, ClientError>, failed: &mut bool) {
+    match res {
+        Ok(out) => print!("{}", out.render()),
+        Err(e @ ClientError::Server { .. }) => {
+            *failed = true;
+            println!("error: {e}");
+        }
+        Err(e) => {
+            *failed = true;
+            eprintln!("fatal: {e}");
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}

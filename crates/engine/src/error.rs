@@ -26,6 +26,23 @@ pub enum EngineError {
     Internal(String),
 }
 
+impl EngineError {
+    /// Stable machine-readable code for this error class. The servers embed
+    /// it in client-facing messages and the network front end maps it onto
+    /// the wire-level `ERR` code space (see `PROTOCOL.md`): `SQL` errors
+    /// keep the `SQL` wire code, everything else surfaces as `EXEC` with
+    /// this finer-grained code preserved in the message.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineError::Storage(_) => "STORAGE",
+            EngineError::Sql(_) => "SQL",
+            EngineError::Eval(_) => "EVAL",
+            EngineError::Txn(_) => "TXN",
+            EngineError::Internal(_) => "INTERNAL",
+        }
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -49,5 +66,22 @@ impl From<StorageError> for EngineError {
 impl From<SqlError> for EngineError {
     fn from(e: SqlError) -> Self {
         EngineError::Sql(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_has_a_stable_code() {
+        let cases = [
+            (EngineError::Eval("x".into()), "EVAL"),
+            (EngineError::Txn("x".into()), "TXN"),
+            (EngineError::Internal("x".into()), "INTERNAL"),
+        ];
+        for (err, code) in cases {
+            assert_eq!(err.code(), code);
+        }
     }
 }

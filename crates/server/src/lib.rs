@@ -19,13 +19,23 @@
 //!
 //! Both share [`pipeline`], so correctness is identical by construction and
 //! the architectural comparison is apples-to-apples.
+//!
+//! The [`net`] module opens both servers to real TCP traffic with the text
+//! wire protocol of `PROTOCOL.md`: the staged server admits network
+//! statements through a dedicated `net` stage (bounded-queue back-pressure
+//! all the way to the socket), the threaded baseline serves
+//! thread-per-connection, and the two answer byte-identical responses.
 
+#![deny(missing_docs)]
+
+pub mod net;
 pub mod pipeline;
 pub mod session;
 pub mod staged_server;
 pub mod threaded;
 pub mod types;
 
+pub use net::{serve, NetConfig, NetHandle, NetStats};
 pub use session::TxnRuntime;
 pub use staged_server::{StagedServer, StagedSession};
 pub use threaded::{ThreadedServer, ThreadedSession};

@@ -1,0 +1,498 @@
+//! The network front end: a TCP wire protocol feeding the staged pipeline.
+//!
+//! This module opens both servers to real client traffic over
+//! [`std::net::TcpListener`], speaking the newline-delimited text protocol
+//! of `PROTOCOL.md` (executable vocabulary in the `staged-wire` crate).
+//! The two servers keep their architectural identities:
+//!
+//! * **Staged** — connection reader threads are *pure I/O*: they frame
+//!   lines, decode commands and enqueue each statement into the staged
+//!   server's dedicated `net` **admission stage**. From there the packet
+//!   flows `net → connect → parse → (optimize | lock) → execute →
+//!   disconnect` exactly as an in-process submission would. The `net`
+//!   stage's bounded queue is the admission buffer: when the pipeline
+//!   falls behind, `enqueue` blocks the reader thread, the reader stops
+//!   draining its socket, and TCP's own flow control pushes back on the
+//!   client — back-pressure end to end, with zero protocol machinery.
+//! * **Threaded** — thread-per-connection, the classical monolithic
+//!   design: the connection's thread decodes and runs each statement as a
+//!   direct procedure-call chain. The two front ends answer byte-identical
+//!   responses for the same script (`tests/net.rs` diffs them over real
+//!   sockets).
+//!
+//! **Connection lifecycle.** Every connection owns one session
+//! ([`crate::StagedServer::session`] / [`crate::ThreadedServer::session`]),
+//! so `BEGIN` binds transactions to the connection and a disconnect —
+//! orderly `QUIT`, client crash, or read error — drops the session handle
+//! and aborts any open transaction (PR 3's abort-on-drop), releasing its
+//! locks. A connection beyond [`NetConfig::max_connections`] is greeted
+//! with `ERR OVERLOADED` and closed: admission control before any session
+//! state is allocated.
+
+use crate::types::{QueryOutput, Response, ServerError};
+use crate::{StagedServer, StagedSession, ThreadedServer, ThreadedSession};
+use parking_lot::Mutex;
+use staged_storage::{Column, DataType, Schema, Tuple, Value};
+use staged_wire as wire;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Network front-end tuning.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Connections served concurrently; further clients are refused with
+    /// `ERR OVERLOADED` at accept time.
+    pub max_connections: usize,
+    /// How often blocked reads and the accept loop re-check the shutdown
+    /// flag. Purely an internal latency/CPU trade-off.
+    pub poll_interval: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self { max_connections: 64, poll_interval: Duration::from_millis(25) }
+    }
+}
+
+/// Front-end counters (monotonic except `active`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct NetStats {
+    /// Connections accepted (including later-refused ones).
+    pub accepted: u64,
+    /// Connections refused by the `max_connections` admission limit.
+    pub rejected: u64,
+    /// Connections currently being served.
+    pub active: usize,
+}
+
+/// One server-side wire session: a connection's statement executor.
+///
+/// Dropping the value must abort any transaction the connection left open
+/// (both impls wrap the servers' session handles, which already do).
+pub trait WireSession: Send + 'static {
+    /// Run one SQL statement under the connection's session, to completion.
+    fn statement(&self, sql: &str) -> Response;
+}
+
+/// A server that can sit behind [`serve`]: it opens per-connection
+/// sessions and answers the `STATS` monitor command.
+pub trait WireBackend: Send + Sync + Clone + 'static {
+    /// The per-connection session type.
+    type Session: WireSession;
+    /// Open a session for a newly accepted connection.
+    fn open_session(&self) -> Self::Session;
+    /// One row per stage (or pool) for the `STATS` command; schema
+    /// documented in `PROTOCOL.md` §6.
+    fn stats_output(&self) -> QueryOutput;
+}
+
+/// The result-set schema of the `STATS` wire command.
+fn stats_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("stage", DataType::Str),
+        Column::new("processed", DataType::Int),
+        Column::new("errors", DataType::Int),
+        Column::new("retries", DataType::Int),
+        Column::new("idle_polls", DataType::Int),
+        Column::new("queued", DataType::Int),
+        Column::new("workers", DataType::Int),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Backend impls for the two servers
+// ---------------------------------------------------------------------------
+
+/// A staged-server wire session: statements enter through the `net`
+/// admission stage and flow down the full pipeline.
+pub struct StagedWireSession {
+    session: StagedSession,
+}
+
+impl WireSession for StagedWireSession {
+    fn statement(&self, sql: &str) -> Response {
+        self.session.execute_sql_admitted(sql)
+    }
+}
+
+impl WireBackend for Arc<StagedServer> {
+    type Session = StagedWireSession;
+
+    fn open_session(&self) -> StagedWireSession {
+        StagedWireSession { session: self.session() }
+    }
+
+    fn stats_output(&self) -> QueryOutput {
+        let rows = self
+            .stage_stats()
+            .into_iter()
+            .map(|s| {
+                Tuple::new(vec![
+                    Value::Str(s.name),
+                    Value::Int(s.processed as i64),
+                    Value::Int(s.errors as i64),
+                    Value::Int(s.retries as i64),
+                    Value::Int(s.idle_polls as i64),
+                    Value::Int(s.queue.depth as i64),
+                    Value::Int(s.spawned_workers as i64),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let n = rows.len();
+        QueryOutput { rows, schema: Some(stats_schema()), message: format!("STATS {n}") }
+    }
+}
+
+impl WireSession for ThreadedSession {
+    fn statement(&self, sql: &str) -> Response {
+        // Thread-per-connection: the connection's thread runs the whole
+        // pipeline itself instead of parking behind the shared pool queue.
+        self.execute_sql_direct(sql)
+    }
+}
+
+impl WireBackend for Arc<ThreadedServer> {
+    type Session = ThreadedSession;
+
+    fn open_session(&self) -> ThreadedSession {
+        self.session()
+    }
+
+    fn stats_output(&self) -> QueryOutput {
+        // The monolithic baseline has no per-stage monitors — one coarse
+        // row for the whole pool, same schema.
+        let rows = vec![Tuple::new(vec![
+            Value::Str("pool".into()),
+            Value::Int(self.served() as i64),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(self.backlog() as i64),
+            Value::Int(self.pool_size() as i64),
+        ])];
+        QueryOutput { rows, schema: Some(stats_schema()), message: "STATS 1".into() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response encoding
+// ---------------------------------------------------------------------------
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => wire::NULL_FIELD.to_string(),
+        Value::Str(s) => wire::escape_field(s),
+        other => wire::escape_field(&other.to_string()),
+    }
+}
+
+/// Encode one response as protocol lines (`META`/`ROW`* then `OK`, or one
+/// `ERR`). Exposed for the front end and its tests; the byte format is
+/// specified in `PROTOCOL.md` §4.
+pub fn encode_response(resp: &Response) -> String {
+    let mut out = String::new();
+    match resp {
+        Ok(output) => {
+            if let Some(schema) = &output.schema {
+                out.push_str(&format!("META {}", schema.len()));
+                for col in schema.columns() {
+                    out.push_str(&format!(" {}:{}", col.name, col.ty));
+                }
+                out.push('\n');
+                for row in &output.rows {
+                    out.push_str("ROW ");
+                    for (i, v) in row.values().iter().enumerate() {
+                        if i > 0 {
+                            out.push('\t');
+                        }
+                        out.push_str(&encode_value(v));
+                    }
+                    out.push('\n');
+                }
+            }
+            out.push_str(&format!("OK {}\n", wire::escape_message(&output.message)));
+        }
+        Err(e) => {
+            out.push_str(&format!("ERR {} {}\n", e.code(), wire::escape_message(&e.to_string())));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The listener
+// ---------------------------------------------------------------------------
+
+struct NetShared {
+    stop: AtomicBool,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    active: AtomicUsize,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    config: NetConfig,
+}
+
+/// A running TCP front end; dropping (or [`shutdown`](Self::shutdown)ing)
+/// it stops the accept loop and joins every connection handler.
+pub struct NetHandle {
+    addr: SocketAddr,
+    shared: Arc<NetShared>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl NetHandle {
+    /// The address the front end is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current connection counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            active: self.shared.active.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, close live connections at the next poll tick, and
+    /// join all front-end threads. Idempotent. The backend server is NOT
+    /// shut down — callers own that.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+        let conns: Vec<_> = self.shared.conns.lock().drain(..).collect();
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+}
+
+impl Drop for NetHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve the wire protocol on `listener`, opening one backend session per
+/// connection. Returns immediately; the accept loop runs on its own thread
+/// until the handle is shut down or dropped.
+pub fn serve<B: WireBackend>(
+    listener: TcpListener,
+    backend: B,
+    config: NetConfig,
+) -> std::io::Result<NetHandle> {
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(NetShared {
+        stop: AtomicBool::new(false),
+        accepted: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        active: AtomicUsize::new(0),
+        conns: Mutex::new(Vec::new()),
+        config,
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("net-accept".into())
+        .spawn(move || accept_loop(listener, backend, accept_shared))?;
+    Ok(NetHandle { addr, shared, accept_thread: Mutex::new(Some(accept_thread)) })
+}
+
+fn accept_loop<B: WireBackend>(listener: TcpListener, backend: B, shared: Arc<NetShared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        // Reap finished connection handlers so a long-lived server's
+        // handle list tracks *live* connections, not every connection it
+        // has ever served (shutdown still joins whatever remains).
+        shared.conns.lock().retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    refuse(stream);
+                    continue;
+                }
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                let backend = backend.clone();
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("net-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &backend, &conn_shared);
+                        conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn connection handler");
+                shared.conns.lock().push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.config.poll_interval);
+            }
+            Err(_) => std::thread::sleep(shared.config.poll_interval),
+        }
+    }
+}
+
+/// Over the admission limit: say why, then hang up. No session is opened.
+///
+/// The goodbye is more delicate than it looks: dropping the stream right
+/// after the write can turn into a TCP RST (if the client sends anything
+/// against the closed socket), and an RST discards data the client has
+/// not yet read — the client would see ECONNRESET instead of the
+/// `ERR OVERLOADED` code PROTOCOL.md §2 promises. So: half-close the
+/// write side, then briefly drain reads until the client observes EOF and
+/// closes (or a short deadline passes). Runs on a detached thread so an
+/// overload storm cannot stall the accept loop behind slow refusals.
+fn refuse(mut stream: TcpStream) {
+    std::thread::spawn(move || {
+        let err: Response = Err(ServerError::Overloaded);
+        let _ = stream.write_all(greeting().as_bytes());
+        let _ = stream.write_all(encode_response(&err).as_bytes());
+        let _ = stream.flush();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let mut sink = [0u8; 256];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    });
+}
+
+fn greeting() -> String {
+    format!("HELLO {} staged-db\n", wire::PROTOCOL_VERSION)
+}
+
+/// Serve one connection until EOF, `QUIT`, shutdown or a fatal framing
+/// error. The backend session (and with it any open transaction) is
+/// dropped — aborted — on every exit path.
+fn handle_connection<B: WireBackend>(
+    mut stream: TcpStream,
+    backend: &B,
+    shared: &Arc<NetShared>,
+) -> std::io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(shared.config.poll_interval))?;
+    stream.write_all(greeting().as_bytes())?;
+    let session = backend.open_session();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'conn: loop {
+        // Drain complete lines already buffered before reading more.
+        while let Some(nl) = buf.iter().position(|b| *b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            match respond(&line[..nl], &session, backend) {
+                Reply::Text(text) => {
+                    stream.write_all(text.as_bytes())?;
+                    stream.flush()?;
+                }
+                Reply::Bye => {
+                    stream.write_all(b"BYE\n")?;
+                    break 'conn;
+                }
+            }
+        }
+        if buf.len() > wire::MAX_LINE_BYTES {
+            let err: Response =
+                Err(ServerError::Protocol(format!("line exceeds {} bytes", wire::MAX_LINE_BYTES)));
+            stream.write_all(encode_response(&err).as_bytes())?;
+            break 'conn;
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            let err: Response = Err(ServerError::ShuttingDown);
+            let _ = stream.write_all(encode_response(&err).as_bytes());
+            break 'conn;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break 'conn, // client hung up; session drop aborts
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break 'conn,
+        }
+    }
+    Ok(())
+}
+
+enum Reply {
+    Text(String),
+    Bye,
+}
+
+fn respond<B: WireBackend>(raw: &[u8], session: &B::Session, backend: &B) -> Reply {
+    let Ok(line) = std::str::from_utf8(raw) else {
+        let err: Response = Err(ServerError::Protocol("request is not valid UTF-8".into()));
+        return Reply::Text(encode_response(&err));
+    };
+    if line.trim().is_empty() {
+        return Reply::Text(String::new());
+    }
+    match wire::parse_command(line) {
+        Ok(wire::Command::Ping) => Reply::Text("PONG\n".into()),
+        Ok(wire::Command::Quit) => Reply::Bye,
+        Ok(wire::Command::Stats) => Reply::Text(encode_response(&Ok(backend.stats_output()))),
+        Ok(wire::Command::Query(sql)) => Reply::Text(encode_response(&session.statement(&sql))),
+        Err(msg) => {
+            let err: Response = Err(ServerError::Protocol(msg));
+            Reply::Text(encode_response(&err))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_ok_with_rows() {
+        let out = QueryOutput {
+            rows: vec![
+                Tuple::new(vec![Value::Int(1), Value::Str("a\tb".into())]),
+                Tuple::new(vec![Value::Null, Value::Str("plain".into())]),
+            ],
+            schema: Some(Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Str),
+            ])),
+            message: "SELECT 2".into(),
+        };
+        let text = encode_response(&Ok(out));
+        assert_eq!(text, "META 2 k:INT v:VARCHAR\nROW 1\ta\\tb\nROW \\N\tplain\nOK SELECT 2\n");
+    }
+
+    #[test]
+    fn encode_message_only() {
+        assert_eq!(encode_response(&Ok(QueryOutput::message("BEGIN"))), "OK BEGIN\n");
+    }
+
+    #[test]
+    fn encode_errors_carry_stable_codes() {
+        let cases: Vec<(Response, &str)> = vec![
+            (Err(ServerError::Sql("nope".into())), "ERR SQL sql error: nope\n"),
+            (Err(ServerError::Overloaded), "ERR OVERLOADED server overloaded\n"),
+            (
+                Err(ServerError::TxnAborted),
+                "ERR TXN_ABORTED current transaction is aborted; \
+                 issue ROLLBACK before new statements\n",
+            ),
+        ];
+        for (resp, want) in cases {
+            assert_eq!(encode_response(&resp), want);
+        }
+    }
+
+    #[test]
+    fn multiline_error_messages_stay_one_line() {
+        let resp: Response = Err(ServerError::Execution("two\nlines".into()));
+        let text = encode_response(&resp);
+        assert_eq!(text.matches('\n').count(), 1);
+        assert!(text.ends_with('\n'));
+    }
+}

@@ -365,7 +365,7 @@ pub fn execute_stage(
     txn: Option<&TxnManager>,
 ) -> Result<QueryOutput, ServerError> {
     let log = DmlLog { wal, xid, txn };
-    let exec_err = |e: staged_engine::EngineError| ServerError::Execution(e.to_string());
+    let exec_err = ServerError::from;
     match action {
         PlannedAction::Select { plan, schema } => {
             let rows = match exec {

@@ -89,9 +89,7 @@ impl TxnRuntime {
         let Some(sid) = session else { return Ok(None) };
         match self.active.lock().get(&sid) {
             Some(TxnBinding::Open(xid)) => Ok(Some(*xid)),
-            Some(TxnBinding::Aborted) => Err(ServerError::Sql(
-                "current transaction is aborted; issue ROLLBACK before new statements".into(),
-            )),
+            Some(TxnBinding::Aborted) => Err(ServerError::TxnAborted),
             None => Ok(None),
         }
     }

@@ -87,6 +87,7 @@ struct ServerShared {
 pub struct StagedServer {
     shared: Arc<ServerShared>,
     runtime: StagedRuntime<SPacket>,
+    net_id: StageId,
     connect_id: StageId,
 }
 
@@ -118,6 +119,28 @@ fn finish(ctx: &StageCtx<'_, SPacket>, mut pkt: SPacket, res: Response) -> Resul
     pkt.body = PacketBody::Finished(Box::new(res));
     forward(ctx, "disconnect", pkt)
 }
+
+stage_logic!(NetStage, shared, pkt, ctx, {
+    // The network admission stage. Statements arriving over TCP enter the
+    // pipeline here: connection readers enqueue one packet per decoded
+    // statement, and this stage's bounded queue is the server's admission
+    // buffer — when downstream stages fall behind, back-pressure propagates
+    // through this queue to the reader threads and from there, via unread
+    // socket bytes, to the clients themselves. Its StageStats therefore
+    // meter exactly the network-admitted load (in-process submissions
+    // enter at `connect` and are not counted here).
+    let _ = shared;
+    match std::mem::replace(&mut pkt.body, PacketBody::Raw(String::new())) {
+        PacketBody::Raw(sql) => {
+            pkt.body = PacketBody::Raw(sql);
+            forward(ctx, "connect", pkt)
+        }
+        other => {
+            pkt.body = other;
+            finish(ctx, pkt, Err(ServerError::Execution("bad packet at net".into())))
+        }
+    }
+});
 
 stage_logic!(ConnectStage, shared, pkt, ctx, {
     match std::mem::replace(&mut pkt.body, PacketBody::Raw(String::new())) {
@@ -339,6 +362,14 @@ impl StagedServer {
             served: AtomicU64::new(0),
         });
         let mut b = StagedRuntime::<SPacket>::builder();
+        // Registered first: registration order is pipeline order, which
+        // shutdown uses as its drain order — network admissions must drain
+        // before the stages they feed close.
+        let net_id = b.add_stage(
+            StageSpec::new("net", NetStage { shared: Arc::clone(&shared) })
+                .with_queue_capacity(config.queue_capacity)
+                .with_workers(config.control_workers),
+        );
         let connect_id = b.add_stage(
             StageSpec::new("connect", ConnectStage { shared: Arc::clone(&shared) })
                 .with_queue_capacity(config.queue_capacity)
@@ -370,7 +401,7 @@ impl StagedServer {
                 .with_workers(config.control_workers),
         );
         let runtime = b.build();
-        Arc::new(Self { shared, runtime, connect_id })
+        Arc::new(Self { shared, runtime, net_id, connect_id })
     }
 
     /// Submit SQL; returns the response channel (blocking admission under
@@ -381,9 +412,29 @@ impl StagedServer {
     }
 
     fn submit_in(&self, sql: impl Into<String>, session: Option<u64>) -> Receiver<Response> {
+        self.submit_at(self.connect_id, sql, session)
+    }
+
+    /// Network admission: like [`submit`](Self::submit) but entering at the
+    /// `net` stage, so network traffic is metered (and back-pressured) by
+    /// the admission stage's own queue before it reaches `connect`.
+    pub fn submit_admitted(
+        &self,
+        sql: impl Into<String>,
+        session: Option<u64>,
+    ) -> Receiver<Response> {
+        self.submit_at(self.net_id, sql, session)
+    }
+
+    fn submit_at(
+        &self,
+        stage: StageId,
+        sql: impl Into<String>,
+        session: Option<u64>,
+    ) -> Receiver<Response> {
         let (tx, rx) = bounded(1);
         let pkt = SPacket::new(PacketBody::Raw(sql.into()), session, tx);
-        if let Err(e) = self.runtime.enqueue(self.connect_id, pkt) {
+        if let Err(e) = self.runtime.enqueue(stage, pkt) {
             let _ = e.into_packet().reply.send(Err(ServerError::ShuttingDown));
         }
         rx
@@ -502,6 +553,15 @@ impl StagedSession {
     /// Run one statement to completion under this session.
     pub fn execute_sql(&self, sql: &str) -> Response {
         self.submit(sql).recv().unwrap_or(Err(ServerError::ShuttingDown))
+    }
+
+    /// Run one statement to completion, entering the pipeline at the `net`
+    /// admission stage (the network front end's path; see [`crate::net`]).
+    pub fn execute_sql_admitted(&self, sql: &str) -> Response {
+        self.server
+            .submit_admitted(sql, Some(self.sid))
+            .recv()
+            .unwrap_or(Err(ServerError::ShuttingDown))
     }
 }
 

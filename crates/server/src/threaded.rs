@@ -32,6 +32,7 @@ struct Inner {
     txn: TxnRuntime,
     lock_timeout: Duration,
     served: AtomicU64,
+    pool_size: usize,
 }
 
 impl Inner {
@@ -74,6 +75,7 @@ impl ThreadedServer {
             txn: TxnRuntime::new(),
             lock_timeout,
             served: AtomicU64::new(0),
+            pool_size: pool_size.max(1),
         });
         let workers = (0..pool_size.max(1))
             .map(|i| {
@@ -118,6 +120,11 @@ impl ThreadedServer {
     /// Current input-queue depth.
     pub fn backlog(&self) -> usize {
         self.inner.queue.len()
+    }
+
+    /// Size of the worker pool, as configured at construction.
+    pub fn pool_size(&self) -> usize {
+        self.inner.pool_size
     }
 
     /// Stop the pool, draining queued requests first. Takes `&self` —
@@ -170,6 +177,24 @@ impl ThreadedSession {
     /// Run one statement to completion under this session.
     pub fn execute_sql(&self, sql: &str) -> Response {
         self.submit(sql).recv().unwrap_or(Err(ServerError::ShuttingDown))
+    }
+
+    /// Run one statement on the *calling* thread as a direct
+    /// procedure-call chain, bypassing the pool queue. This is the network
+    /// front end's thread-per-connection path: the connection's own thread
+    /// is the worker that carries the statement through the whole
+    /// pipeline — the classical monolithic shape the staged server is
+    /// measured against. Refused once the server is shutting down.
+    pub fn execute_sql_direct(&self, sql: &str) -> Response {
+        if self.inner.queue.is_closed() {
+            return Err(ServerError::ShuttingDown);
+        }
+        let (tx, _rx) = bounded(1);
+        let req =
+            Request { body: RequestBody::Sql(sql.to_string()), session: Some(self.sid), reply: tx };
+        let res = process(&self.inner, &req);
+        self.inner.served.fetch_add(1, Ordering::Relaxed);
+        res
     }
 }
 
@@ -299,6 +324,25 @@ mod tests {
         ));
         // And shutdown is idempotent under the unified `&self` contract.
         s.shutdown();
+    }
+
+    #[test]
+    fn direct_execution_matches_pooled_and_respects_shutdown() {
+        let s = server(2);
+        s.execute_sql("CREATE TABLE d2 (x INT)").unwrap();
+        let sess = s.session();
+        sess.execute_sql_direct("BEGIN").unwrap();
+        sess.execute_sql_direct("INSERT INTO d2 VALUES (7)").unwrap();
+        sess.execute_sql_direct("COMMIT").unwrap();
+        // Pooled and direct paths see the same state.
+        let out = sess.execute_sql("SELECT x FROM d2").unwrap();
+        assert_eq!(out.rows[0].to_string(), "[7]");
+        assert!(s.served() >= 5);
+        s.shutdown();
+        assert!(matches!(
+            sess.execute_sql_direct("SELECT x FROM d2"),
+            Err(ServerError::ShuttingDown)
+        ));
     }
 
     #[test]

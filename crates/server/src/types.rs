@@ -31,12 +31,36 @@ pub enum ServerError {
     Sql(String),
     /// Execution failed.
     Execution(String),
+    /// The session's transaction was aborted server-side (statement
+    /// failure or lock timeout); statements are refused until the client
+    /// acknowledges with `COMMIT`/`ROLLBACK` (the Postgres convention).
+    TxnAborted,
     /// The server is overloaded (connect queue full, §5.2).
     Overloaded,
     /// The server is shutting down.
     ShuttingDown,
     /// Unknown prepared statement.
     UnknownPrepared(String),
+    /// The request violated the wire protocol (network front end only).
+    Protocol(String),
+}
+
+impl ServerError {
+    /// The stable wire error code for this error (`ERR <code> <message>`
+    /// lines; see `PROTOCOL.md`). Clients branch on the code, never on the
+    /// message text.
+    pub fn code(&self) -> staged_wire::ErrorCode {
+        use staged_wire::ErrorCode;
+        match self {
+            ServerError::Sql(_) => ErrorCode::Sql,
+            ServerError::Execution(_) => ErrorCode::Exec,
+            ServerError::TxnAborted => ErrorCode::TxnAborted,
+            ServerError::Overloaded => ErrorCode::Overloaded,
+            ServerError::ShuttingDown => ErrorCode::Shutdown,
+            ServerError::UnknownPrepared(_) => ErrorCode::UnknownPrepared,
+            ServerError::Protocol(_) => ErrorCode::Proto,
+        }
+    }
 }
 
 impl fmt::Display for ServerError {
@@ -44,14 +68,32 @@ impl fmt::Display for ServerError {
         match self {
             ServerError::Sql(m) => write!(f, "sql error: {m}"),
             ServerError::Execution(m) => write!(f, "execution error: {m}"),
+            ServerError::TxnAborted => {
+                write!(f, "current transaction is aborted; issue ROLLBACK before new statements")
+            }
             ServerError::Overloaded => write!(f, "server overloaded"),
             ServerError::ShuttingDown => write!(f, "server shutting down"),
             ServerError::UnknownPrepared(n) => write!(f, "unknown prepared statement {n}"),
+            ServerError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }
 
 impl std::error::Error for ServerError {}
+
+impl From<staged_engine::EngineError> for ServerError {
+    /// Engine → client error mapping: front-end errors that surfaced at
+    /// run time keep the `SQL` wire code, everything else is an execution
+    /// error (wire code `EXEC`). The engine's finer-grained class
+    /// ([`staged_engine::EngineError::code`]) stays visible through the
+    /// message's class prefix (`storage:`, `evaluation error:`, …).
+    fn from(e: staged_engine::EngineError) -> Self {
+        match &e {
+            staged_engine::EngineError::Sql(inner) => ServerError::Sql(inner.to_string()),
+            _ => ServerError::Execution(e.to_string()),
+        }
+    }
+}
 
 /// A client response.
 pub type Response = Result<QueryOutput, ServerError>;

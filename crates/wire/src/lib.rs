@@ -1,0 +1,286 @@
+//! # staged-wire — the text wire protocol
+//!
+//! The shared vocabulary of the network front end: framing limits, request
+//! commands, response tags, field escaping and stable error codes. Both the
+//! server (`staged-server::net`) and the client library (`staged-dbclient`)
+//! depend on this crate and nothing else, so the protocol definition lives
+//! in exactly one place and the client stays dependency-light.
+//!
+//! The protocol itself is specified in `PROTOCOL.md` at the repository
+//! root; this crate is the executable form of that document. In one line:
+//! newline-delimited UTF-8 text, one request per line, responses tagged by
+//! their first token (`META` / `ROW` / `OK` / `ERR` / `PONG` / `BYE`), with
+//! tab-separated `ROW` fields escaped so values round-trip byte-exactly.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// Protocol version. Servers greet connections with `HELLO <version>`;
+/// clients refuse to talk to a version they do not understand.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on one request or response line, in bytes (newline included).
+/// Longer lines are a protocol error: the server replies `ERR PROTO` and
+/// closes the connection rather than buffering without bound.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// The NULL field marker inside `ROW` lines (Postgres `COPY` convention).
+pub const NULL_FIELD: &str = "\\N";
+
+/// Stable machine-readable error codes carried on `ERR` lines.
+///
+/// Codes are part of the protocol: clients branch on them (e.g. retry on
+/// [`ErrorCode::Overloaded`], send `ROLLBACK` on [`ErrorCode::TxnAborted`])
+/// and must never need to parse the human-readable message that follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The statement could not be parsed, bound or planned.
+    Sql,
+    /// The statement failed during execution (storage, expression
+    /// evaluation, lock timeout, …).
+    Exec,
+    /// The session's transaction was aborted server-side; every statement
+    /// is refused until the client acknowledges with `COMMIT`/`ROLLBACK`.
+    TxnAborted,
+    /// The server shed the request (admission queue or connection limit).
+    Overloaded,
+    /// The server is shutting down.
+    Shutdown,
+    /// Unknown prepared-statement name.
+    UnknownPrepared,
+    /// The request line violated the wire protocol itself.
+    Proto,
+}
+
+impl ErrorCode {
+    /// The code's wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::Sql => "SQL",
+            ErrorCode::Exec => "EXEC",
+            ErrorCode::TxnAborted => "TXN_ABORTED",
+            ErrorCode::Overloaded => "OVERLOADED",
+            ErrorCode::Shutdown => "SHUTDOWN",
+            ErrorCode::UnknownPrepared => "UNKNOWN_PREPARED",
+            ErrorCode::Proto => "PROTO",
+        }
+    }
+
+    /// Parse a wire spelling back into a code.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "SQL" => ErrorCode::Sql,
+            "EXEC" => ErrorCode::Exec,
+            "TXN_ABORTED" => ErrorCode::TxnAborted,
+            "OVERLOADED" => ErrorCode::Overloaded,
+            "SHUTDOWN" => ErrorCode::Shutdown,
+            "UNKNOWN_PREPARED" => ErrorCode::UnknownPrepared,
+            "PROTO" => ErrorCode::Proto,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `PING` — liveness probe, answered `PONG` by the network layer
+    /// without entering the statement pipeline.
+    Ping,
+    /// `QUIT` — orderly goodbye; the server answers `BYE` and closes.
+    Quit,
+    /// `STATS` — per-stage monitor snapshot as a result set.
+    Stats,
+    /// `QUERY <sql>` (or the `BEGIN`/`COMMIT`/`ROLLBACK` shorthands) — run
+    /// one SQL statement under the connection's session.
+    Query(String),
+}
+
+/// Parse one request line into a [`Command`].
+///
+/// The command word is case-insensitive; everything after `QUERY ` is the
+/// SQL text, verbatim. `BEGIN`, `COMMIT` and `ROLLBACK` are accepted as
+/// bare commands and normalised to the equivalent `QUERY`.
+///
+/// ```
+/// use staged_wire::{parse_command, Command};
+/// assert_eq!(parse_command("PING").unwrap(), Command::Ping);
+/// assert_eq!(
+///     parse_command("query SELECT 1 + 1").unwrap(),
+///     Command::Query("SELECT 1 + 1".into())
+/// );
+/// assert_eq!(parse_command("BEGIN").unwrap(), Command::Query("BEGIN".into()));
+/// assert!(parse_command("FLY me to the moon").is_err());
+/// ```
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let (word, rest) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i + 1..].trim_start()),
+        None => (line, ""),
+    };
+    let upper = word.to_ascii_uppercase();
+    match upper.as_str() {
+        "PING" | "QUIT" | "STATS" | "BEGIN" | "COMMIT" | "ROLLBACK" if !rest.is_empty() => {
+            Err(format!("{upper} takes no argument"))
+        }
+        "PING" => Ok(Command::Ping),
+        "QUIT" => Ok(Command::Quit),
+        "STATS" => Ok(Command::Stats),
+        "BEGIN" | "COMMIT" | "ROLLBACK" => Ok(Command::Query(upper)),
+        "QUERY" if rest.is_empty() => Err("QUERY requires a SQL statement".into()),
+        "QUERY" => Ok(Command::Query(rest.to_string())),
+        "" => Err("empty command".into()),
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+/// Escape one `ROW` field so tabs, newlines and backslashes in the value
+/// survive line-based framing. The inverse is [`unescape_field`].
+pub fn escape_field(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Undo [`escape_field`]. Unknown escapes are a protocol error.
+pub fn unescape_field(wire: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(wire.len());
+    let mut chars = wire.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(format!("bad escape \\{other}")),
+            None => return Err("dangling backslash".into()),
+        }
+    }
+    Ok(out)
+}
+
+/// Escape the free-text trailer of `OK`/`ERR` lines (newlines only; tabs
+/// are fine inside a message). The inverse is [`unescape_message`].
+pub fn escape_message(raw: &str) -> String {
+    raw.replace('\\', "\\\\").replace('\n', "\\n").replace('\r', "\\r")
+}
+
+/// Undo [`escape_message`]. Lenient where [`unescape_field`] is strict:
+/// an unrecognised escape passes through verbatim, because a mangled
+/// human-readable trailer must never stop a client from surfacing the
+/// error it decorates.
+pub fn unescape_message(wire: &str) -> String {
+    let mut out = String::with_capacity(wire.len());
+    let mut chars = wire.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_parse_case_insensitively() {
+        assert_eq!(parse_command("ping\r\n").unwrap(), Command::Ping);
+        assert_eq!(parse_command("Quit").unwrap(), Command::Quit);
+        assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command("commit").unwrap(), Command::Query("COMMIT".into()));
+        assert_eq!(
+            parse_command("QUERY SELECT * FROM t").unwrap(),
+            Command::Query("SELECT * FROM t".into())
+        );
+    }
+
+    #[test]
+    fn malformed_commands_are_rejected() {
+        assert!(parse_command("").is_err());
+        assert!(parse_command("QUERY").is_err());
+        assert!(parse_command("PING now").is_err());
+        assert!(parse_command("BEGIN work").is_err());
+        assert!(parse_command("EXPLODE").is_err());
+    }
+
+    #[test]
+    fn field_escaping_round_trips() {
+        for raw in ["", "plain", "tab\there", "nl\nthere", "back\\slash", "\r\n\t\\", "\\N"] {
+            let wire = escape_field(raw);
+            assert_eq!(unescape_field(&wire).unwrap(), raw);
+        }
+    }
+
+    #[test]
+    fn escaped_fields_never_contain_framing_bytes() {
+        for raw in ["tab\there", "nl\nthere", "cr\rthere"] {
+            let wire = escape_field(raw);
+            assert!(!wire.contains('\t'));
+            assert!(!wire.contains('\n'));
+            assert!(!wire.contains('\r'));
+        }
+    }
+
+    #[test]
+    fn bad_escapes_are_errors() {
+        assert!(unescape_field("\\x").is_err());
+        assert!(unescape_field("trailing\\").is_err());
+    }
+
+    #[test]
+    fn message_escaping_round_trips() {
+        for raw in ["plain", "two\nlines", "back\\slash", "cr\rhere", "tab\tstays", ""] {
+            assert_eq!(unescape_message(&escape_message(raw)), raw);
+        }
+        // Lenient decoding: unknown escapes pass through, never error.
+        assert_eq!(unescape_message("odd \\x end\\"), "odd \\x end\\");
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::Sql,
+            ErrorCode::Exec,
+            ErrorCode::TxnAborted,
+            ErrorCode::Overloaded,
+            ErrorCode::Shutdown,
+            ErrorCode::UnknownPrepared,
+            ErrorCode::Proto,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("NOPE"), None);
+    }
+}

@@ -50,5 +50,11 @@ pub use staged_engine as engine;
 /// The assembled servers (staged pipeline and thread-pool baseline).
 pub use staged_server as server;
 
+/// The text wire protocol (framing, commands, error codes) — PROTOCOL.md.
+pub use staged_wire as wire;
+
+/// TCP client library for the wire protocol (and the `dbsh` shell).
+pub use staged_dbclient as dbclient;
+
 /// Wisconsin-style workload generators.
 pub use staged_workload as workload;

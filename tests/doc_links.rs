@@ -1,0 +1,76 @@
+//! Documentation link check: every relative markdown link in the
+//! repository-root docs must point at a file that exists, so the docs and
+//! the tree cannot drift apart. CI runs this as its docs link-check step
+//! (`cargo test --test doc_links`).
+
+use std::path::Path;
+
+/// Extract `[text](target)` targets from markdown, skipping code fences.
+fn links(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find(')') else { break };
+            out.push(tail[..close].to_string());
+            rest = &tail[close + 1..];
+        }
+    }
+    out
+}
+
+#[test]
+fn relative_doc_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0usize;
+    let mut broken = Vec::new();
+    for entry in std::fs::read_dir(root).expect("read repo root") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("md") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read markdown");
+        for target in links(&text) {
+            // External links and pure intra-document anchors are out of
+            // scope (this repo builds offline; no network fetches).
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            let file_part = target.split('#').next().unwrap_or(&target);
+            if file_part.is_empty() {
+                continue;
+            }
+            let resolved = root.join(file_part);
+            checked += 1;
+            if !resolved.exists() {
+                broken.push(format!("{}: {target}", path.file_name().unwrap().to_string_lossy()));
+            }
+        }
+    }
+    assert!(broken.is_empty(), "broken relative links:\n  {}", broken.join("\n  "));
+    assert!(checked > 0, "no relative links found — did the docs move?");
+}
+
+#[test]
+fn core_docs_exist_and_cross_link() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for doc in ["README.md", "PROTOCOL.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"] {
+        assert!(root.join(doc).exists(), "{doc} missing");
+    }
+    // The protocol spec must be reachable from the README.
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    assert!(readme.contains("PROTOCOL.md"), "README does not link the wire-protocol spec");
+}
