@@ -15,8 +15,10 @@
 //!   perf_trajectory [--out FILE] [--baseline FILE] [--gate FRACTION]
 //!
 //! Since PR 4 the slice includes `net_transfers_p2`: the transfer
-//! workload driven through the TCP front end by real client connections
-//! (see EXPERIMENTS.md for the full metric table).
+//! workload driven through the TCP front end by real client connections.
+//! Since PR 5 it includes `batch_p2`: small scans pipelined through the
+//! cohort-scheduled staged pipeline at the default batch knob (see
+//! EXPERIMENTS.md for the full metric table).
 //!
 //! Exit status 1 = at least one metric regressed more than the gate
 //! fraction below its baseline.
@@ -315,6 +317,36 @@ fn net_transfers(parts: usize) -> f64 {
     })
 }
 
+/// The cohort-scheduling workload (PR 5): small scan-aggregates pipelined
+/// into the staged server by concurrent clients, served by gated cohorts
+/// at the default batch knob on a 2-partition table (Volcano SELECT
+/// execution, so the metric tracks the *pipeline* cohorts). Reports
+/// statements per second through the full connect→…→disconnect pipeline;
+/// the `ablation_batch` bench sweeps the knob over the same closed loop
+/// (`staged_bench::drive_scan_bursts`).
+fn batch_queries(parts: usize) -> f64 {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 40;
+    const BURST: usize = 8;
+    let catalog = mem_catalog(4096);
+    load_wisconsin_table_partitioned(&catalog, "big", 100, 5, parts).unwrap();
+    let server = StagedServer::new(
+        Arc::clone(&catalog),
+        ServerConfig {
+            mode: ExecutionMode::Volcano,
+            control_workers: 1,
+            execute_workers: 4,
+            partitions: parts,
+            ..Default::default()
+        },
+    );
+    let rate = best_rate((CLIENTS * ROUNDS * BURST) as f64, || {
+        staged_bench::drive_scan_bursts(&server, CLIENTS, ROUNDS, BURST);
+    });
+    server.shutdown();
+    rate
+}
+
 fn parse_bind(catalog: &Arc<Catalog>) -> f64 {
     let sqls: Vec<String> = (0..200)
         .map(|i| {
@@ -382,7 +414,7 @@ fn main() {
     let flag = |name: &str| -> Option<String> {
         args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
     };
-    let out_path = flag("--out").unwrap_or_else(|| "BENCH_4.json".into());
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_5.json".into());
     let baseline_path = flag("--baseline");
     let gate: f64 = flag("--gate").and_then(|g| g.parse().ok()).unwrap_or(0.25);
 
@@ -406,6 +438,7 @@ fn main() {
     push("oltp_transfers_p1", "txns_per_sec", oltp_transfers(1));
     push("oltp_transfers_p4", "txns_per_sec", oltp_transfers(4));
     push("net_transfers_p2", "txns_per_sec", net_transfers(2));
+    push("batch_p2", "stmts_per_sec", batch_queries(2));
     push("parse_bind_optimize", "stmts_per_sec", parse_bind(&catalog));
 
     write_json(&out_path, calib, &metrics);

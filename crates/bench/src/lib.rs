@@ -28,3 +28,34 @@ pub fn slow_catalog(frames: usize, latency_us: u64) -> Arc<Catalog> {
     let disk = MemDisk::new().with_latency(std::time::Duration::from_micros(latency_us));
     Arc::new(Catalog::new(BufferPool::new(Arc::new(disk), frames)))
 }
+
+/// The PR 5 cohort-scheduling closed loop, shared by `ablation_batch` and
+/// `perf_trajectory`'s `batch_p2` metric so the knob sweep and the CI
+/// gate measure the *same* workload: `clients` threads each pipeline
+/// `burst` small scan-aggregates into the staged server's admission
+/// queue and collect the replies, `rounds` times. Returns statements per
+/// second; asserts every reply carries the expected 5 groups.
+pub fn drive_scan_bursts(
+    server: &Arc<staged_server::StagedServer>,
+    clients: usize,
+    rounds: usize,
+    burst: usize,
+) -> f64 {
+    let sql = "SELECT ten, COUNT(*), SUM(unique2) FROM big WHERE two = 0 GROUP BY ten";
+    let total = (clients * rounds * burst) as f64;
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                for _ in 0..rounds {
+                    let pending: Vec<_> = (0..burst).map(|_| server.submit(sql)).collect();
+                    for rx in pending {
+                        let out = rx.recv().expect("reply").expect("query");
+                        assert_eq!(out.rows.len(), 5, "scan lost groups");
+                    }
+                }
+            });
+        }
+    });
+    total / start.elapsed().as_secs_f64()
+}

@@ -16,6 +16,8 @@
 //! * [`tracker::RefTracker`] — classifies memory references into the
 //!   private / shared / common × data / code taxonomy of **Table 1**.
 
+#![deny(missing_docs)]
+
 pub mod tracker;
 
 use parking_lot::Mutex;

@@ -14,8 +14,11 @@
 //!   stage gets a bounded [`queue::StageQueue`] and a resizable worker pool.
 //!   Full queues exert **back-pressure**: `enqueue` blocks the producer, so
 //!   demand beyond capacity conditions the pipeline instead of collapsing it
-//!   (paper §4.1.1). On an SMP this is the natural "stage per CPU" mapping of
-//!   paper §5.3.
+//!   (paper §4.1.1). Workers serve the queue in **cohorts** — gated batches
+//!   per queue visit ([`stage::BatchPolicy`], paper §4.2's cohort
+//!   scheduling), with the cohort bound tunable at run time
+//!   ([`runtime::StagedRuntime::set_batch`]). On an SMP this is the natural
+//!   "stage per CPU" mapping of paper §5.3.
 //! * [`coop::CoopExecutor`] — a deterministic, virtual-time, single-CPU
 //!   cooperative executor used to study the scheduling trade-off of paper
 //!   §4.2. It charges an explicit *module load time* `l_i` whenever the CPU
@@ -46,7 +49,7 @@ pub use packet::{ClientInfo, Packet, QueryId, RouteInfo};
 pub use policy::Policy;
 pub use queue::StageQueue;
 pub use runtime::{RuntimeBuilder, StagedRuntime};
-pub use stage::{StageCtx, StageId, StageLogic, StageSpec};
+pub use stage::{BatchPolicy, StageCtx, StageId, StageLogic, StageSpec};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
@@ -57,6 +60,6 @@ pub mod prelude {
     pub use crate::policy::Policy;
     pub use crate::queue::StageQueue;
     pub use crate::runtime::{RuntimeBuilder, StagedRuntime};
-    pub use crate::stage::{StageCtx, StageId, StageLogic, StageSpec};
+    pub use crate::stage::{BatchPolicy, StageCtx, StageId, StageLogic, StageSpec};
     pub use crate::tune::{AutoTuner, TuneConfig};
 }

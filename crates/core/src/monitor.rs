@@ -20,6 +20,9 @@ pub struct StageMonitor {
     idle_polls: AtomicU64,
     io_blocked_nanos: AtomicU64,
     retries: AtomicU64,
+    cohorts: AtomicU64,
+    max_cohort: AtomicUsize,
+    cutoff_preempts: AtomicU64,
     pub(crate) active_workers: AtomicUsize,
 }
 
@@ -79,6 +82,35 @@ impl StageMonitor {
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
     }
+
+    /// Record one completed queue visit that served `served` packets (the
+    /// cohort of §4.2's cohort scheduling). No-visit wakeups are idle
+    /// polls, not empty cohorts.
+    pub fn record_cohort(&self, served: usize) {
+        self.cohorts.fetch_add(1, Ordering::Relaxed);
+        self.max_cohort.fetch_max(served, Ordering::Relaxed);
+    }
+
+    /// Record a T-gated visit that hit its service cutoff and returned the
+    /// unserved remainder of its cohort to the queue.
+    pub fn record_cutoff_preempt(&self) {
+        self.cutoff_preempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queue visits that served at least one packet.
+    pub fn cohorts(&self) -> u64 {
+        self.cohorts.load(Ordering::Relaxed)
+    }
+
+    /// Largest cohort served by any single visit.
+    pub fn max_cohort(&self) -> usize {
+        self.max_cohort.load(Ordering::Relaxed)
+    }
+
+    /// T-gated visits cut off before serving their whole cohort.
+    pub fn cutoff_preempts(&self) -> u64 {
+        self.cutoff_preempts.load(Ordering::Relaxed)
+    }
 }
 
 /// Immutable snapshot of one stage's state, as reported by the runtime.
@@ -107,6 +139,16 @@ pub struct StageStats {
     /// Packets requeued while waiting on a condition (lock conflicts, full
     /// output buffers).
     pub retries: u64,
+    /// Queue visits that served at least one packet (cohort scheduling,
+    /// §4.2). `processed + errors` over `cohorts` is the mean cohort size.
+    pub cohorts: u64,
+    /// Largest cohort any single visit served.
+    pub max_cohort: usize,
+    /// T-gated visits that hit their service cutoff and returned the
+    /// unserved remainder of the cohort to the queue.
+    pub cutoff_preempts: u64,
+    /// Current cohort bound (the run-time batch knob, §4.4 knob (b)).
+    pub batch_limit: usize,
     /// Workers currently allowed to dequeue.
     pub target_workers: usize,
     /// Workers currently alive (spawned).
@@ -125,6 +167,16 @@ impl StageStats {
             self.io_blocked_nanos as f64 / total as f64
         }
     }
+
+    /// Mean packets served per queue visit (0 when no visit completed).
+    /// The batching-for-locality win of §4.2 scales with this number.
+    pub fn mean_cohort(&self) -> f64 {
+        if self.cohorts == 0 {
+            0.0
+        } else {
+            (self.processed + self.errors) as f64 / self.cohorts as f64
+        }
+    }
 }
 
 pub(crate) fn snapshot(
@@ -132,6 +184,7 @@ pub(crate) fn snapshot(
     stage_id: usize,
     monitor: &StageMonitor,
     queue: QueueStats,
+    batch_limit: usize,
     target_workers: usize,
     spawned_workers: usize,
 ) -> StageStats {
@@ -144,6 +197,10 @@ pub(crate) fn snapshot(
         io_blocked_nanos: monitor.io_blocked_nanos(),
         idle_polls: monitor.idle_polls.load(Ordering::Relaxed),
         retries: monitor.retries(),
+        cohorts: monitor.cohorts(),
+        max_cohort: monitor.max_cohort(),
+        cutoff_preempts: monitor.cutoff_preempts(),
+        batch_limit,
         target_workers,
         spawned_workers,
         queue,
@@ -157,8 +214,9 @@ mod tests {
     #[test]
     fn io_fraction_is_guarded_against_zero_busy() {
         let m = StageMonitor::default();
-        let s = snapshot("s", 0, &m, crate::queue::StageQueue::<u8>::new(1).stats(), 1, 1);
+        let s = snapshot("s", 0, &m, crate::queue::StageQueue::<u8>::new(1).stats(), 1, 1, 1);
         assert_eq!(s.io_fraction(), 0.0);
+        assert_eq!(s.mean_cohort(), 0.0, "no visits yet");
     }
 
     #[test]
@@ -175,5 +233,22 @@ mod tests {
         assert_eq!(m.busy_nanos(), 1200);
         assert_eq!(m.io_blocked_nanos(), 300);
         assert_eq!(m.retries(), 2);
+    }
+
+    #[test]
+    fn cohort_counters_roll_up() {
+        let m = StageMonitor::default();
+        m.record_processed(Duration::from_nanos(100));
+        m.record_processed(Duration::from_nanos(100));
+        m.record_processed(Duration::from_nanos(100));
+        m.record_cohort(2);
+        m.record_cohort(1);
+        m.record_cutoff_preempt();
+        assert_eq!(m.cohorts(), 2);
+        assert_eq!(m.max_cohort(), 2);
+        assert_eq!(m.cutoff_preempts(), 1);
+        let s = snapshot("s", 0, &m, crate::queue::StageQueue::<u8>::new(1).stats(), 4, 1, 1);
+        assert_eq!(s.batch_limit, 4);
+        assert_eq!(s.mean_cohort(), 1.5);
     }
 }

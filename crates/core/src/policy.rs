@@ -21,7 +21,7 @@
 //!   queries inside a batch.
 //!
 //! The exact definitions of the gated variants come from the unpublished
-//! technical report [HA02]; see DESIGN.md §4 for how we reconstructed them
+//! technical report \[HA02\]; see DESIGN.md §4 for how we reconstructed them
 //! from the paper's own description of the policy search space.
 
 use serde::Serialize;

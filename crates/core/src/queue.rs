@@ -63,6 +63,29 @@ pub enum Dequeued<P> {
     Closed,
 }
 
+/// Result of [`StageQueue::dequeue_batch`]: one gated queue visit.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DequeuedCohort<P> {
+    /// The packets present when the visit started (at least one, at most
+    /// the requested bound), in FIFO order.
+    Cohort(Vec<P>),
+    /// The wait timed out; the queue is still open.
+    TimedOut,
+    /// The queue is closed and drained.
+    Closed,
+}
+
+/// Wake up to `n` waiters on `cv` — one per item or slot made available.
+/// `notify_all` would stampede every waiter over `n` resources and put
+/// the rest straight back to sleep.
+fn notify_n(cv: &Condvar, n: usize) {
+    for _ in 0..n {
+        if !cv.notify_one() {
+            break;
+        }
+    }
+}
+
 impl<P> StageQueue<P> {
     /// Create a queue holding at most `capacity` packets (min 1).
     pub fn new(capacity: usize) -> Self {
@@ -130,6 +153,69 @@ impl<P> StageQueue<P> {
         Ok(())
     }
 
+    /// Add a whole batch, blocking while the queue is full (back-pressure,
+    /// admitting incrementally as space frees). Used by the runtime to
+    /// flush a visit's buffered forwards with one lock acquisition instead
+    /// of one per packet (cohort scheduling, §4.2).
+    ///
+    /// If the queue is (or becomes) closed, the not-yet-admitted packets
+    /// are dropped and their count returned as the error.
+    pub fn enqueue_batch(&self, packets: Vec<P>) -> Result<(), usize> {
+        if packets.is_empty() {
+            return Ok(());
+        }
+        let mut iter = packets.into_iter().peekable();
+        let mut inner = self.inner.lock();
+        loop {
+            if inner.closed {
+                return Err(iter.count());
+            }
+            let mut pushed = 0usize;
+            while inner.items.len() < self.capacity && iter.peek().is_some() {
+                inner.items.push_back(iter.next().expect("peeked"));
+                pushed += 1;
+            }
+            if pushed > 0 {
+                self.note_depth(inner.items.len());
+                self.counters.enqueued.fetch_add(pushed as u64, Ordering::Relaxed);
+            }
+            if iter.peek().is_none() {
+                drop(inner);
+                notify_n(&self.not_empty, pushed);
+                return Ok(());
+            }
+            // Full mid-batch: wake consumers for what went in, then wait
+            // for space (back-pressure on the flushing worker).
+            self.counters.blocked_enqueues.fetch_add(1, Ordering::Relaxed);
+            drop(inner);
+            notify_n(&self.not_empty, pushed);
+            inner = self.inner.lock();
+            while inner.items.len() >= self.capacity && !inner.closed {
+                self.not_full.wait(&mut inner);
+            }
+        }
+    }
+
+    /// Append a batch to the *back* of this stage's own queue, exempt from
+    /// the capacity check and the closed flag (like
+    /// [`enqueue_front`](Self::enqueue_front), the packets were already
+    /// admitted once — this is how a visit's buffered self-requeues
+    /// rejoin the queue without deadlocking the stage against itself).
+    pub fn requeue_back_batch(&self, packets: Vec<P>) {
+        if packets.is_empty() {
+            return;
+        }
+        let n = packets.len();
+        let mut inner = self.inner.lock();
+        for p in packets {
+            inner.items.push_back(p);
+        }
+        self.note_depth(inner.items.len());
+        self.counters.enqueued.fetch_add(n as u64, Ordering::Relaxed);
+        drop(inner);
+        notify_n(&self.not_empty, n);
+    }
+
     /// Push to the *front* of the queue: used when a stage must requeue a
     /// packet it cannot finish (paper §4.1.1 case iii) without losing its
     /// position entirely.
@@ -185,6 +271,76 @@ impl<P> StageQueue<P> {
                 return Dequeued::TimedOut;
             }
         }
+    }
+
+    /// Remove up to `max` packets in one queue visit, waiting at most
+    /// `timeout` for the first one.
+    ///
+    /// This is the *gated* dequeue of cohort scheduling (paper §4.2): the
+    /// cohort is exactly the packets already queued when the grab happens
+    /// (bounded by `max`), taken under a single lock acquisition, in FIFO
+    /// order. Packets arriving after the grab wait for the next visit.
+    pub fn dequeue_batch(&self, max: usize, timeout: Duration) -> DequeuedCohort<P> {
+        let max = max.max(1);
+        let mut inner = self.inner.lock();
+        loop {
+            if !inner.items.is_empty() {
+                let n = inner.items.len().min(max);
+                let cohort: Vec<P> = inner.items.drain(..n).collect();
+                self.counters.dequeued.fetch_add(n as u64, Ordering::Relaxed);
+                drop(inner);
+                // A batch grab frees n slots: wake exactly n blocked
+                // producers (notify_all would stampede every waiter over
+                // the n slots and put the rest straight back to sleep).
+                notify_n(&self.not_full, n);
+                return DequeuedCohort::Cohort(cohort);
+            }
+            if inner.closed {
+                return DequeuedCohort::Closed;
+            }
+            if self.not_empty.wait_for(&mut inner, timeout).timed_out() {
+                return DequeuedCohort::TimedOut;
+            }
+        }
+    }
+
+    /// Non-blocking [`dequeue_batch`](Self::dequeue_batch): up to `max`
+    /// packets already queued, or an empty vector. Used by exhaustive
+    /// (non-gated) visits to refill mid-visit without re-parking.
+    pub fn try_dequeue_batch(&self, max: usize) -> Vec<P> {
+        let max = max.max(1);
+        let mut inner = self.inner.lock();
+        let n = inner.items.len().min(max);
+        if n == 0 {
+            return Vec::new();
+        }
+        let cohort: Vec<P> = inner.items.drain(..n).collect();
+        self.counters.dequeued.fetch_add(n as u64, Ordering::Relaxed);
+        drop(inner);
+        notify_n(&self.not_full, n);
+        cohort
+    }
+
+    /// Return the unserved remainder of a cohort to the *head* of the
+    /// queue, preserving its internal order (a T-gated visit cutoff; paper
+    /// §4.2). Like [`enqueue_front`](Self::enqueue_front) this is exempt
+    /// from the capacity check and from the closed flag: the packets were
+    /// already admitted once, and dropping them on shutdown would lose
+    /// work that [`close`](Self::close)'s drain contract promises to
+    /// finish.
+    pub fn requeue_front_batch(&self, packets: Vec<P>) {
+        if packets.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let n = packets.len();
+        for p in packets.into_iter().rev() {
+            inner.items.push_front(p);
+        }
+        self.note_depth(inner.items.len());
+        self.counters.enqueued.fetch_add(n as u64, Ordering::Relaxed);
+        drop(inner);
+        notify_n(&self.not_empty, n);
     }
 
     /// Remove a packet without blocking.
@@ -312,6 +468,83 @@ mod tests {
         assert_eq!(s.dequeued, 1);
         assert_eq!(s.max_depth, 7);
         assert_eq!(s.depth, 6);
+    }
+
+    #[test]
+    fn dequeue_batch_is_gated_and_fifo() {
+        let q = StageQueue::new(16);
+        for i in 0..6 {
+            q.enqueue(i).unwrap();
+        }
+        // The visit takes only what is present, bounded by max, in order.
+        match q.dequeue_batch(4, Duration::from_millis(10)) {
+            DequeuedCohort::Cohort(c) => assert_eq!(c, vec![0, 1, 2, 3]),
+            other => panic!("expected cohort, got {other:?}"),
+        }
+        // Packets enqueued after the grab belong to the next visit.
+        q.enqueue(6).unwrap();
+        match q.dequeue_batch(8, Duration::from_millis(10)) {
+            DequeuedCohort::Cohort(c) => assert_eq!(c, vec![4, 5, 6]),
+            other => panic!("expected cohort, got {other:?}"),
+        }
+        assert_eq!(q.stats().dequeued, 7);
+    }
+
+    #[test]
+    fn dequeue_batch_times_out_then_closes() {
+        let q: StageQueue<u8> = StageQueue::new(4);
+        assert_eq!(q.dequeue_batch(4, Duration::from_millis(5)), DequeuedCohort::TimedOut);
+        q.enqueue(1).unwrap();
+        q.close();
+        // Closed queues still drain pending cohorts first.
+        assert_eq!(q.dequeue_batch(4, Duration::from_millis(5)), DequeuedCohort::Cohort(vec![1]));
+        assert_eq!(q.dequeue_batch(4, Duration::from_millis(5)), DequeuedCohort::Closed);
+    }
+
+    #[test]
+    fn try_dequeue_batch_refills_without_blocking() {
+        let q = StageQueue::new(8);
+        assert!(q.try_dequeue_batch(4).is_empty());
+        for i in 0..3 {
+            q.enqueue(i).unwrap();
+        }
+        assert_eq!(q.try_dequeue_batch(2), vec![0, 1]);
+        assert_eq!(q.try_dequeue_batch(2), vec![2]);
+    }
+
+    #[test]
+    fn requeue_front_batch_preserves_order_and_position() {
+        let q = StageQueue::new(8);
+        for i in 0..5 {
+            q.enqueue(i).unwrap();
+        }
+        let DequeuedCohort::Cohort(mut cohort) = q.dequeue_batch(4, Duration::from_millis(5))
+        else {
+            panic!("expected cohort");
+        };
+        // Serve the first packet; a cutoff sends the rest back to the head.
+        assert_eq!(cohort.remove(0), 0);
+        q.requeue_front_batch(cohort);
+        // Global FIFO order is intact: 1, 2, 3 lead 4.
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), Some(4));
+    }
+
+    #[test]
+    fn requeue_front_batch_is_capacity_and_close_exempt() {
+        let q = StageQueue::new(1);
+        q.enqueue(10).unwrap();
+        let DequeuedCohort::Cohort(cohort) = q.dequeue_batch(1, Duration::from_millis(5)) else {
+            panic!("expected cohort");
+        };
+        q.enqueue(11).unwrap(); // queue full again
+        q.close();
+        q.requeue_front_batch(cohort); // must not block or drop
+        assert_eq!(q.dequeue(), Some(10));
+        assert_eq!(q.dequeue(), Some(11));
+        assert_eq!(q.dequeue(), None);
     }
 
     #[test]

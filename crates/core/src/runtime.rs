@@ -6,22 +6,38 @@
 //! parallel and the OS spreads their workers over the CPUs. Deterministic
 //! single-CPU scheduling experiments use [`crate::coop`] instead.
 //!
+//! Workers serve the queue in **cohorts** (paper §4.2's cohort
+//! scheduling): one queue visit grabs a batch of packets under a single
+//! lock acquisition and processes them back to back, amortizing the
+//! stage's "load time" — instruction/data cache warm-up, queue
+//! synchronization, monitoring — over the whole visit. The per-stage
+//! [`BatchPolicy`] picks gated, exhaustive or cutoff semantics, and the
+//! cohort bound is tunable at run time ([`StagedRuntime::set_batch`],
+//! self-tuning knob (b) of §4.4). DESIGN.md §11 maps these semantics onto
+//! the five scheduling policies of [`crate::policy`].
+//!
 //! Worker pools are resizable at run time (`set_workers`), which is the
 //! mechanism behind self-tuning knob (a) of §4.4: "the number of threads at
 //! each stage".
 
 use crate::error::EnqueueError;
 use crate::monitor::{snapshot, StageMonitor, StageStats};
-use crate::queue::{Dequeued, StageQueue};
-use crate::stage::{StageCtx, StageId, StageLogic, StageSpec};
+use crate::queue::{DequeuedCohort, StageQueue};
+use crate::stage::{BatchPolicy, StageCtx, StageId, StageLogic, StageSpec};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long a worker waits on an empty queue before running the idle hook.
+/// Shortest wait on an empty queue before running the idle hook. An idle
+/// worker parks on the queue's condvar (it is woken instantly by the next
+/// enqueue); this timeout only paces the idle *hook* and the stats
+/// counter, and doubles per consecutive idle wakeup up to
+/// [`IDLE_POLL_MAX`] so a quiet stage stops burning wakeups.
 const IDLE_POLL: Duration = Duration::from_millis(20);
+/// Longest idle-hook interval the exponential backoff reaches.
+const IDLE_POLL_MAX: Duration = Duration::from_millis(640);
 /// How long a paused (rank ≥ target) worker sleeps between checks.
 const PAUSED_POLL: Duration = Duration::from_millis(1);
 
@@ -30,9 +46,22 @@ pub(crate) struct StageInner<P: Send + 'static> {
     pub(crate) queue: StageQueue<P>,
     logic: Arc<dyn StageLogic<P>>,
     pub(crate) monitor: StageMonitor,
+    batch: BatchPolicy,
+    batch_limit: AtomicUsize,
     target_workers: AtomicUsize,
     spawned_workers: AtomicUsize,
     max_workers: usize,
+}
+
+impl<P: Send + 'static> StageInner<P> {
+    /// The cohort bound a visit actually obeys: [`BatchPolicy::Single`]
+    /// stages ignore the knob and always serve one packet per visit.
+    fn effective_batch_limit(&self) -> usize {
+        match self.batch {
+            BatchPolicy::Single => 1,
+            _ => self.batch_limit.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Shared state between the runtime handle and its workers.
@@ -99,6 +128,8 @@ impl<P: Send + 'static> RuntimeBuilder<P> {
                 queue: StageQueue::new(spec.queue_capacity),
                 logic: spec.logic,
                 monitor: StageMonitor::default(),
+                batch: spec.batch,
+                batch_limit: AtomicUsize::new(spec.max_cohort.max(1)),
                 target_workers: AtomicUsize::new(spec.workers),
                 spawned_workers: AtomicUsize::new(0),
                 max_workers: self.max_workers,
@@ -182,6 +213,25 @@ impl<P: Send + 'static> StagedRuntime<P> {
         self.shared.stages[stage].target_workers.load(Ordering::Relaxed)
     }
 
+    /// Change a stage's cohort bound at run time (self-tuning knob (b) of
+    /// §4.4). Takes effect on the stage's next queue visit; a
+    /// [`BatchPolicy::Single`] stage ignores the bound and keeps
+    /// one-at-a-time service.
+    pub fn set_batch(&self, stage: StageId, max_cohort: usize) {
+        self.shared.stages[stage].batch_limit.store(max_cohort.max(1), Ordering::SeqCst);
+    }
+
+    /// Current effective cohort bound of a stage (always 1 for
+    /// [`BatchPolicy::Single`] stages, which ignore the knob).
+    pub fn batch(&self, stage: StageId) -> usize {
+        self.shared.stages[stage].effective_batch_limit()
+    }
+
+    /// The cohort policy a stage was built with.
+    pub fn batch_policy(&self, stage: StageId) -> BatchPolicy {
+        self.shared.stages[stage].batch
+    }
+
     /// Snapshot statistics for every stage.
     pub fn stats(&self) -> Vec<StageStats> {
         self.shared
@@ -194,6 +244,7 @@ impl<P: Send + 'static> StagedRuntime<P> {
                     id,
                     &s.monitor,
                     s.queue.stats(),
+                    s.effective_batch_limit(),
                     s.target_workers.load(Ordering::Relaxed),
                     s.spawned_workers.load(Ordering::Relaxed),
                 )
@@ -252,8 +303,17 @@ impl<P: Send + 'static> StagedRuntime<P> {
     }
 }
 
+/// Buffered forwards are flushed once the visit has this many pending, so
+/// a long visit still overlaps with its downstream stages on an SMP.
+const FLUSH_THRESHOLD: usize = 8;
+
 fn worker_loop<P: Send + 'static>(shared: Arc<RuntimeShared<P>>, stage: StageId, rank: usize) {
-    let ctx = StageCtx { shared: &shared, stage_id: stage };
+    let ctx = StageCtx {
+        shared: &shared,
+        stage_id: stage,
+        outbox: Some(std::cell::RefCell::new(Vec::new())),
+    };
+    let mut idle_wait = IDLE_POLL;
     loop {
         let inner = shared.stage(stage);
         // Paused workers (rank beyond the current target) spin gently without
@@ -265,23 +325,157 @@ fn worker_loop<P: Send + 'static>(shared: Arc<RuntimeShared<P>>, stage: StageId,
             std::thread::sleep(PAUSED_POLL);
             continue;
         }
-        match inner.queue.dequeue_timeout(IDLE_POLL) {
-            Dequeued::Packet(p) => {
-                inner.monitor.active_workers.fetch_add(1, Ordering::Relaxed);
-                let start = Instant::now();
-                match inner.logic.process(p, &ctx) {
-                    Ok(()) => inner.monitor.record_processed(start.elapsed()),
-                    Err(_) => inner.monitor.record_error(),
-                }
-                inner.monitor.active_workers.fetch_sub(1, Ordering::Relaxed);
+        let limit = inner.effective_batch_limit();
+        match inner.queue.dequeue_batch(limit, idle_wait) {
+            DequeuedCohort::Cohort(cohort) => {
+                idle_wait = IDLE_POLL;
+                serve_visit(inner, &ctx, cohort, limit);
             }
-            Dequeued::TimedOut => {
+            DequeuedCohort::TimedOut => {
+                // The worker was parked on the condvar the whole time (an
+                // enqueue wakes it instantly); the timeout only paces the
+                // idle hook, so back off exponentially while quiet.
                 inner.monitor.record_idle_poll();
                 inner.logic.on_idle(&ctx);
+                flush_outbox(&shared, stage, &ctx);
+                idle_wait = (idle_wait * 2).min(IDLE_POLL_MAX);
             }
-            Dequeued::Closed => return,
+            DequeuedCohort::Closed => {
+                flush_outbox(&shared, stage, &ctx);
+                return;
+            }
         }
     }
+}
+
+/// Deliver a visit's buffered forwards: consecutive same-destination runs
+/// become one batched enqueue (a single downstream lock acquisition and a
+/// bounded wake-up), self-requeues rejoin this stage's queue capacity-
+/// exempt. Packets bound for a closed queue (shutdown) are dropped and
+/// counted as this stage's errors — the same fate a direct send's error
+/// return used to record.
+fn flush_outbox<P: Send + 'static>(
+    shared: &Arc<RuntimeShared<P>>,
+    stage: StageId,
+    ctx: &StageCtx<'_, P>,
+) {
+    let Some(cell) = &ctx.outbox else { return };
+    if cell.borrow().is_empty() {
+        return;
+    }
+    // Take the buffer before flushing: enqueue_batch may block under
+    // back-pressure and nothing may hold the borrow across that.
+    let items: Vec<(StageId, P)> = cell.borrow_mut().drain(..).collect();
+    let mut iter = items.into_iter().peekable();
+    while let Some((dest, pkt)) = iter.next() {
+        let mut run = vec![pkt];
+        while iter.peek().is_some_and(|(d, _)| *d == dest) {
+            run.push(iter.next().expect("peeked").1);
+        }
+        if dest == stage {
+            shared.stage(stage).queue.requeue_back_batch(run);
+        } else if let Err(dropped) = shared.stage(dest).queue.enqueue_batch(run) {
+            for _ in 0..dropped {
+                shared.stage(stage).monitor.record_error();
+            }
+        }
+    }
+}
+
+/// Serve one queue visit: a cohort of packets processed back to back
+/// (paper §4.2 — the batching that amortizes the stage's load time).
+///
+/// Exhaustive stages refill mid-visit until the queue is momentarily
+/// empty; T-gated stages stop once the visit exceeds `cutoff_factor ×`
+/// the stage's observed mean demand per served packet and hand the
+/// unserved remainder back to the head of the queue (cutoff preemption).
+/// The first packet of a visit is always served, so a visit makes
+/// progress even when one packet alone overruns the budget.
+fn serve_visit<P: Send + 'static>(
+    inner: &StageInner<P>,
+    ctx: &StageCtx<'_, P>,
+    cohort: Vec<P>,
+    limit: usize,
+) {
+    inner.monitor.active_workers.fetch_add(1, Ordering::Relaxed);
+    // T-gated budget, in nanoseconds per served packet. Until the stage
+    // has a demand estimate (nothing processed yet) the cutoff is moot.
+    let budget_per_packet = match inner.batch {
+        BatchPolicy::TGated { cutoff_factor } => {
+            let processed = inner.monitor.processed();
+            (processed > 0).then(|| {
+                cutoff_factor.max(0.0) * inner.monitor.busy_nanos() as f64 / processed as f64
+            })
+        }
+        _ => None,
+    };
+    // Timestamps are chained packet to packet: one clock read per packet
+    // closes packet i and opens packet i+1, halving the per-packet timer
+    // overhead of the old one-at-a-time loop. `spent_nanos` accumulates
+    // only recorded service time, so flush stalls (back-pressure waits on
+    // a full downstream queue) count toward neither the demand estimate
+    // nor the T-gated visit budget.
+    let mut last = Instant::now();
+    let mut spent_nanos: u64 = 0;
+    let mut served: usize = 0;
+    let mut pending: std::collections::VecDeque<P> = cohort.into();
+    'visit: loop {
+        while let Some(p) = pending.pop_front() {
+            if served > 0 {
+                if let Some(bpp) = budget_per_packet {
+                    if spent_nanos as f64 > bpp * served as f64 {
+                        // Visit over budget: the rest of the cohort keeps
+                        // its queue position for the next visit.
+                        pending.push_front(p);
+                        inner.queue.requeue_front_batch(pending.into_iter().collect());
+                        inner.monitor.record_cutoff_preempt();
+                        break 'visit;
+                    }
+                }
+            }
+            match inner.logic.process(p, ctx) {
+                Ok(()) => {
+                    let now = Instant::now();
+                    let busy = now.duration_since(last);
+                    inner.monitor.record_processed(busy);
+                    spent_nanos += busy.as_nanos() as u64;
+                    last = now;
+                }
+                Err(_) => {
+                    let now = Instant::now();
+                    spent_nanos += now.duration_since(last).as_nanos() as u64;
+                    inner.monitor.record_error();
+                    last = now;
+                }
+            }
+            served += 1;
+            // Keep downstream stages fed during long visits. The flush can
+            // block under back-pressure, so the timestamp chain restarts
+            // after it — queue-wait must not read as service demand.
+            if ctx.outbox.as_ref().is_some_and(|o| o.borrow().len() >= FLUSH_THRESHOLD) {
+                flush_outbox(ctx.shared, ctx.stage_id, ctx);
+                last = Instant::now();
+            }
+        }
+        // Non-gated service: keep draining until the queue is momentarily
+        // empty. Gated variants end the visit with the gated snapshot.
+        if matches!(inner.batch, BatchPolicy::Exhaustive) {
+            let refill = inner.queue.try_dequeue_batch(limit);
+            if refill.is_empty() {
+                break;
+            }
+            pending = refill.into();
+        } else {
+            break;
+        }
+    }
+    // Flush buffered forwards before the worker stops counting as active:
+    // shutdown's quiesce check must see these packets in their queues.
+    flush_outbox(ctx.shared, ctx.stage_id, ctx);
+    if served > 0 {
+        inner.monitor.record_cohort(served);
+    }
+    inner.monitor.active_workers.fetch_sub(1, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -426,6 +620,223 @@ mod tests {
         let st = &rt.stats()[s];
         assert!(st.idle_polls >= 1);
         assert_eq!(st.processed, 1);
+    }
+
+    /// Helper for the cohort tests: a stage whose workers block on `hold`
+    /// while it is `true`, so the test can pile up a backlog and then
+    /// release one visit over all of it.
+    fn held_stage(hold: Arc<AtomicBool>, tx: mpsc::Sender<u32>) -> impl StageLogic<u32> {
+        let tx = Mutex::new(tx);
+        move |p: u32, _: &StageCtx<'_, u32>| -> StageResult {
+            while hold.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            tx.lock().send(p).unwrap();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn gated_cohorts_batch_and_preserve_fifo() {
+        let hold = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = mpsc::channel::<u32>();
+        let mut b = StagedRuntime::<u32>::builder();
+        let s = b.add_stage(
+            StageSpec::new("batchy", held_stage(Arc::clone(&hold), tx))
+                .with_batch(BatchPolicy::DGated)
+                .with_max_cohort(32)
+                .with_queue_capacity(64),
+        );
+        let rt = b.build();
+        // The first enqueue wakes the worker (visit of 1, parked on hold);
+        // the rest pile up for the second visit.
+        for i in 0..16 {
+            rt.enqueue(s, i).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        hold.store(false, Ordering::SeqCst);
+        let got: Vec<u32> =
+            (0..16).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        assert_eq!(got, (0..16).collect::<Vec<_>>(), "FIFO across cohorts");
+        rt.shutdown();
+        let st = &rt.stats()[s];
+        assert_eq!(st.processed, 16);
+        assert!(st.max_cohort > 1, "backlog should have been served as a cohort");
+        assert!(
+            st.cohorts < st.processed,
+            "batched visits: {} cohorts for {} packets",
+            st.cohorts,
+            st.processed
+        );
+        assert_eq!(st.batch_limit, 32);
+    }
+
+    #[test]
+    fn exhaustive_visit_refills_until_empty() {
+        let hold = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = mpsc::channel::<u32>();
+        let mut b = StagedRuntime::<u32>::builder();
+        let s = b.add_stage(
+            StageSpec::new("nongated", held_stage(Arc::clone(&hold), tx))
+                .with_batch(BatchPolicy::Exhaustive)
+                .with_max_cohort(2) // refill grab size, not a visit bound
+                .with_queue_capacity(64),
+        );
+        let rt = b.build();
+        for i in 0..9 {
+            rt.enqueue(s, i).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        hold.store(false, Ordering::SeqCst);
+        let got: Vec<u32> =
+            (0..9).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        assert_eq!(got, (0..9).collect::<Vec<_>>());
+        rt.shutdown();
+        let st = &rt.stats()[s];
+        // One visit (or very few): the first grab refilled through the
+        // whole backlog without returning to the condvar.
+        assert!(
+            st.cohorts <= 2,
+            "exhaustive service should drain in one visit, got {}",
+            st.cohorts
+        );
+    }
+
+    #[test]
+    fn tgated_cutoff_requeues_remainder_without_loss() {
+        let (tx, rx) = mpsc::channel::<u32>();
+        let tx = Mutex::new(tx);
+        let hold = Arc::new(AtomicBool::new(false));
+        let h2 = Arc::clone(&hold);
+        let mut b = StagedRuntime::<u32>::builder();
+        let s = b.add_stage(
+            StageSpec::new("cutoff", move |p: u32, _: &StageCtx<'_, u32>| -> StageResult {
+                while h2.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                // Uniform, non-trivial service demand so the mean is
+                // meaningful and a tight cutoff trips mid-cohort.
+                std::thread::sleep(Duration::from_millis(2));
+                tx.lock().send(p).unwrap();
+                Ok(())
+            })
+            .with_batch(BatchPolicy::TGated { cutoff_factor: 0.5 })
+            .with_max_cohort(32)
+            .with_queue_capacity(64),
+        );
+        let rt = b.build();
+        // Prime the demand estimate (the first visit has no mean yet).
+        rt.enqueue(s, 100).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 100);
+        // Build a backlog, then release it through cutoff-limited visits.
+        hold.store(true, Ordering::SeqCst);
+        for i in 0..8 {
+            rt.enqueue(s, i).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        hold.store(false, Ordering::SeqCst);
+        let got: Vec<u32> =
+            (0..8).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        assert_eq!(got, (0..8).collect::<Vec<_>>(), "cutoff must not lose or reorder packets");
+        rt.shutdown();
+        let st = &rt.stats()[s];
+        assert_eq!(st.processed, 9);
+        assert!(
+            st.cutoff_preempts >= 1,
+            "a 0.5× cutoff over 2ms packets must preempt at least once"
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_partial_cohort_in_flight() {
+        // The whole backlog fits one cohort, so the instant shutdown is
+        // called the queue is empty but the worker holds every packet in
+        // hand: shutdown must wait for the visit, not close under it.
+        let (tx, rx) = mpsc::channel::<u32>();
+        let tx = Mutex::new(tx);
+        let mut b = StagedRuntime::<u32>::builder();
+        let s = b.add_stage(
+            StageSpec::new("slowcohort", move |p: u32, _: &StageCtx<'_, u32>| -> StageResult {
+                std::thread::sleep(Duration::from_millis(3));
+                tx.lock().send(p).unwrap();
+                Ok(())
+            })
+            .with_batch(BatchPolicy::DGated)
+            .with_max_cohort(16)
+            .with_queue_capacity(64),
+        );
+        let rt = b.build();
+        for i in 0..10 {
+            rt.enqueue(s, i).unwrap();
+        }
+        rt.shutdown();
+        let got: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(got.len(), 10, "shutdown must drain the in-flight cohort");
+    }
+
+    #[test]
+    fn set_batch_bounds_the_next_visit() {
+        let hold = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = mpsc::channel::<u32>();
+        let mut b = StagedRuntime::<u32>::builder();
+        let s = b.add_stage(
+            StageSpec::new("knobbed", held_stage(Arc::clone(&hold), tx))
+                .with_batch(BatchPolicy::DGated)
+                .with_max_cohort(32)
+                .with_queue_capacity(64),
+        );
+        let rt = b.build();
+        rt.set_batch(s, 4);
+        assert_eq!(rt.batch(s), 4);
+        // The parked worker may still hold the limit it read before
+        // set_batch (the knob binds at the *next* visit), so let the first
+        // visit take exactly one packet before building the backlog.
+        rt.enqueue(s, 0).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        for i in 1..13 {
+            rt.enqueue(s, i).unwrap();
+        }
+        hold.store(false, Ordering::SeqCst);
+        for i in 0..13 {
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), i);
+        }
+        rt.shutdown();
+        let st = &rt.stats()[s];
+        assert!(st.max_cohort <= 4, "visits must respect the run-time bound");
+        assert_eq!(st.batch_limit, 4);
+    }
+
+    #[test]
+    fn idle_workers_back_off_exponentially() {
+        // Regression for the fixed 20 ms poll: an idle stage used to burn
+        // ~50 idle polls per second forever. With exponential backoff the
+        // poll interval doubles to a cap, so 1.5 s of quiet costs a
+        // handful of polls, while a late enqueue is still served promptly
+        // (workers park on the queue condvar; the timeout only paces the
+        // idle hook).
+        let mut b = StagedRuntime::<u8>::builder();
+        let s = b.add_stage(StageSpec::new("quiet", ok_stage(|_: u8, _: &StageCtx<'_, u8>| {})));
+        let rt = b.build();
+        std::thread::sleep(Duration::from_millis(1500));
+        let idle = rt.stats()[s].idle_polls;
+        assert!(idle >= 1, "the idle hook must still run");
+        assert!(
+            idle <= 12,
+            "idle polls must back off: got {idle} in 1.5s (fixed 20ms polling would give ~75)"
+        );
+        // A packet after a long quiet spell is picked up immediately.
+        let start = Instant::now();
+        rt.enqueue(s, 1).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while rt.stats()[s].processed == 0 {
+            assert!(Instant::now() < deadline, "packet not served after idle backoff");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(250),
+            "condvar wakeup must not wait out the backed-off poll interval"
+        );
+        rt.shutdown();
     }
 
     #[test]

@@ -3,11 +3,72 @@
 //! other stages through a well-defined interface" (paper §4.1).
 
 use crate::error::{EnqueueError, StageError};
+use crate::policy::{BatchDiscipline, Policy};
 use crate::runtime::RuntimeShared;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Index of a stage inside a runtime. Stable for the runtime's lifetime.
 pub type StageId = usize;
+
+/// How a production stage's workers form *cohorts* — the batches of packets
+/// served during one queue visit (paper §4.2: cohort scheduling amortizes
+/// the module "load time" over a whole visit).
+///
+/// This is the OS-threaded runtime's rendering of the gated-service
+/// vocabulary of [`crate::policy`]: the three staged policies map onto the
+/// three batched variants, while the two thread-centric policies (PS, FCFS)
+/// have no module-affine batch to speak of and map onto [`Single`]
+/// (see [`BatchPolicy::from`]). DESIGN.md §11 documents where the
+/// production semantics intentionally diverge from the simulator's.
+///
+/// [`Single`]: BatchPolicy::Single
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// One packet per visit — the pre-cohort semantics. Kept by stages
+    /// whose correctness or fairness depends on not holding packets
+    /// outside the queue (the server's `net` admission stage, whose queue
+    /// bound *is* the admission limit, and the `lock` stage, whose
+    /// conflict-retry sleep would stall cohort-mates).
+    Single,
+    /// Non-gated (exhaustive) service: the visit keeps refilling from the
+    /// queue, a cohort-bound packets at a time, until it finds the queue
+    /// momentarily empty.
+    Exhaustive,
+    /// Gated service: the visit serves only the packets already queued
+    /// when it starts (up to the cohort bound); later arrivals wait for
+    /// the next visit.
+    DGated,
+    /// Gated service with a visit *cutoff* of `cutoff_factor ×` the
+    /// stage's mean per-packet demand, pro-rated over the packets served
+    /// so far. A worker cannot preempt OS-threaded stage code mid-packet,
+    /// so — unlike the simulator's T-gated(k), which requeues the long
+    /// packet itself — the overrunning packet completes and the *unserved
+    /// remainder* of the cohort is returned to the head of the queue,
+    /// recording a cutoff preemption.
+    TGated {
+        /// Multiple of the stage's observed mean demand each served
+        /// packet contributes to the visit budget.
+        cutoff_factor: f64,
+    },
+}
+
+impl From<Policy> for BatchPolicy {
+    /// Map the §4.2 scheduling vocabulary onto production cohort
+    /// semantics. The staged policies carry their discipline over; PS and
+    /// FCFS describe thread-centric servers with no per-module batching,
+    /// so they degrade to one-at-a-time service.
+    fn from(p: Policy) -> Self {
+        match p.discipline() {
+            Some(BatchDiscipline::Exhaustive) => BatchPolicy::Exhaustive,
+            Some(BatchDiscipline::Gated) => BatchPolicy::DGated,
+            Some(BatchDiscipline::GatedCutoff { cutoff_factor }) => {
+                BatchPolicy::TGated { cutoff_factor }
+            }
+            None => BatchPolicy::Single,
+        }
+    }
+}
 
 /// Outcome of processing one packet; mirrors the three cases of §4.1.1.
 ///
@@ -55,12 +116,26 @@ pub struct StageSpec<P: Send + 'static> {
     pub queue_capacity: usize,
     /// Initial number of worker threads.
     pub workers: usize,
+    /// How workers form cohorts during a queue visit.
+    pub batch: BatchPolicy,
+    /// Upper bound on the packets a visit may take per queue grab (the
+    /// run-time-tunable batch knob, §4.4 knob (b); see
+    /// [`crate::runtime::StagedRuntime::set_batch`]).
+    pub max_cohort: usize,
 }
 
 impl<P: Send + 'static> StageSpec<P> {
-    /// A spec with the given name and logic, queue capacity 64, 1 worker.
+    /// A spec with the given name and logic, queue capacity 64, 1 worker,
+    /// gated cohorts of at most [`DEFAULT_MAX_COHORT`] packets.
     pub fn new(name: impl Into<String>, logic: impl StageLogic<P>) -> Self {
-        Self { name: name.into(), logic: Arc::new(logic), queue_capacity: 64, workers: 1 }
+        Self {
+            name: name.into(),
+            logic: Arc::new(logic),
+            queue_capacity: 64,
+            workers: 1,
+            batch: BatchPolicy::DGated,
+            max_cohort: DEFAULT_MAX_COHORT,
+        }
     }
 
     /// Set the queue capacity.
@@ -74,7 +149,22 @@ impl<P: Send + 'static> StageSpec<P> {
         self.workers = workers.max(1);
         self
     }
+
+    /// Set the cohort policy.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Set the initial cohort bound (min 1).
+    pub fn with_max_cohort(mut self, max: usize) -> Self {
+        self.max_cohort = max.max(1);
+        self
+    }
 }
+
+/// Default cohort bound for new stages.
+pub const DEFAULT_MAX_COHORT: usize = 16;
 
 /// Handle a stage uses to interact with the rest of the pipeline while
 /// processing a packet.
@@ -82,11 +172,28 @@ pub struct StageCtx<'a, P: Send + 'static> {
     pub(crate) shared: &'a Arc<RuntimeShared<P>>,
     /// The stage this context belongs to.
     pub stage_id: StageId,
+    /// Visit-scoped forward buffer (cohort scheduling, §4.2). When the
+    /// runtime serves a queue visit it collects the visit's outgoing
+    /// packets here and flushes them per destination in batches — one
+    /// downstream lock acquisition and a bounded wake-up per flush,
+    /// instead of one per packet. `None` in contexts with no visit (tests
+    /// building a bare ctx).
+    pub(crate) outbox: Option<RefCell<Vec<(StageId, P)>>>,
 }
 
 impl<'a, P: Send + 'static> StageCtx<'a, P> {
-    /// Forward a packet to another stage, blocking under back-pressure.
+    /// Forward a packet to another stage.
+    ///
+    /// During a runtime visit the forward is *buffered*: it is delivered
+    /// (in order, blocking under back-pressure) when the worker flushes —
+    /// at the latest at visit end — so the call itself always succeeds
+    /// and a pipeline-closed failure is accounted as a stage error at
+    /// flush time instead of here.
     pub fn send(&self, dest: StageId, packet: P) -> Result<(), EnqueueError<P>> {
+        if let Some(out) = &self.outbox {
+            out.borrow_mut().push((dest, packet));
+            return Ok(());
+        }
         self.shared.enqueue(dest, packet)
     }
 
@@ -103,8 +210,14 @@ impl<'a, P: Send + 'static> StageCtx<'a, P> {
 
     /// Put a packet at the back of this stage's own queue (round-robin style
     /// yield used by the staged execution engine when an output buffer is
-    /// full or input is empty, §4.3).
+    /// full or input is empty, §4.3). Buffered like [`send`](Self::send)
+    /// during a visit; the flush appends self-requeues capacity-exempt, so
+    /// a yielding cohort can never deadlock its own stage.
     pub fn requeue_back(&self, packet: P) -> Result<(), EnqueueError<P>> {
+        if let Some(out) = &self.outbox {
+            out.borrow_mut().push((self.stage_id, packet));
+            return Ok(());
+        }
         self.shared.enqueue(self.stage_id, packet)
     }
 

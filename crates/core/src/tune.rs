@@ -2,14 +2,17 @@
 //!
 //! The paper proposes a mechanism that "will continuously monitor and
 //! automatically tune" four parameters; this module implements knob (a) —
-//! the number of threads at each stage — as a feedback loop over the per-
-//! stage monitors: stages whose workers spend most of their time blocked on
-//! I/O or whose queues grow get more workers; idle stages shrink. Knobs (b)
-//! stage size, (c) exchange page size and (d) policy choice are exposed as
-//! configuration elsewhere (see `staged-engine::staged` for (b)/(c) and
-//! `staged-sim` for (d)) and explored by the ablation benches.
+//! the number of threads at each stage — and knob (b) — the cohort bound
+//! served per queue visit ([`StagedRuntime::set_batch`]) — as feedback
+//! loops over the per-stage monitors: stages whose workers spend most of
+//! their time blocked on I/O or whose queues grow get more workers and
+//! larger cohorts (deep queues are where batching amortizes best); idle
+//! stages shrink both. Knobs (c) exchange page size and (d) policy choice
+//! are exposed as configuration elsewhere (see `staged-engine::staged` for
+//! (c) and `staged-sim` for (d)) and explored by the ablation benches.
 
 use crate::runtime::StagedRuntime;
+use crate::stage::BatchPolicy;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -30,6 +33,14 @@ pub struct TuneConfig {
     pub grow_io_fraction: f64,
     /// Remove a worker when the queue has stayed empty for a full interval.
     pub shrink_when_idle: bool,
+    /// Also steer the cohort bound (knob (b)): double it while the queue
+    /// is backing up, halve it back while the stage sits idle. Stages
+    /// built with [`BatchPolicy::Single`] are left alone.
+    pub tune_batch: bool,
+    /// Lower bound the batch knob may shrink to.
+    pub min_batch: usize,
+    /// Upper bound the batch knob may grow to.
+    pub max_batch: usize,
     /// How often the tuner wakes up.
     pub interval: Duration,
 }
@@ -42,6 +53,9 @@ impl Default for TuneConfig {
             grow_depth_per_worker: 4.0,
             grow_io_fraction: 0.5,
             shrink_when_idle: true,
+            tune_batch: true,
+            min_batch: 1,
+            max_batch: 64,
             interval: Duration::from_millis(50),
         }
     }
@@ -52,9 +66,12 @@ impl Default for TuneConfig {
 pub struct TuneDecision {
     /// Stage name.
     pub stage: String,
-    /// Workers before.
+    /// Which knob moved: `"workers"` (§4.4 knob (a)) or `"batch"`
+    /// (knob (b), the cohort bound).
+    pub knob: &'static str,
+    /// Knob value before.
     pub from: usize,
-    /// Workers after.
+    /// Knob value after.
     pub to: usize,
     /// Why.
     pub reason: &'static str,
@@ -114,10 +131,38 @@ impl AutoTuner {
                             runtime.set_workers(id, to);
                             dec2.lock().push(TuneDecision {
                                 stage: stats.name.clone(),
+                                knob: "workers",
                                 from: workers,
                                 to,
                                 reason,
                             });
+                        }
+                        // Knob (b): the cohort bound. Deep queues are
+                        // where batching amortizes best, so grow it with
+                        // the backlog and decay it when the stage idles.
+                        if cfg.tune_batch && runtime.batch_policy(id) != BatchPolicy::Single {
+                            let batch = stats.batch_limit;
+                            let mut to_batch = batch;
+                            let mut batch_reason = "";
+                            if depth_per_worker > cfg.grow_depth_per_worker && batch < cfg.max_batch
+                            {
+                                to_batch = (batch * 2).min(cfg.max_batch);
+                                batch_reason = "queue backing up: widen cohorts";
+                            } else if stats.queue.depth == 0 && dbusy == 0 && batch > cfg.min_batch
+                            {
+                                to_batch = (batch / 2).max(cfg.min_batch);
+                                batch_reason = "idle: narrow cohorts";
+                            }
+                            if to_batch != batch {
+                                runtime.set_batch(id, to_batch);
+                                dec2.lock().push(TuneDecision {
+                                    stage: stats.name.clone(),
+                                    knob: "batch",
+                                    from: batch,
+                                    to: to_batch,
+                                    reason: batch_reason,
+                                });
+                            }
                         }
                     }
                 }
@@ -194,6 +239,49 @@ mod tests {
         assert!(rt.workers(s) >= 2, "tuner should have added workers");
         let decisions = tuner.stop();
         assert!(!decisions.is_empty());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn tuner_widens_cohorts_for_backlogged_stage() {
+        // Knob (b): a stage with a standing backlog gets a wider cohort
+        // bound, and the decision log says which knob moved.
+        let mut b = StagedRuntime::<u32>::builder();
+        let s = b.add_stage(
+            StageSpec::new(
+                "backlogged",
+                |_p: u32, _ctx: &StageCtx<'_, u32>| -> crate::stage::StageResult {
+                    std::thread::sleep(Duration::from_millis(2));
+                    Ok(())
+                },
+            )
+            .with_max_cohort(2)
+            .with_queue_capacity(512),
+        );
+        let rt = b.build();
+        let tuner = AutoTuner::spawn(
+            rt.clone(),
+            TuneConfig {
+                max_workers: 1, // isolate the batch knob
+                min_workers: 1,
+                max_batch: 32,
+                interval: Duration::from_millis(20),
+                ..TuneConfig::default()
+            },
+        );
+        for i in 0..400 {
+            rt.enqueue(s, i).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rt.batch(s) <= 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(rt.batch(s) > 2, "tuner should have widened the cohort bound");
+        let decisions = tuner.stop();
+        assert!(
+            decisions.iter().any(|d| d.knob == "batch" && d.to > d.from),
+            "expected a widen-cohorts decision, got {decisions:?}"
+        );
         rt.shutdown();
     }
 }

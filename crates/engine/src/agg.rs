@@ -118,7 +118,7 @@ impl Accumulator {
 /// Volcano `MergeAggExec` and the staged `MergeAggTask`.
 ///
 /// Input rows have the layout `group values ⧺ partial values`, where the
-/// partial columns follow [`staged_planner::partial_agg_specs`]'s expansion
+/// partial columns follow [`staged_planner::plan::partial_agg_specs`]'s expansion
 /// of the final aggregate list (COUNT/SUM/MIN/MAX → one column, AVG → SUM
 /// then COUNT). Combination reuses [`Accumulator`]s: partial COUNTs are
 /// summed, partial SUMs summed, partial MIN/MAX re-minimized/-maximized.

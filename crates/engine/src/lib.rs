@@ -20,6 +20,8 @@
 //! accumulators) and [`dml`] (INSERT/UPDATE/DELETE with WAL logging), so
 //! differential tests can compare them tuple-for-tuple.
 
+#![deny(missing_docs)]
+
 pub mod agg;
 pub mod batch;
 pub mod context;

@@ -248,6 +248,13 @@ pub struct EngineConfig {
     pub step_quota: usize,
     /// Worker threads per stage.
     pub workers_per_stage: usize,
+    /// Task packets an engine-stage worker may serve per queue visit
+    /// (cohort scheduling, §4.2; knob (b) of §4.4 — tunable later via
+    /// [`StagedRuntime::set_batch`] on [`StagedEngine::runtime`]). Gated
+    /// service: a task requeued mid-visit (Working/Blocked yields) goes to
+    /// the back of the queue and joins the *next* visit, so a cohort never
+    /// spins on its own yields.
+    pub cohort: usize,
     /// Enable shared table scans (§5.4).
     pub shared_scans: bool,
 }
@@ -259,6 +266,7 @@ impl Default for EngineConfig {
             buffer_depth: 4,
             step_quota: 4096,
             workers_per_stage: 1,
+            cohort: 8,
             shared_scans: true,
         }
     }
@@ -287,7 +295,13 @@ impl StagedEngine {
             let id = builder.add_stage(
                 StageSpec::new(kind.name(), logic)
                     .with_queue_capacity(4096)
-                    .with_workers(config.workers_per_stage),
+                    .with_workers(config.workers_per_stage)
+                    // Gated cohorts (not exhaustive): operator tasks yield
+                    // by requeueing themselves to the back, and exhaustive
+                    // refills would pull those yields straight back into
+                    // the same visit — a busy-spin over blocked tasks.
+                    .with_batch(BatchPolicy::DGated)
+                    .with_max_cohort(config.cohort),
             );
             stage_ids.push((kind, id));
         }

@@ -147,7 +147,8 @@ pub fn compile_and_launch(engine: &Arc<StagedEngine>, plan: &PhysicalPlan, ctl: 
     build(engine, plan, root_buf, Vec::new(), send_act, ctl, &cfg);
 }
 
-/// Alias of [`compile_and_launch`] kept as the public compiler entry point.
+/// The public compiler entry point: build the task graph for `plan` and
+/// launch its leaves (an alias of the crate-private `compile_and_launch`).
 pub fn compile(engine: &Arc<StagedEngine>, plan: &PhysicalPlan, ctl: Arc<QueryCtl>) {
     compile_and_launch(engine, plan, ctl)
 }

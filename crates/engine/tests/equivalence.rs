@@ -323,6 +323,33 @@ fn partitioned_differential_suite_matches_volcano_at_every_partition_count() {
 }
 
 #[test]
+fn differential_suite_matches_volcano_at_every_cohort_size() {
+    // Cohort scheduling (paper §4.2) batches engine-stage queue visits;
+    // the batch knob must never change results. Sweep the cohort bound
+    // over 1 (the pre-cohort semantics), 4 and 16 and diff a mixed query
+    // set against Volcano, with enough stage workers that cohorts and
+    // worker parallelism interleave.
+    let shapes = [
+        "SELECT * FROM t WHERE grp = 2",
+        "SELECT t.a, u.w FROM t, u WHERE t.a = u.a",
+        "SELECT grp, COUNT(*), SUM(a), AVG(v) FROM t GROUP BY grp",
+        "SELECT DISTINCT grp FROM t ORDER BY grp",
+        "SELECT s FROM t WHERE a BETWEEN 10 AND 40",
+    ];
+    let cat = setup();
+    let reference: Vec<Vec<String>> =
+        shapes.iter().map(|sql| canonical(run_volcano_on(&cat, sql))).collect();
+    for cohort in [1usize, 4, 16] {
+        let cfg = EngineConfig { cohort, workers_per_stage: 2, ..Default::default() };
+        for (sql, expect) in shapes.iter().zip(&reference) {
+            let (v, s) = run_both(&cat, sql, &cfg);
+            assert_eq!(canonical(v), *expect, "volcano drifted at cohort {cohort} for {sql}");
+            assert_eq!(canonical(s), *expect, "staged drifted at cohort {cohort} for {sql}");
+        }
+    }
+}
+
+#[test]
 fn partitioned_index_scans_merge_per_partition_btrees() {
     for parts in [1usize, 4] {
         let cat = setup_partitioned(parts, true);

@@ -16,6 +16,8 @@
 //! [`PlannerConfig`] exposes per-feature switches used by the ablation
 //! benches and by tests that need to force a specific operator.
 
+#![deny(missing_docs)]
+
 pub mod estimate;
 pub mod plan;
 pub mod planner;

@@ -98,6 +98,10 @@ fn stats_schema() -> Schema {
         Column::new("errors", DataType::Int),
         Column::new("retries", DataType::Int),
         Column::new("idle_polls", DataType::Int),
+        Column::new("cohorts", DataType::Int),
+        Column::new("max_cohort", DataType::Int),
+        Column::new("preempts", DataType::Int),
+        Column::new("batch", DataType::Int),
         Column::new("queued", DataType::Int),
         Column::new("workers", DataType::Int),
     ])
@@ -137,6 +141,10 @@ impl WireBackend for Arc<StagedServer> {
                     Value::Int(s.errors as i64),
                     Value::Int(s.retries as i64),
                     Value::Int(s.idle_polls as i64),
+                    Value::Int(s.cohorts as i64),
+                    Value::Int(s.max_cohort as i64),
+                    Value::Int(s.cutoff_preempts as i64),
+                    Value::Int(s.batch_limit as i64),
                     Value::Int(s.queue.depth as i64),
                     Value::Int(s.spawned_workers as i64),
                 ])
@@ -164,13 +172,18 @@ impl WireBackend for Arc<ThreadedServer> {
 
     fn stats_output(&self) -> QueryOutput {
         // The monolithic baseline has no per-stage monitors — one coarse
-        // row for the whole pool, same schema.
+        // row for the whole pool, same schema. It also has no cohorts:
+        // a thread runs one query start to finish (batch reads as 1).
         let rows = vec![Tuple::new(vec![
             Value::Str("pool".into()),
             Value::Int(self.served() as i64),
             Value::Int(0),
             Value::Int(0),
             Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(1),
             Value::Int(self.backlog() as i64),
             Value::Int(self.pool_size() as i64),
         ])];

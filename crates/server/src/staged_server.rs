@@ -362,43 +362,63 @@ impl StagedServer {
             served: AtomicU64::new(0),
         });
         let mut b = StagedRuntime::<SPacket>::builder();
+        let cohort = config.max_cohort;
         // Registered first: registration order is pipeline order, which
         // shutdown uses as its drain order — network admissions must drain
         // before the stages they feed close.
+        //
+        // The `net` stage serves one packet per visit: its bounded queue
+        // *is* the server's network admission limit, and a cohort held in
+        // a worker's hands would be load admitted past that bound.
         let net_id = b.add_stage(
             StageSpec::new("net", NetStage { shared: Arc::clone(&shared) })
                 .with_queue_capacity(config.queue_capacity)
-                .with_workers(config.control_workers),
+                .with_workers(config.control_workers)
+                .with_batch(BatchPolicy::Single),
         );
         let connect_id = b.add_stage(
             StageSpec::new("connect", ConnectStage { shared: Arc::clone(&shared) })
                 .with_queue_capacity(config.queue_capacity)
-                .with_workers(config.control_workers),
+                .with_workers(config.control_workers)
+                .with_batch(config.batch)
+                .with_max_cohort(cohort),
         );
         b.add_stage(
             StageSpec::new("parse", ParseStage { shared: Arc::clone(&shared) })
                 .with_queue_capacity(config.queue_capacity)
-                .with_workers(config.control_workers),
+                .with_workers(config.control_workers)
+                .with_batch(config.batch)
+                .with_max_cohort(cohort),
         );
         b.add_stage(
             StageSpec::new("optimize", OptimizeStage { shared: Arc::clone(&shared) })
                 .with_queue_capacity(config.queue_capacity)
-                .with_workers(config.control_workers),
+                .with_workers(config.control_workers)
+                .with_batch(config.batch)
+                .with_max_cohort(cohort),
         );
+        // One-at-a-time as well: a conflicted packet parks by sleeping and
+        // requeueing inside `process`, which would stall every cohort-mate
+        // still in the worker's hands behind a lock it may not even want.
         b.add_stage(
             StageSpec::new("lock", LockStage { shared: Arc::clone(&shared) })
                 .with_queue_capacity(config.queue_capacity)
-                .with_workers(config.control_workers),
+                .with_workers(config.control_workers)
+                .with_batch(BatchPolicy::Single),
         );
         b.add_stage(
             StageSpec::new("execute", ExecuteStage { shared: Arc::clone(&shared) })
                 .with_queue_capacity(config.queue_capacity)
-                .with_workers(config.execute_workers),
+                .with_workers(config.execute_workers)
+                .with_batch(config.batch)
+                .with_max_cohort(cohort),
         );
         b.add_stage(
             StageSpec::new("disconnect", DisconnectStage { shared: Arc::clone(&shared) })
                 .with_queue_capacity(config.queue_capacity)
-                .with_workers(config.control_workers),
+                .with_workers(config.control_workers)
+                .with_batch(config.batch)
+                .with_max_cohort(cohort),
         );
         let runtime = b.build();
         Arc::new(Self { shared, runtime, net_id, connect_id })

@@ -1,5 +1,6 @@
 //! Server-facing request/response types and configuration.
 
+use staged_core::BatchPolicy;
 use staged_engine::staged::EngineConfig;
 use staged_planner::PlannerConfig;
 use staged_storage::{Schema, Tuple};
@@ -139,6 +140,21 @@ pub struct ServerConfig {
     /// Capacity of each top-level stage queue (connect-queue capacity is
     /// the admission limit under overload).
     pub queue_capacity: usize,
+    /// Packets a pipeline-stage worker may serve per queue visit (cohort
+    /// scheduling, paper §4.2): the connect/parse/optimize/execute/
+    /// disconnect stages serve gated cohorts of at most this many packets,
+    /// amortizing each stage's cache warm-up and queue synchronization
+    /// over the visit. The `net` and `lock` stages always serve
+    /// one-at-a-time (see DESIGN.md §11). Tunable at run time through
+    /// [`StagedRuntime::set_batch`] on the server's runtime handle.
+    ///
+    /// [`StagedRuntime::set_batch`]: staged_core::StagedRuntime::set_batch
+    pub max_cohort: usize,
+    /// Cohort discipline of the batched pipeline stages: gated by
+    /// default; [`BatchPolicy::Exhaustive`] or [`BatchPolicy::TGated`]
+    /// select non-gated or cutoff service (the §4.2 policy space). The
+    /// `net`/`lock` stages ignore this and stay [`BatchPolicy::Single`].
+    pub batch: BatchPolicy,
     /// Hash partitions for tables created through this server's DDL path
     /// (1 = unpartitioned). Partitioned tables are scanned and aggregated
     /// partition-parallel by the staged engine (paper §6), and DML routes
@@ -161,6 +177,8 @@ impl Default for ServerConfig {
             control_workers: 1,
             execute_workers: 4,
             queue_capacity: 128,
+            max_cohort: 16,
+            batch: BatchPolicy::DGated,
             partitions: 1,
             engine: EngineConfig::default(),
             planner: PlannerConfig::default(),

@@ -20,6 +20,8 @@
 //! simulators, and [`rng`] the inverse-CDF samplers (we deliberately avoid
 //! extra dependencies like `rand_distr`; see DESIGN.md §6).
 
+#![deny(missing_docs)]
+
 pub mod analytic;
 pub mod prodline;
 pub mod rng;

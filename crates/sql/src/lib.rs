@@ -14,6 +14,8 @@
 //! probe touches a synthetic working set, so the measured cache behaviour is
 //! driven by real parsing control flow.
 
+#![deny(missing_docs)]
+
 pub mod ast;
 pub mod binder;
 pub mod error;

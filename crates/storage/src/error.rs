@@ -13,7 +13,12 @@ pub enum StorageError {
     /// A page id was out of range or not allocated.
     InvalidPage(u64),
     /// A slot id did not exist or was deleted.
-    InvalidSlot { page: u64, slot: u16 },
+    InvalidSlot {
+        /// Page the slot was looked up on.
+        page: u64,
+        /// The offending slot index.
+        slot: u16,
+    },
     /// The record does not fit in a page.
     RecordTooLarge(usize),
     /// The buffer pool has no evictable frame (everything pinned).

@@ -12,6 +12,8 @@
 //! server share one [`buffer::BufferPool`] and one [`catalog::Catalog`],
 //! which is exactly the "unified buffer manager" argument of paper §5.2.
 
+#![deny(missing_docs)]
+
 pub mod btree;
 pub mod buffer;
 pub mod catalog;

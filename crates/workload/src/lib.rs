@@ -13,6 +13,8 @@
 //!
 //! Everything is seeded and deterministic.
 
+#![deny(missing_docs)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use staged_server::{StagedServer, ThreadedServer};

@@ -1,7 +1,7 @@
 //! Documentation link check: every relative markdown link in the
-//! repository-root docs must point at a file that exists, so the docs and
-//! the tree cannot drift apart. CI runs this as its docs link-check step
-//! (`cargo test --test doc_links`).
+//! repository-root docs and in `docs/` must point at a file that exists,
+//! so the docs and the tree cannot drift apart. CI runs this as its docs
+//! link-check step (`cargo test --test doc_links`).
 
 use std::path::Path;
 
@@ -33,12 +33,21 @@ fn relative_doc_links_resolve() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut checked = 0usize;
     let mut broken = Vec::new();
-    for entry in std::fs::read_dir(root).expect("read repo root") {
-        let path = entry.expect("dir entry").path();
-        if path.extension().and_then(|e| e.to_str()) != Some("md") {
-            continue;
+    // Repo-root markdown plus everything under docs/ — links resolve
+    // relative to the file that contains them.
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for dir in [root.to_path_buf(), root.join("docs")] {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries {
+            let path = entry.expect("dir entry").path();
+            if path.extension().and_then(|e| e.to_str()) == Some("md") {
+                files.push(path);
+            }
         }
+    }
+    for path in files {
         let text = std::fs::read_to_string(&path).expect("read markdown");
+        let base = path.parent().expect("markdown file has a parent dir");
         for target in links(&text) {
             // External links and pure intra-document anchors are out of
             // scope (this repo builds offline; no network fetches).
@@ -53,7 +62,7 @@ fn relative_doc_links_resolve() {
             if file_part.is_empty() {
                 continue;
             }
-            let resolved = root.join(file_part);
+            let resolved = base.join(file_part);
             checked += 1;
             if !resolved.exists() {
                 broken.push(format!("{}: {target}", path.file_name().unwrap().to_string_lossy()));
@@ -62,6 +71,39 @@ fn relative_doc_links_resolve() {
     }
     assert!(broken.is_empty(), "broken relative links:\n  {}", broken.join("\n  "));
     assert!(checked > 0, "no relative links found — did the docs move?");
+}
+
+#[test]
+fn architecture_doc_covers_every_crate() {
+    // docs/ARCHITECTURE.md is the codebase's guided tour: it must exist,
+    // be reachable from the README, and name all twelve workspace
+    // crates, so a new crate cannot land without a tour stop.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let arch_path = root.join("docs/ARCHITECTURE.md");
+    assert!(arch_path.exists(), "docs/ARCHITECTURE.md missing");
+    let arch = std::fs::read_to_string(&arch_path).unwrap();
+    for krate in [
+        "staged-core",
+        "staged-engine",
+        "staged-storage",
+        "staged-planner",
+        "staged-sql",
+        "staged-server",
+        "staged-wire",
+        "staged-dbclient",
+        "staged-bench",
+        "staged-sim",
+        "staged-workload",
+        "staged-cachesim",
+    ] {
+        assert!(arch.contains(krate), "ARCHITECTURE.md does not cover {krate}");
+    }
+    // The tour must walk the packet lifecycle and the stage graph.
+    for anchor in ["life of a QUERY", "stage graph", "disconnect", "fscan"] {
+        assert!(arch.contains(anchor), "ARCHITECTURE.md lost its {anchor:?} section");
+    }
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    assert!(readme.contains("docs/ARCHITECTURE.md"), "README does not link the architecture tour");
 }
 
 #[test]

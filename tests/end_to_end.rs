@@ -49,6 +49,49 @@ fn staged_and_threaded_servers_agree_on_a_query_battery() {
 }
 
 #[test]
+fn staged_server_matches_threaded_at_every_cohort_size() {
+    // The production pipeline's cohort scheduling (paper §4.2) sweeps the
+    // batch knob over 1 (pre-cohort semantics), 4 and 16: results must be
+    // byte-identical to the thread-per-query baseline at every setting,
+    // with enough concurrent submissions in flight that cohorts actually
+    // form at the parse/optimize/execute stages.
+    let cat = catalog();
+    let threaded = ThreadedServer::new(Arc::clone(&cat), 4, PlannerConfig::default());
+    let battery = [
+        "SELECT COUNT(*) FROM wisc1",
+        "SELECT * FROM wisc1 WHERE unique1 = 77",
+        "SELECT ten, COUNT(*), SUM(unique1) FROM wisc1 GROUP BY ten",
+        "SELECT DISTINCT four FROM wisc1",
+        "SELECT unique2 FROM wisc1 WHERE unique1 BETWEEN 100 AND 160",
+    ];
+    let expected: Vec<Vec<String>> = battery
+        .iter()
+        .map(|sql| canonical(&threaded.execute_sql(sql).unwrap_or_else(|e| panic!("{sql}: {e}"))))
+        .collect();
+    for max_cohort in [1usize, 4, 16] {
+        let staged =
+            StagedServer::new(Arc::clone(&cat), ServerConfig { max_cohort, ..Default::default() });
+        // Concurrent round: pile every statement into the pipeline at
+        // once so queue visits see real backlogs.
+        let staged_ref = &staged;
+        let pending: Vec<_> =
+            battery.iter().flat_map(|sql| (0..4).map(move |_| staged_ref.submit(*sql))).collect();
+        for (i, rx) in pending.into_iter().enumerate() {
+            let sql = battery[i / 4];
+            let out =
+                rx.recv().unwrap().unwrap_or_else(|e| panic!("cohort {max_cohort} {sql}: {e}"));
+            assert_eq!(
+                canonical(&out),
+                expected[i / 4],
+                "divergence at cohort {max_cohort} on {sql}"
+            );
+        }
+        staged.shutdown();
+    }
+    threaded.shutdown();
+}
+
+#[test]
 fn partitioned_server_agrees_with_unpartitioned_baseline_through_sql() {
     // Two staged servers over separate catalogs: one creating 4-way
     // hash-partitioned tables through its DDL path, one unpartitioned.

@@ -142,17 +142,41 @@ fn ping_stats_and_values_round_trip() {
     assert!(got.contains(&"a\tb".to_string()));
     assert!(got.contains(&"back\\slash".to_string()));
 
-    // STATS exposes the admission stage and its idle_polls column.
+    // STATS exposes the admission stage, its idle_polls column and the
+    // cohort-scheduling columns (PROTOCOL.md §6).
     let stats = c.stats().unwrap();
     let names: Vec<String> = stats.columns.iter().map(|(n, _)| n.clone()).collect();
     assert_eq!(
         names,
-        ["stage", "processed", "errors", "retries", "idle_polls", "queued", "workers"]
+        [
+            "stage",
+            "processed",
+            "errors",
+            "retries",
+            "idle_polls",
+            "cohorts",
+            "max_cohort",
+            "preempts",
+            "batch",
+            "queued",
+            "workers"
+        ]
     );
     let net_row =
         stats.rows.iter().find(|r| r[0].as_deref() == Some("net")).expect("net stage row in STATS");
     let processed: i64 = net_row[1].as_ref().unwrap().parse().unwrap();
     assert!(processed >= 4, "net stage admitted the TCP statements, got {processed}");
+    let batch: i64 = net_row[8].as_ref().unwrap().parse().unwrap();
+    assert_eq!(batch, 1, "the net admission stage serves one packet per visit");
+    let parse_row = stats
+        .rows
+        .iter()
+        .find(|r| r[0].as_deref() == Some("parse"))
+        .expect("parse stage row in STATS");
+    let cohorts: i64 = parse_row[5].as_ref().unwrap().parse().unwrap();
+    assert!(cohorts >= 1, "pipeline stages meter their queue visits");
+    let parse_batch: i64 = parse_row[8].as_ref().unwrap().parse().unwrap();
+    assert!(parse_batch > 1, "pipeline stages default to batched visits");
     c.quit().unwrap();
     handle.shutdown();
     server.shutdown();
