@@ -61,5 +61,5 @@ pub mod prelude {
     pub use crate::queue::StageQueue;
     pub use crate::runtime::{RuntimeBuilder, StagedRuntime};
     pub use crate::stage::{BatchPolicy, StageCtx, StageId, StageLogic, StageSpec};
-    pub use crate::tune::{AutoTuner, TuneConfig};
+    pub use crate::tune::{AutoTuner, PageKnob, TuneConfig};
 }

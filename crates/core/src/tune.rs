@@ -7,9 +7,12 @@
 //! loops over the per-stage monitors: stages whose workers spend most of
 //! their time blocked on I/O or whose queues grow get more workers and
 //! larger cohorts (deep queues are where batching amortizes best); idle
-//! stages shrink both. Knobs (c) exchange page size and (d) policy choice
-//! are exposed as configuration elsewhere (see `staged-engine::staged` for
-//! (c) and `staged-sim` for (d)) and explored by the ablation benches.
+//! stages shrink both. Knob (c) — the exchange page size — is tuned
+//! through an optional [`PageKnob`] handle supplied by the owner of the
+//! exchange layer ([`AutoTuner::spawn_with_page`]): standing backlogs ask
+//! for larger pages (fewer, fatter hand-offs), sustained idleness shrinks
+//! them back. Knob (d) — policy choice — remains configuration
+//! (`staged-sim`) explored by the ablation benches.
 
 use crate::runtime::StagedRuntime;
 use crate::stage::BatchPolicy;
@@ -41,6 +44,14 @@ pub struct TuneConfig {
     pub min_batch: usize,
     /// Upper bound the batch knob may grow to.
     pub max_batch: usize,
+    /// Also steer the exchange page size (knob (c)) when a [`PageKnob`]
+    /// was attached: double it while any stage's queue is backing up,
+    /// halve it back while the whole pipeline sits idle.
+    pub tune_page: bool,
+    /// Lower bound the page knob may shrink to.
+    pub min_page: usize,
+    /// Upper bound the page knob may grow to.
+    pub max_page: usize,
     /// How often the tuner wakes up.
     pub interval: Duration,
 }
@@ -56,18 +67,35 @@ impl Default for TuneConfig {
             tune_batch: true,
             min_batch: 1,
             max_batch: 64,
+            tune_page: true,
+            min_page: 16,
+            max_page: 4096,
             interval: Duration::from_millis(50),
         }
     }
 }
 
+/// Handle to an exchange layer's live page size — §4.4 knob (c). The
+/// runtime does not own the exchange buffers (the execution engine does),
+/// so the tuner steers the knob through this getter/setter pair; engines
+/// build one from their shared page-size cell (see
+/// `StagedEngine::page_knob` in `staged-engine`).
+#[derive(Clone)]
+pub struct PageKnob {
+    /// Read the current tuples-per-page value.
+    pub get: Arc<dyn Fn() -> usize + Send + Sync>,
+    /// Install a new tuples-per-page value.
+    pub set: Arc<dyn Fn(usize) + Send + Sync>,
+}
+
 /// A decision the tuner took, for observability and tests.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TuneDecision {
-    /// Stage name.
+    /// Stage name (`"exchange"` for the engine-wide page knob).
     pub stage: String,
-    /// Which knob moved: `"workers"` (§4.4 knob (a)) or `"batch"`
-    /// (knob (b), the cohort bound).
+    /// Which knob moved: `"workers"` (§4.4 knob (a)), `"batch"`
+    /// (knob (b), the cohort bound) or `"page"` (knob (c), the exchange
+    /// page size).
     pub knob: &'static str,
     /// Knob value before.
     pub from: usize,
@@ -87,6 +115,16 @@ pub struct AutoTuner {
 impl AutoTuner {
     /// Start tuning `runtime` in a background thread.
     pub fn spawn<P: Send + 'static>(runtime: StagedRuntime<P>, cfg: TuneConfig) -> Self {
+        Self::spawn_with_page(runtime, cfg, None)
+    }
+
+    /// Start tuning `runtime`, additionally steering an exchange layer's
+    /// page size (knob (c)) through `page` when one is supplied.
+    pub fn spawn_with_page<P: Send + 'static>(
+        runtime: StagedRuntime<P>,
+        cfg: TuneConfig,
+        page: Option<PageKnob>,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let decisions = Arc::new(Mutex::new(Vec::new()));
         let stop2 = Arc::clone(&stop);
@@ -98,6 +136,9 @@ impl AutoTuner {
                 let mut last_busy_nanos: Vec<u64> = vec![0; runtime.num_stages()];
                 while !stop2.load(Ordering::Relaxed) {
                     std::thread::sleep(cfg.interval);
+                    let mut max_depth_per_worker = 0.0f64;
+                    let mut total_dbusy = 0u64;
+                    let mut total_depth = 0usize;
                     for stats in runtime.stats() {
                         let id = stats.stage_id;
                         let workers = stats.target_workers;
@@ -107,6 +148,9 @@ impl AutoTuner {
                         last_busy_nanos[id] = stats.busy_nanos;
                         let io_frac = if dbusy == 0 { 0.0 } else { dio as f64 / dbusy as f64 };
                         let depth_per_worker = stats.queue.depth as f64 / workers.max(1) as f64;
+                        max_depth_per_worker = max_depth_per_worker.max(depth_per_worker);
+                        total_dbusy += dbusy;
+                        total_depth += stats.queue.depth;
                         let mut to = workers;
                         let mut reason = "";
                         if workers < cfg.max_workers
@@ -163,6 +207,32 @@ impl AutoTuner {
                                     reason: batch_reason,
                                 });
                             }
+                        }
+                    }
+                    // Knob (c): the exchange page size, engine-wide. A
+                    // backlogged pipeline wants fewer, fatter hand-offs;
+                    // a fully idle one decays back so short queries keep
+                    // their low latency.
+                    if let Some(knob) = page.as_ref().filter(|_| cfg.tune_page) {
+                        let cur = (knob.get)();
+                        let mut to = cur;
+                        let mut reason = "";
+                        if max_depth_per_worker > cfg.grow_depth_per_worker && cur < cfg.max_page {
+                            to = (cur * 2).min(cfg.max_page);
+                            reason = "queues backing up: larger exchange pages";
+                        } else if total_depth == 0 && total_dbusy == 0 && cur > cfg.min_page {
+                            to = (cur / 2).max(cfg.min_page);
+                            reason = "idle: smaller exchange pages";
+                        }
+                        if to != cur {
+                            (knob.set)(to);
+                            dec2.lock().push(TuneDecision {
+                                stage: "exchange".into(),
+                                knob: "page",
+                                from: cur,
+                                to,
+                                reason,
+                            });
                         }
                     }
                 }
@@ -281,6 +351,58 @@ mod tests {
         assert!(
             decisions.iter().any(|d| d.knob == "batch" && d.to > d.from),
             "expected a widen-cohorts decision, got {decisions:?}"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn tuner_grows_exchange_pages_for_backlogged_pipeline() {
+        // Knob (c): a standing backlog behind any stage pushes the page
+        // knob up, and the decision log names the "page" knob. The knob is
+        // a plain cell here standing in for an engine's PageSize handle.
+        use std::sync::atomic::AtomicUsize;
+        let mut b = StagedRuntime::<u32>::builder();
+        let s = b.add_stage(
+            StageSpec::new(
+                "backlogged",
+                |_p: u32, _ctx: &StageCtx<'_, u32>| -> crate::stage::StageResult {
+                    std::thread::sleep(Duration::from_millis(2));
+                    Ok(())
+                },
+            )
+            .with_queue_capacity(512),
+        );
+        let rt = b.build();
+        let cell = Arc::new(AtomicUsize::new(64));
+        let (g, st) = (Arc::clone(&cell), Arc::clone(&cell));
+        let knob = PageKnob {
+            get: Arc::new(move || g.load(Ordering::Relaxed)),
+            set: Arc::new(move |n| st.store(n, Ordering::Relaxed)),
+        };
+        let tuner = AutoTuner::spawn_with_page(
+            rt.clone(),
+            TuneConfig {
+                max_workers: 1,
+                min_workers: 1,
+                tune_batch: false, // isolate the page knob
+                max_page: 1024,
+                interval: Duration::from_millis(20),
+                ..TuneConfig::default()
+            },
+            Some(knob),
+        );
+        for i in 0..400 {
+            rt.enqueue(s, i).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while cell.load(Ordering::Relaxed) <= 64 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(cell.load(Ordering::Relaxed) > 64, "tuner should have grown the page size");
+        let decisions = tuner.stop();
+        assert!(
+            decisions.iter().any(|d| d.knob == "page" && d.stage == "exchange" && d.to > d.from),
+            "expected a larger-pages decision, got {decisions:?}"
         );
         rt.shutdown();
     }

@@ -28,12 +28,37 @@ use parking_lot::Mutex;
 use sharing::SharedScanRegistry;
 use staged_core::prelude::*;
 use staged_planner::PhysicalPlan;
-use staged_sql::ast::Expr;
+use staged_sql::ast::{BinOp, Expr};
 use staged_storage::Tuple;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Live value of the exchange page size — self-tuning knob (c) of §4.4
+/// ("the page size for exchanging intermediate results among the execution
+/// engine stages"). One handle is shared by the engine and every task
+/// emitter, so [`StagedEngine::set_page_size`] takes effect on the very
+/// next page each producer seals, even mid-query.
+#[derive(Clone, Debug)]
+pub struct PageSize(Arc<AtomicUsize>);
+
+impl PageSize {
+    /// A handle starting at `n` tuples per page (clamped to ≥ 1).
+    pub fn new(n: usize) -> Self {
+        Self(Arc::new(AtomicUsize::new(n.max(1))))
+    }
+
+    /// Current tuples-per-page value.
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Change the page size (clamped to ≥ 1).
+    pub fn set(&self, n: usize) {
+        self.0.store(n.max(1), Ordering::Relaxed);
+    }
+}
 
 /// The execution-engine stages of Figure 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,10 +127,15 @@ pub trait OperatorTask: Send {
 }
 
 /// Bounded single-producer/single-consumer page buffer between stages.
+/// Capacity is counted in *pages* (a page's size is the live knob (c)
+/// value), while [`ExchangeBuffer::queued_tuples`] keeps the backlog
+/// observable in tuples so back-pressure accounting stays denominated in
+/// rows regardless of the page size.
 pub struct ExchangeBuffer {
     inner: Mutex<VecDeque<TupleBatch>>,
     capacity: usize,
     closed: AtomicBool,
+    tuples: AtomicUsize,
 }
 
 impl ExchangeBuffer {
@@ -115,6 +145,7 @@ impl ExchangeBuffer {
             inner: Mutex::new(VecDeque::new()),
             capacity: capacity.max(1),
             closed: AtomicBool::new(false),
+            tuples: AtomicUsize::new(0),
         })
     }
 
@@ -129,6 +160,7 @@ impl ExchangeBuffer {
         if q.len() >= self.capacity {
             Err(batch)
         } else {
+            self.tuples.fetch_add(batch.len(), Ordering::Relaxed);
             q.push_back(batch);
             Ok(())
         }
@@ -136,7 +168,16 @@ impl ExchangeBuffer {
 
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<TupleBatch> {
-        self.inner.lock().pop_front()
+        let popped = self.inner.lock().pop_front();
+        if let Some(b) = &popped {
+            self.tuples.fetch_sub(b.len(), Ordering::Relaxed);
+        }
+        popped
+    }
+
+    /// Tuples currently queued (across all buffered pages).
+    pub fn queued_tuples(&self) -> usize {
+        self.tuples.load(Ordering::Relaxed)
     }
 
     /// Producer signals end of stream.
@@ -240,7 +281,9 @@ pub struct RootActivator;
 /// Tuning of the staged engine.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Tuples per exchanged page (knob c of §4.4).
+    /// Initial tuples per exchanged page (knob (c) of §4.4). The live
+    /// value is a runtime knob — [`StagedEngine::set_page_size`] — that
+    /// every in-flight emitter observes on its next page.
     pub batch_capacity: usize,
     /// Batches each exchange buffer may hold before back-pressure.
     pub buffer_depth: usize,
@@ -280,6 +323,7 @@ pub struct StagedEngine {
     pub registry: Arc<SharedScanRegistry>,
     ctx: ExecContext,
     config: EngineConfig,
+    page: PageSize,
     next_query: AtomicU64,
 }
 
@@ -306,7 +350,16 @@ impl StagedEngine {
             stage_ids.push((kind, id));
         }
         let runtime = builder.build();
-        Arc::new(Self { runtime, stage_ids, registry, ctx, config, next_query: AtomicU64::new(0) })
+        let page = PageSize::new(config.batch_capacity);
+        Arc::new(Self {
+            runtime,
+            stage_ids,
+            registry,
+            ctx,
+            config,
+            page,
+            next_query: AtomicU64::new(0),
+        })
     }
 
     /// Stage id for a kind.
@@ -327,6 +380,34 @@ impl StagedEngine {
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Change the exchange page size (knob (c)) at runtime, mirroring the
+    /// cohort knob (b) on [`StagedRuntime::set_batch`]. Clamped to ≥ 1;
+    /// in-flight queries pick the new size up on their next page.
+    pub fn set_page_size(&self, tuples: usize) {
+        self.page.set(tuples);
+    }
+
+    /// Current exchange page size in tuples.
+    pub fn page_size(&self) -> usize {
+        self.page.get()
+    }
+
+    /// The shared page-size handle (cloned into every emitter).
+    pub fn page_handle(&self) -> PageSize {
+        self.page.clone()
+    }
+
+    /// Package knob (c) for the [`staged_core::tune::AutoTuner`]: a
+    /// getter/setter pair over this engine's live page size.
+    pub fn page_knob(&self) -> staged_core::tune::PageKnob {
+        let get = self.page.clone();
+        let set = self.page.clone();
+        staged_core::tune::PageKnob {
+            get: Arc::new(move || get.get()),
+            set: Arc::new(move |n| set.set(n)),
+        }
     }
 
     /// Submit a plan; returns a handle delivering result tuples.
@@ -424,13 +505,288 @@ impl StagedResult {
 /// Per-tuple transforms fused into a producing task (filters, projections
 /// and limits do not get their own stage: "we group together operators
 /// which use a small portion of the common or shared data and code").
+///
+/// Transforms are *compiled* when the task is built: expression shapes the
+/// batch inner loops hit constantly — constant integer comparisons, plain
+/// column projections — are analyzed once per plan and run as direct
+/// index/compare code per tuple, falling back to the general expression
+/// interpreter (which the Volcano baseline pays on every `next()`) only
+/// for shapes the fast paths do not cover.
 pub enum Transform {
     /// Drop tuples failing the predicate.
-    Filter(Expr),
+    Filter(Pred),
     /// Re-map through expressions.
-    Project(Vec<Expr>),
+    Project(Proj),
     /// Emit at most the shared remaining count (cross-task counter).
     Limit(Arc<AtomicI64>),
+}
+
+impl Transform {
+    /// Compile a filter predicate.
+    pub fn filter(expr: Expr) -> Self {
+        Transform::Filter(Pred::compile(expr))
+    }
+
+    /// Compile a projection list.
+    pub fn project(exprs: Vec<Expr>) -> Self {
+        Transform::Project(Proj::compile(exprs))
+    }
+
+    /// A projection that gathers raw column indexes — used by the scan
+    /// narrowing in the task compiler, where no source expressions exist.
+    pub fn project_cols(cols: Vec<usize>) -> Self {
+        Transform::Project(Proj { exprs: Vec::new(), cols: Some(cols) })
+    }
+}
+
+/// A compiled predicate: the generic expression plus an optional fast
+/// path. Constant integer comparisons on one column — `c = k`, `c < k`,
+/// `c BETWEEN a AND b`, in either orientation — compile to one inclusive
+/// interval test `lo <= c <= hi` with no interpreter dispatch and no
+/// `Value` clones.
+pub struct Pred {
+    expr: Expr,
+    fast: Option<IntRange>,
+}
+
+#[derive(Clone, Copy)]
+struct IntRange {
+    idx: usize,
+    lo: i64,
+    hi: i64,
+}
+
+/// `(column index, constant)` when `e` is `Column <op> IntLiteral` in the
+/// given orientation.
+fn col_int(a: &Expr, b: &Expr) -> Option<(usize, i64)> {
+    match (a, b) {
+        (Expr::Column(c), Expr::Literal(staged_storage::Value::Int(k))) => Some((c.index?, *k)),
+        _ => None,
+    }
+}
+
+impl Pred {
+    /// Analyze `expr` once; tuples then take the cheapest path it admits.
+    pub fn compile(expr: Expr) -> Self {
+        let range =
+            |idx: usize, lo: Option<i64>, hi: Option<i64>| Some(IntRange { idx, lo: lo?, hi: hi? });
+        // `k <op> column` mirrors to `column <flip(op)> k`.
+        let flip = |op: BinOp| match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::LtEq => BinOp::GtEq,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::GtEq => BinOp::LtEq,
+            other => other,
+        };
+        let fast = match &expr {
+            Expr::Binary { left, op, right } => {
+                // Normalize to `column <op> constant`.
+                let norm = col_int(left, right)
+                    .map(|(idx, k)| (idx, k, *op))
+                    .or_else(|| col_int(right, left).map(|(idx, k)| (idx, k, flip(*op))));
+                norm.and_then(|(idx, k, op)| match op {
+                    BinOp::Eq => range(idx, Some(k), Some(k)),
+                    BinOp::Lt => range(idx, Some(i64::MIN), k.checked_sub(1)),
+                    BinOp::LtEq => range(idx, Some(i64::MIN), Some(k)),
+                    BinOp::Gt => range(idx, k.checked_add(1), Some(i64::MAX)),
+                    BinOp::GtEq => range(idx, Some(k), Some(i64::MAX)),
+                    _ => None,
+                })
+            }
+            Expr::Between { expr: e, lo, hi, negated: false } => match (&**e, &**lo, &**hi) {
+                (
+                    Expr::Column(c),
+                    Expr::Literal(staged_storage::Value::Int(a)),
+                    Expr::Literal(staged_storage::Value::Int(b)),
+                ) => c.index.and_then(|idx| range(idx, Some(*a), Some(*b))),
+                _ => None,
+            },
+            _ => None,
+        };
+        Self { expr, fast }
+    }
+
+    /// SQL WHERE semantics: NULL is false.
+    #[inline]
+    pub fn test(&self, t: &Tuple) -> EngineResult<bool> {
+        if let Some(r) = self.fast {
+            match t.values().get(r.idx) {
+                Some(staged_storage::Value::Int(v)) => return Ok(r.lo <= *v && *v <= r.hi),
+                Some(staged_storage::Value::Null) => return Ok(false),
+                // Non-integer value (numeric coercion): interpreter path.
+                _ => {}
+            }
+        }
+        eval_predicate(&self.expr, t)
+    }
+
+    /// The single column the fast path reads, when one exists. A `Some`
+    /// here guarantees the whole predicate (fast path *and* interpreter
+    /// fallback) touches no other column, which is what makes it safe to
+    /// prune the rest of the row underneath it.
+    pub(crate) fn fast_col(&self) -> Option<usize> {
+        self.fast.map(|r| r.idx)
+    }
+
+    /// Rewrite column indexes through `pos` (old slot → pruned slot). Only
+    /// meaningful when [`fast_col`](Self::fast_col) is `Some`: the
+    /// expression then has the comparison/BETWEEN shape the walker below
+    /// covers, so the interpreter fallback stays consistent with the
+    /// remapped fast path.
+    pub(crate) fn remap_columns(&mut self, pos: &dyn Fn(usize) -> usize) {
+        debug_assert!(self.fast.is_some(), "remap is only valid on fast predicates");
+        if let Some(r) = &mut self.fast {
+            r.idx = pos(r.idx);
+        }
+        fn walk(e: &mut Expr, pos: &dyn Fn(usize) -> usize) {
+            match e {
+                Expr::Column(c) => {
+                    if let Some(i) = c.index {
+                        c.index = Some(pos(i));
+                    }
+                }
+                Expr::Binary { left, right, .. } => {
+                    walk(left, pos);
+                    walk(right, pos);
+                }
+                Expr::Between { expr, lo, hi, .. } => {
+                    walk(expr, pos);
+                    walk(lo, pos);
+                    walk(hi, pos);
+                }
+                _ => {}
+            }
+        }
+        walk(&mut self.expr, pos);
+    }
+}
+
+/// A compiled projection: when every output expression is a plain bound
+/// column reference, tuples are re-mapped by direct index gather instead
+/// of per-expression interpretation.
+pub struct Proj {
+    exprs: Vec<Expr>,
+    cols: Option<Vec<usize>>,
+}
+
+impl Proj {
+    /// Analyze the projection list once.
+    pub fn compile(exprs: Vec<Expr>) -> Self {
+        let cols = exprs
+            .iter()
+            .map(|e| match e {
+                Expr::Column(c) => c.index,
+                _ => None,
+            })
+            .collect::<Option<Vec<usize>>>();
+        Self { exprs, cols }
+    }
+
+    /// Re-map one tuple.
+    #[inline]
+    pub fn apply(&self, t: Tuple) -> EngineResult<Tuple> {
+        if let Some(cols) = &self.cols {
+            let vals = t.values();
+            let out = cols
+                .iter()
+                .map(|&i| {
+                    vals.get(i)
+                        .cloned()
+                        .ok_or_else(|| EngineError::Internal(format!("column {i} out of arity")))
+                })
+                .collect::<EngineResult<Vec<_>>>()?;
+            return Ok(Tuple::new(out));
+        }
+        let vals = self.exprs.iter().map(|e| eval(e, &t)).collect::<EngineResult<Vec<_>>>()?;
+        Ok(Tuple::new(vals))
+    }
+
+    /// The gathered column indexes when every output is a plain column.
+    pub(crate) fn plain_cols(&self) -> Option<&[usize]> {
+        self.cols.as_deref()
+    }
+
+    /// Rewrite column indexes through `pos` (old slot → pruned slot). Only
+    /// meaningful when [`plain_cols`](Self::plain_cols) is `Some`, so every
+    /// expression is a bound column reference.
+    pub(crate) fn remap_columns(&mut self, pos: &dyn Fn(usize) -> usize) {
+        debug_assert!(self.cols.is_some(), "remap is only valid on plain-column projections");
+        if let Some(cols) = &mut self.cols {
+            for c in cols.iter_mut() {
+                *c = pos(*c);
+            }
+        }
+        for e in &mut self.exprs {
+            if let Expr::Column(c) = e {
+                if let Some(i) = c.index {
+                    c.index = Some(pos(i));
+                }
+            }
+        }
+    }
+}
+
+/// Column pruning for scan-side transform chains. When the chain starts
+/// with fast-path filters (each provably touching one column) and reaches
+/// a plain-column projection, the scan only needs to decode the union of
+/// the columns that prefix touches — everything else is skipped at the
+/// page, unread string columns costing a few branches instead of an
+/// allocation (`Tuple::decode_columns`). The prefix is rewritten in place
+/// to address the pruned layout; the suffix after the projection sees the
+/// projection's output, whose layout is unchanged, so it needs no rewrite.
+///
+/// Returns the sorted column set the scan must decode, or `None` (chain
+/// untouched) when the shape does not admit pruning or when the prefix
+/// already needs every one of the table's `arity` columns.
+pub(crate) fn prune_scan_columns(ts: &mut Vec<Transform>, arity: usize) -> Option<Vec<usize>> {
+    // The prefix may hold fast filters and limits (which read no columns);
+    // the first plain-column projection closes it.
+    let mut proj_at = None;
+    for (i, t) in ts.iter().enumerate() {
+        match t {
+            Transform::Filter(p) if p.fast_col().is_some() => {}
+            Transform::Limit(_) => {}
+            Transform::Project(p) if p.plain_cols().is_some() => {
+                proj_at = Some(i);
+                break;
+            }
+            _ => return None,
+        }
+    }
+    let proj_at = proj_at?;
+    let mut needed: Vec<usize> = ts[..proj_at]
+        .iter()
+        .filter_map(|t| match t {
+            Transform::Filter(p) => p.fast_col(),
+            _ => None,
+        })
+        .collect();
+    if let Transform::Project(p) = &ts[proj_at] {
+        needed.extend(p.plain_cols().expect("checked above"));
+    }
+    needed.sort_unstable();
+    needed.dedup();
+    if needed.len() >= arity {
+        return None;
+    }
+    let pos = |c: usize| needed.binary_search(&c).expect("prefix columns are all in `needed`");
+    for t in &mut ts[..proj_at] {
+        if let Transform::Filter(p) = t {
+            p.remap_columns(&pos);
+        }
+    }
+    let identity = match &mut ts[proj_at] {
+        Transform::Project(p) => {
+            p.remap_columns(&pos);
+            p.plain_cols().expect("still plain").iter().copied().eq(0..needed.len())
+        }
+        _ => unreachable!("proj_at indexes a projection"),
+    };
+    if identity {
+        // The projection now re-emits the pruned tuple unchanged: drop it.
+        ts.remove(proj_at);
+    }
+    Some(needed)
 }
 
 /// Apply a transform chain; `None` means the tuple was filtered out.
@@ -438,13 +794,12 @@ pub fn apply_transforms(ts: &[Transform], mut t: Tuple) -> EngineResult<Option<T
     for tr in ts {
         match tr {
             Transform::Filter(p) => {
-                if !eval_predicate(p, &t)? {
+                if !p.test(&t)? {
                     return Ok(None);
                 }
             }
-            Transform::Project(exprs) => {
-                let vals = exprs.iter().map(|e| eval(e, &t)).collect::<EngineResult<Vec<_>>>()?;
-                t = Tuple::new(vals);
+            Transform::Project(proj) => {
+                t = proj.apply(t)?;
             }
             Transform::Limit(left) => {
                 if left.fetch_sub(1, Ordering::SeqCst) <= 0 {
@@ -477,17 +832,105 @@ mod tests {
     }
 
     #[test]
+    fn exchange_buffer_counts_queued_tuples() {
+        let mk = |n: usize| {
+            TupleBatch::from_tuples(
+                (0..n).map(|i| Tuple::new(vec![Value::Int(i as i64)])).collect(),
+            )
+        };
+        let b = ExchangeBuffer::new(3);
+        assert_eq!(b.queued_tuples(), 0);
+        b.try_push(mk(5)).unwrap();
+        b.try_push(mk(2)).unwrap();
+        assert_eq!(b.queued_tuples(), 7, "backlog is denominated in tuples, not pages");
+        b.try_pop().unwrap();
+        assert_eq!(b.queued_tuples(), 2);
+        b.try_pop().unwrap();
+        assert_eq!(b.queued_tuples(), 0);
+    }
+
+    #[test]
+    fn page_size_handle_is_shared_and_clamped() {
+        let p = PageSize::new(0);
+        assert_eq!(p.get(), 1, "page size clamps to >= 1");
+        let p2 = p.clone();
+        p.set(512);
+        assert_eq!(p2.get(), 512, "clones observe live updates");
+        p2.set(0);
+        assert_eq!(p.get(), 1);
+    }
+
+    #[test]
     fn transforms_compose_in_order() {
-        use staged_sql::ast::{BinOp, ColumnRef};
+        use staged_sql::ast::ColumnRef;
         let col0 = Expr::Column(ColumnRef { table: None, name: "#0".into(), index: Some(0) });
         let ts = vec![
-            Transform::Filter(Expr::binary(col0.clone(), BinOp::Gt, Expr::int(1))),
-            Transform::Project(vec![Expr::binary(col0.clone(), BinOp::Mul, Expr::int(10))]),
+            Transform::filter(Expr::binary(col0.clone(), BinOp::Gt, Expr::int(1))),
+            Transform::project(vec![Expr::binary(col0.clone(), BinOp::Mul, Expr::int(10))]),
         ];
         let keep = apply_transforms(&ts, Tuple::new(vec![Value::Int(5)])).unwrap();
         assert_eq!(keep.unwrap().values(), &[Value::Int(50)]);
         let drop = apply_transforms(&ts, Tuple::new(vec![Value::Int(0)])).unwrap();
         assert!(drop.is_none());
+    }
+
+    #[test]
+    fn compiled_predicates_agree_with_the_interpreter() {
+        use staged_sql::ast::ColumnRef;
+        let col =
+            |i: usize| Expr::Column(ColumnRef { table: None, name: "#0".into(), index: Some(i) });
+        let t = |v: Value| Tuple::new(vec![v]);
+        let cases: Vec<(Expr, &[(Value, bool)])> = vec![
+            (
+                Expr::binary(col(0), BinOp::Eq, Expr::int(5)),
+                &[(Value::Int(5), true), (Value::Int(4), false), (Value::Null, false)],
+            ),
+            (
+                // Mirrored orientation: `10 > c` is `c < 10`.
+                Expr::binary(Expr::int(10), BinOp::Gt, col(0)),
+                &[(Value::Int(9), true), (Value::Int(10), false)],
+            ),
+            (
+                Expr::Between {
+                    expr: Box::new(col(0)),
+                    lo: Box::new(Expr::int(2)),
+                    hi: Box::new(Expr::int(4)),
+                    negated: false,
+                },
+                &[(Value::Int(2), true), (Value::Int(4), true), (Value::Int(5), false)],
+            ),
+        ];
+        for (expr, table) in cases {
+            let pred = Pred::compile(expr.clone());
+            assert!(pred.fast.is_some(), "{expr:?} should compile to an interval");
+            for (v, want) in table {
+                assert_eq!(pred.test(&t(v.clone())).unwrap(), *want, "{expr:?} on {v:?}");
+                // The fast path must agree with the interpreter exactly.
+                assert_eq!(
+                    pred.test(&t(v.clone())).unwrap(),
+                    eval_predicate(&expr, &t(v.clone())).unwrap()
+                );
+            }
+        }
+        // Float value through an Int-compiled interval: interpreter path.
+        let pred = Pred::compile(Expr::binary(col(0), BinOp::Eq, Expr::int(5)));
+        assert!(pred.test(&t(Value::Float(5.0))).unwrap(), "numeric coercion preserved");
+    }
+
+    #[test]
+    fn compiled_projection_gathers_columns() {
+        use staged_sql::ast::ColumnRef;
+        let col =
+            |i: usize| Expr::Column(ColumnRef { table: None, name: "#0".into(), index: Some(i) });
+        let proj = Proj::compile(vec![col(2), col(0)]);
+        assert!(proj.cols.is_some(), "plain column list compiles to a gather");
+        let out =
+            proj.apply(Tuple::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)])).unwrap();
+        assert_eq!(out.values(), &[Value::Int(3), Value::Int(1)]);
+        let mixed = Proj::compile(vec![Expr::binary(col(0), BinOp::Mul, Expr::int(2))]);
+        assert!(mixed.cols.is_none(), "computed expressions stay on the interpreter");
+        let out = mixed.apply(Tuple::new(vec![Value::Int(4)])).unwrap();
+        assert_eq!(out.values(), &[Value::Int(8)]);
     }
 
     #[test]

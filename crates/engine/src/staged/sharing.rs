@@ -191,15 +191,25 @@ impl DriverTask {
             if s.completing || seq < s.joined_seq {
                 continue;
             }
-            for t in &tuples {
-                match super::apply_transforms(&s.transforms, t.clone()) {
-                    Ok(Some(out)) => s.emitter.emit(out),
-                    Ok(None) => {}
-                    Err(e) => {
-                        s.ctl.fail(e);
-                        s.completing = true;
-                        break;
+            // Batch delivery: an unfiltered subscriber takes the whole
+            // page in one extend; a filtering one still seals its staging
+            // page once per delivered heap page, not per tuple.
+            if s.transforms.is_empty() {
+                s.emitter.emit_all(tuples.iter().cloned());
+            } else {
+                for t in &tuples {
+                    match super::apply_transforms(&s.transforms, t.clone()) {
+                        Ok(Some(out)) => s.emitter.emit(out),
+                        Ok(None) => {}
+                        Err(e) => {
+                            s.ctl.fail(e);
+                            s.completing = true;
+                            break;
+                        }
                     }
+                }
+                if !s.completing {
+                    s.emitter.pump();
                 }
             }
             s.accepted += 1;

@@ -2,8 +2,8 @@
 
 use super::sharing::{self, Subscriber};
 use super::{
-    apply_transforms, Activator, EngineConfig, ExchangeBuffer, OperatorTask, QueryCtl, StageKind,
-    StagedEngine, StepResult, TaskPacket, Transform, TupleBatch,
+    apply_transforms, prune_scan_columns, Activator, EngineConfig, ExchangeBuffer, OperatorTask,
+    PageSize, QueryCtl, StageKind, StagedEngine, StepResult, TaskPacket, Transform, TupleBatch,
 };
 use crate::agg::AggMerger;
 use crate::context::ExecContext;
@@ -14,30 +14,52 @@ use staged_planner::{AggSpec, PhysicalPlan};
 use staged_sql::ast::Expr;
 use staged_storage::catalog::{IndexInfo, TableInfo};
 use staged_storage::{Rid, StorageResult, Tuple, Value};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicI64;
 use std::sync::Arc;
 
 /// Batch-building output side of a task: stages tuples, flushes pages into
-/// the exchange buffer, activates the parent bottom-up.
+/// the exchange buffer, activates the parent bottom-up. The page size is
+/// read live from the engine's shared [`PageSize`] handle (knob (c)), so a
+/// `set_page_size` call changes the next page every in-flight emitter
+/// seals. All accounting — [`Emitter::backlog`], [`Emitter::ready`] — is
+/// denominated in *tuples*, never pages, so back-pressure thresholds mean
+/// the same thing at page size 1 and page size 4096.
 pub struct Emitter {
     out: Arc<ExchangeBuffer>,
     parent: Arc<Activator>,
-    cap: usize,
-    staging: VecDeque<Tuple>,
+    page: PageSize,
+    staging: Vec<Tuple>,
     closed: bool,
 }
 
 impl Emitter {
-    /// Create an emitter.
-    pub fn new(out: Arc<ExchangeBuffer>, parent: Arc<Activator>, cap: usize) -> Self {
-        Self { out, parent, cap: cap.max(1), staging: VecDeque::new(), closed: false }
+    /// Create an emitter sealing pages of the handle's live size.
+    pub fn new(out: Arc<ExchangeBuffer>, parent: Arc<Activator>, page: PageSize) -> Self {
+        Self { out, parent, page, staging: Vec::new(), closed: false }
+    }
+
+    /// The live tuples-per-page bound (knob (c)).
+    pub fn page_cap(&self) -> usize {
+        self.page.get()
     }
 
     /// Queue a tuple and flush full pages opportunistically.
     pub fn emit(&mut self, t: Tuple) {
-        self.staging.push_back(t);
-        self.pump();
+        self.staging.push(t);
+        if self.staging.len() >= self.page_cap() {
+            self.pump();
+        }
+    }
+
+    /// Queue a whole run of tuples, then flush full pages. This is the
+    /// batch fast path: one length check and at most a few buffer locks
+    /// for the entire run, instead of per-tuple bookkeeping.
+    pub fn emit_all<I: IntoIterator<Item = Tuple>>(&mut self, tuples: I) {
+        self.staging.extend(tuples);
+        if self.staging.len() >= self.page_cap() {
+            self.pump();
+        }
     }
 
     /// Tuples staged but not yet flushed.
@@ -46,16 +68,17 @@ impl Emitter {
     }
 
     /// Producer-side readiness: stop producing once the backlog exceeds one
-    /// page and the consumer is not draining.
+    /// page worth of tuples and the consumer is not draining.
     pub fn ready(&self) -> bool {
-        self.staging.len() < self.cap || self.out.has_space()
+        self.staging.len() < self.page_cap() || self.out.has_space()
     }
 
     fn flush_one(&mut self, force_partial: bool) -> bool {
-        if self.staging.is_empty() || (!force_partial && self.staging.len() < self.cap) {
+        let cap = self.page_cap();
+        if self.staging.is_empty() || (!force_partial && self.staging.len() < cap) {
             return true;
         }
-        let n = self.staging.len().min(self.cap);
+        let n = self.staging.len().min(cap);
         let batch = TupleBatch::from_tuples(self.staging.drain(..n).collect());
         match self.out.try_push(batch) {
             Ok(()) => {
@@ -63,9 +86,7 @@ impl Emitter {
                 true
             }
             Err(b) => {
-                for t in b.into_tuples().into_iter().rev() {
-                    self.staging.push_front(t);
-                }
+                self.staging.splice(0..0, b.into_tuples());
                 false
             }
         }
@@ -73,7 +94,7 @@ impl Emitter {
 
     /// Flush as many full pages as the buffer accepts.
     pub fn pump(&mut self) {
-        while self.staging.len() >= self.cap {
+        while self.staging.len() >= self.page_cap() {
             if !self.flush_one(false) {
                 return;
             }
@@ -97,34 +118,27 @@ impl Emitter {
     }
 }
 
-/// Input side of a task.
+/// Input side of a task: pulls whole pages off the exchange buffer —
+/// one lock per page, never one per tuple. Consumers run tight inner
+/// loops over the returned run.
 pub struct Intake {
     buf: Arc<ExchangeBuffer>,
-    current: VecDeque<Tuple>,
 }
 
 impl Intake {
     /// Wrap a buffer.
     pub fn new(buf: Arc<ExchangeBuffer>) -> Self {
-        Self { buf, current: VecDeque::new() }
+        Self { buf }
     }
 
-    /// Next available tuple, if any.
-    pub fn next(&mut self) -> Option<Tuple> {
-        loop {
-            if let Some(t) = self.current.pop_front() {
-                return Some(t);
-            }
-            match self.buf.try_pop() {
-                Some(b) => self.current = b.into_tuples().into(),
-                None => return None,
-            }
-        }
+    /// Next available page of tuples, if any.
+    pub fn next_batch(&mut self) -> Option<Vec<Tuple>> {
+        self.buf.try_pop().map(TupleBatch::into_tuples)
     }
 
     /// True when the producer closed and everything was consumed.
     pub fn finished(&self) -> bool {
-        self.current.is_empty() && self.buf.is_finished()
+        self.buf.is_finished()
     }
 }
 
@@ -167,12 +181,12 @@ fn build(
     match plan {
         // Fused per-tuple operators: no stage of their own.
         PhysicalPlan::Filter { input, predicate } => {
-            let mut ts = vec![Transform::Filter(predicate.clone())];
+            let mut ts = vec![Transform::filter(predicate.clone())];
             ts.extend(transforms);
             build(engine, input, out, ts, parent, ctl, cfg);
         }
         PhysicalPlan::Project { input, exprs, .. } => {
-            let mut ts = vec![Transform::Project(exprs.clone())];
+            let mut ts = vec![Transform::project(exprs.clone())];
             ts.extend(transforms);
             build(engine, input, out, ts, parent, ctl, cfg);
         }
@@ -184,21 +198,22 @@ fn build(
         PhysicalPlan::SeqScan { table, predicate } => {
             let mut ts = Vec::new();
             if let Some(p) = predicate {
-                ts.push(Transform::Filter(p.clone()));
+                ts.push(Transform::filter(p.clone()));
             }
             ts.extend(transforms);
-            let emitter = Emitter::new(out, parent, cfg.batch_capacity);
+            let emitter = Emitter::new(out, parent, engine.page_handle());
             if cfg.shared_scans {
+                // A shared driver serves every subscriber, so it must
+                // decode full rows; per-subscriber pruning does not apply.
                 let sub = Subscriber::new(emitter, ts, Arc::clone(&ctl));
                 sharing::subscribe(engine, table, sub);
             } else {
-                let task = ScanTask {
-                    ctx,
-                    scan: table.heap.scan(),
-                    transforms: ts,
-                    emitter,
-                    input_done: false,
+                let mut ts = ts;
+                let scan = match prune_scan_columns(&mut ts, table.schema.len()) {
+                    Some(cols) => table.heap.scan_pages().with_columns(cols),
+                    None => table.heap.scan_pages(),
                 };
+                let task = ScanTask { ctx, scan, transforms: ts, emitter, input_done: false };
                 engine.enqueue(StageKind::FScan, TaskPacket { ctl, task: Box::new(task) });
             }
         }
@@ -208,14 +223,18 @@ fn build(
             // Exchange (or is already pruned to a single partition).
             let mut ts = Vec::new();
             if let Some(p) = predicate {
-                ts.push(Transform::Filter(p.clone()));
+                ts.push(Transform::filter(p.clone()));
             }
             ts.extend(transforms);
+            let scan = match prune_scan_columns(&mut ts, table.schema.len()) {
+                Some(cols) => table.heap.scan_partition_pages(*partition).with_columns(cols),
+                None => table.heap.scan_partition_pages(*partition),
+            };
             let task = ScanTask {
                 ctx,
-                scan: table.heap.scan_partition(*partition),
+                scan,
                 transforms: ts,
-                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+                emitter: Emitter::new(out, parent, engine.page_handle()),
                 input_done: false,
             };
             engine.enqueue(StageKind::FScan, TaskPacket { ctl, task: Box::new(task) });
@@ -244,7 +263,7 @@ fn build(
         PhysicalPlan::IndexScan { table, index, lo, hi, predicate } => {
             let mut ts = Vec::new();
             if let Some(p) = predicate {
-                ts.push(Transform::Filter(p.clone()));
+                ts.push(Transform::filter(p.clone()));
             }
             ts.extend(transforms);
             let task = IndexScanTask {
@@ -256,7 +275,7 @@ fn build(
                 rids: None,
                 pos: 0,
                 transforms: ts,
-                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+                emitter: Emitter::new(out, parent, engine.page_handle()),
             };
             engine.enqueue(StageKind::IScan, TaskPacket { ctl, task: Box::new(task) });
         }
@@ -270,7 +289,7 @@ fn build(
                 sorted: false,
                 pos: 0,
                 transforms,
-                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+                emitter: Emitter::new(out, parent, engine.page_handle()),
             };
             act.park(
                 engine.stage_id(StageKind::Sort),
@@ -279,25 +298,34 @@ fn build(
             build(engine, input, in_buf, Vec::new(), act, ctl, cfg);
         }
         PhysicalPlan::HashAggregate { input, group_by, aggs } => {
+            // When the aggregate sits directly on a prunable scan and reads
+            // only plain columns, project the scan down to exactly those
+            // columns and remap the aggregate; `prune_scan_columns` then
+            // stops the scan decoding the rest of the row at the page.
+            let prunable = match &**input {
+                PhysicalPlan::SeqScan { .. } => !cfg.shared_scans,
+                PhysicalPlan::PartitionScan { .. } => true,
+                _ => false,
+            };
+            let narrowed = if prunable { narrow_agg_input(group_by, aggs) } else { None };
+            let (scan_ts, group_by, aggs) = match narrowed {
+                Some((proj, g, a)) => (vec![proj], g, a),
+                None => (Vec::new(), group_by.clone(), aggs.clone()),
+            };
             let in_buf = ExchangeBuffer::new(cfg.buffer_depth);
             let act = engine.make_activator();
-            let task = AggTask {
-                input: Intake::new(Arc::clone(&in_buf)),
-                group_by: group_by.clone(),
-                aggs: aggs.clone(),
-                groups: Vec::new(),
-                index: HashMap::new(),
-                saw_row: false,
-                results: None,
-                pos: 0,
+            let task = AggTask::new(
+                Intake::new(Arc::clone(&in_buf)),
+                group_by,
+                aggs,
                 transforms,
-                emitter: Emitter::new(out, parent, cfg.batch_capacity),
-            };
+                Emitter::new(out, parent, engine.page_handle()),
+            );
             act.park(
                 engine.stage_id(StageKind::Aggr),
                 TaskPacket { ctl: Arc::clone(&ctl), task: Box::new(task) },
             );
-            build(engine, input, in_buf, Vec::new(), act, ctl, cfg);
+            build(engine, input, in_buf, scan_ts, act, ctl, cfg);
         }
         PhysicalPlan::Distinct { input } => {
             let in_buf = ExchangeBuffer::new(cfg.buffer_depth);
@@ -306,7 +334,7 @@ fn build(
                 input: Intake::new(Arc::clone(&in_buf)),
                 seen: HashSet::new(),
                 transforms,
-                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+                emitter: Emitter::new(out, parent, engine.page_handle()),
             };
             act.park(
                 engine.stage_id(StageKind::Aggr),
@@ -325,9 +353,8 @@ fn build(
                 keys: keys.clone(),
                 residual: residual.clone(),
                 table: HashMap::new(),
-                pending: VecDeque::new(),
                 transforms,
-                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+                emitter: Emitter::new(out, parent, engine.page_handle()),
             };
             act.park(
                 engine.stage_id(StageKind::Join),
@@ -350,7 +377,7 @@ fn build(
                 output: None,
                 pos: 0,
                 transforms,
-                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+                emitter: Emitter::new(out, parent, engine.page_handle()),
             };
             act.park(
                 engine.stage_id(StageKind::Join),
@@ -373,7 +400,7 @@ fn build(
                 i: 0,
                 j: 0,
                 transforms,
-                emitter: Emitter::new(out, parent, cfg.batch_capacity),
+                emitter: Emitter::new(out, parent, engine.page_handle()),
             };
             act.park(
                 engine.stage_id(StageKind::Join),
@@ -383,6 +410,49 @@ fn build(
             build(engine, right, rbuf, Vec::new(), act, ctl, cfg);
         }
     }
+}
+
+/// When every grouping expression and aggregate argument is a bound column
+/// reference, compute the column set the aggregate reads and return (a) a
+/// plain-column projection narrowing its input to exactly that set and (b)
+/// the group/agg lists rewritten against the narrowed layout. `None` when
+/// any expression needs the full row. A `COUNT(*)` with no grouping
+/// narrows to the empty projection: the scan then decodes nothing at all.
+fn narrow_agg_input(
+    group_by: &[Expr],
+    aggs: &[AggSpec],
+) -> Option<(Transform, Vec<Expr>, Vec<AggSpec>)> {
+    let mut cols: Vec<usize> = Vec::new();
+    for e in group_by {
+        match e {
+            Expr::Column(c) => cols.push(c.index?),
+            _ => return None,
+        }
+    }
+    for s in aggs {
+        match &s.arg {
+            None => {}
+            Some(Expr::Column(c)) => cols.push(c.index?),
+            Some(_) => return None,
+        }
+    }
+    cols.sort_unstable();
+    cols.dedup();
+    let remap = |e: &Expr| match e {
+        Expr::Column(c) => {
+            let mut c = c.clone();
+            let idx = c.index.expect("collected above");
+            c.index = Some(cols.binary_search(&idx).expect("collected above"));
+            Expr::Column(c)
+        }
+        _ => unreachable!("only plain columns reach here"),
+    };
+    let group_by = group_by.iter().map(remap).collect();
+    let aggs = aggs
+        .iter()
+        .map(|s| AggSpec { func: s.func, arg: s.arg.as_ref().map(remap), distinct: s.distinct })
+        .collect();
+    Some((Transform::project_cols(cols), group_by, aggs))
 }
 
 /// Shared fan-in wiring for the merge-stage tasks: one exchange buffer +
@@ -406,7 +476,7 @@ fn fan_in(
         intakes.push(Intake::new(Arc::clone(&b)));
         bufs.push(b);
     }
-    let task = make_task(intakes, Emitter::new(out, parent, cfg.batch_capacity));
+    let task = make_task(intakes, Emitter::new(out, parent, engine.page_handle()));
     act.park(engine.stage_id(StageKind::Merge), TaskPacket { ctl: Arc::clone(&ctl), task });
     for (input, buf) in inputs.iter().zip(bufs) {
         build(engine, input, buf, Vec::new(), Arc::clone(&act), Arc::clone(&ctl), cfg);
@@ -429,11 +499,36 @@ fn emit_transformed(
     }
 }
 
+/// Emit a whole run of tuples through the transform chain: the batch inner
+/// loop every producing task shares. With no transforms the run lands in
+/// the staging page as one `extend`; with transforms each survivor is
+/// appended and pages are sealed at the end of the run.
+fn emit_batch_transformed<I: IntoIterator<Item = Tuple>>(
+    emitter: &mut Emitter,
+    transforms: &[Transform],
+    tuples: I,
+) -> EngineResult<()> {
+    if transforms.is_empty() {
+        emitter.emit_all(tuples);
+        return Ok(());
+    }
+    for t in tuples {
+        if let Some(t) = apply_transforms(transforms, t)? {
+            emitter.emit(t);
+        }
+    }
+    emitter.pump();
+    Ok(())
+}
+
 // ---------------------------------------------------------------- scans --
 
-/// Sequential scan task, generic over the row source so it serves both
-/// whole-table scans ([`staged_storage::partition::PartitionedScan`]) and
-/// single-partition partial scans ([`staged_storage::heap::HeapScan`]).
+/// Sequential scan task, generic over the *page* source so it serves both
+/// whole-table scans ([`staged_storage::partition::PartitionedPageScan`])
+/// and single-partition partial scans
+/// ([`staged_storage::heap::HeapPageScan`]). Each iteration moves one heap
+/// page of tuples straight into the exchange layer — the storage page is
+/// the unit of production, the exchange page the unit of shipment.
 pub(super) struct ScanTask<S> {
     pub ctx: ExecContext,
     pub scan: S,
@@ -442,7 +537,7 @@ pub(super) struct ScanTask<S> {
     pub input_done: bool,
 }
 
-impl<S: Iterator<Item = StorageResult<(Rid, Tuple)>> + Send> OperatorTask for ScanTask<S> {
+impl<S: Iterator<Item = StorageResult<Vec<(Rid, Tuple)>>> + Send> OperatorTask for ScanTask<S> {
     fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
         let mut produced = 0usize;
         while produced < quota {
@@ -457,11 +552,15 @@ impl<S: Iterator<Item = StorageResult<(Rid, Tuple)>> + Send> OperatorTask for Sc
                 return Ok(if produced > 0 { StepResult::Working } else { StepResult::Blocked });
             }
             match self.scan.next() {
-                Some(item) => {
-                    let (_, t) = item?;
+                Some(page) => {
+                    let page = page?;
                     self.ctx.note_page_ref();
-                    emit_transformed(&mut self.emitter, &self.transforms, t)?;
-                    produced += 1;
+                    produced += page.len().max(1);
+                    emit_batch_transformed(
+                        &mut self.emitter,
+                        &self.transforms,
+                        page.into_iter().map(|(_, t)| t),
+                    )?;
                 }
                 None => self.input_done = true,
             }
@@ -505,11 +604,16 @@ impl OperatorTask for IndexScanTask {
             if !self.emitter.ready() {
                 return Ok(if produced > 0 { StepResult::Working } else { StepResult::Blocked });
             }
-            let t = self.table.heap.get(rids[self.pos])?;
-            self.ctx.note_page_ref();
-            self.pos += 1;
-            emit_transformed(&mut self.emitter, &self.transforms, t)?;
-            produced += 1;
+            // Look up one exchange page worth of rids per readiness check.
+            let n = (rids.len() - self.pos).min(quota - produced).min(self.emitter.page_cap());
+            let mut page = Vec::with_capacity(n);
+            for rid in &rids[self.pos..self.pos + n] {
+                page.push(self.table.heap.get(*rid)?);
+                self.ctx.note_page_ref();
+            }
+            self.pos += n;
+            produced += n;
+            emit_batch_transformed(&mut self.emitter, &self.transforms, page)?;
         }
         Ok(StepResult::Working)
     }
@@ -532,10 +636,10 @@ impl OperatorTask for SortTask {
         if !self.sorted {
             let mut consumed = 0usize;
             while consumed < quota {
-                match self.input.next() {
-                    Some(t) => {
-                        self.rows.push(t);
-                        consumed += 1;
+                match self.input.next_batch() {
+                    Some(batch) => {
+                        consumed += batch.len().max(1);
+                        self.rows.extend(batch);
                     }
                     None if self.input.finished() => {
                         sort_tuples(&mut self.rows, &self.keys)?;
@@ -559,7 +663,8 @@ impl OperatorTask for SortTask {
     }
 }
 
-/// Shared drain phase: emit `rows[pos..]` through transforms.
+/// Shared drain phase: emit `rows[pos..]` through transforms, one exchange
+/// page per readiness check.
 fn drain_materialized(
     pos: &mut usize,
     rows: &[Tuple],
@@ -575,9 +680,10 @@ fn drain_materialized(
         if !emitter.ready() {
             return Ok(if produced > 0 { StepResult::Working } else { StepResult::Blocked });
         }
-        emit_transformed(emitter, transforms, rows[*pos].clone())?;
-        *pos += 1;
-        produced += 1;
+        let n = (rows.len() - *pos).min(quota - produced).min(emitter.page_cap());
+        emit_batch_transformed(emitter, transforms, rows[*pos..*pos + n].iter().cloned())?;
+        *pos += n;
+        produced += n;
     }
     Ok(StepResult::Working)
 }
@@ -610,10 +716,10 @@ impl OperatorTask for UnionTask {
                             StepResult::Blocked
                         });
                     }
-                    match self.inputs[i].next() {
-                        Some(t) => {
-                            emit_transformed(&mut self.emitter, &self.transforms, t)?;
-                            moved += 1;
+                    match self.inputs[i].next_batch() {
+                        Some(batch) => {
+                            moved += batch.len().max(1);
+                            emit_batch_transformed(&mut self.emitter, &self.transforms, batch)?;
                             any = true;
                         }
                         None => break,
@@ -658,10 +764,12 @@ impl OperatorTask for MergeAggTask {
                         if consumed >= quota {
                             return Ok(StepResult::Working);
                         }
-                        match self.inputs[i].next() {
-                            Some(t) => {
-                                merger.absorb(&t)?;
-                                consumed += 1;
+                        match self.inputs[i].next_batch() {
+                            Some(batch) => {
+                                consumed += batch.len().max(1);
+                                for t in &batch {
+                                    merger.absorb(t)?;
+                                }
                                 any = true;
                             }
                             None => break,
@@ -689,43 +797,127 @@ impl OperatorTask for MergeAggTask {
 
 // ------------------------------------------------------------ aggregate --
 
+/// One aggregate's argument, resolved once when the task is built so the
+/// per-tuple loop skips the expression interpreter for plain columns.
+enum ArgSource {
+    /// `COUNT(*)`.
+    Star,
+    /// A bound column reference: update straight off the tuple slot.
+    Col(usize),
+    /// Anything else: interpret per tuple.
+    Expr(Expr),
+}
+
 pub(super) struct AggTask {
-    pub input: Intake,
-    pub group_by: Vec<Expr>,
-    pub aggs: Vec<AggSpec>,
-    pub groups: Vec<(Vec<Value>, Vec<crate::agg::Accumulator>)>,
-    pub index: HashMap<Vec<u8>, usize>,
-    pub saw_row: bool,
-    pub results: Option<Vec<Tuple>>,
-    pub pos: usize,
-    pub transforms: Vec<Transform>,
-    pub emitter: Emitter,
+    input: Intake,
+    group_by: Vec<Expr>,
+    aggs: Vec<AggSpec>,
+    /// Fast path: every group expression is a plain bound column, so group
+    /// keys encode straight off tuple slots into a reused scratch buffer —
+    /// no per-tuple allocations, values cloned only when a group is first
+    /// seen.
+    group_cols: Option<Vec<usize>>,
+    args: Vec<ArgSource>,
+    key_scratch: Vec<u8>,
+    groups: Vec<(Vec<Value>, Vec<crate::agg::Accumulator>)>,
+    index: HashMap<Vec<u8>, usize>,
+    saw_row: bool,
+    results: Option<Vec<Tuple>>,
+    pos: usize,
+    transforms: Vec<Transform>,
+    emitter: Emitter,
 }
 
 impl AggTask {
+    pub(super) fn new(
+        input: Intake,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggSpec>,
+        transforms: Vec<Transform>,
+        emitter: Emitter,
+    ) -> Self {
+        let group_cols = group_by
+            .iter()
+            .map(|e| match e {
+                Expr::Column(c) => c.index,
+                _ => None,
+            })
+            .collect::<Option<Vec<usize>>>();
+        let args = aggs
+            .iter()
+            .map(|s| match &s.arg {
+                None => ArgSource::Star,
+                Some(Expr::Column(c)) if c.index.is_some() => {
+                    ArgSource::Col(c.index.expect("checked"))
+                }
+                Some(e) => ArgSource::Expr(e.clone()),
+            })
+            .collect();
+        Self {
+            input,
+            group_by,
+            aggs,
+            group_cols,
+            args,
+            key_scratch: Vec::new(),
+            groups: Vec::new(),
+            index: HashMap::new(),
+            saw_row: false,
+            results: None,
+            pos: 0,
+            transforms,
+            emitter,
+        }
+    }
+
     fn absorb(&mut self, t: &Tuple) -> EngineResult<()> {
         self.saw_row = true;
-        let mut key_bytes = Vec::new();
-        let mut key_vals = Vec::with_capacity(self.group_by.len());
-        for g in &self.group_by {
-            let v = eval(g, t)?;
-            v.encode(&mut key_bytes);
-            key_vals.push(v);
-        }
-        let slot = match self.index.get(&key_bytes) {
-            Some(&s) => s,
-            None => {
-                let accs = self.aggs.iter().map(crate::agg::Accumulator::new).collect();
-                self.groups.push((key_vals, accs));
-                self.index.insert(key_bytes, self.groups.len() - 1);
-                self.groups.len() - 1
+        let slot = if let Some(cols) = &self.group_cols {
+            self.key_scratch.clear();
+            for &i in cols {
+                t.values()
+                    .get(i)
+                    .ok_or_else(|| EngineError::Internal(format!("column {i} out of arity")))?
+                    .encode(&mut self.key_scratch);
+            }
+            match self.index.get(self.key_scratch.as_slice()) {
+                Some(&s) => s,
+                None => {
+                    let key_vals = cols.iter().map(|&i| t.values()[i].clone()).collect();
+                    let accs = self.aggs.iter().map(crate::agg::Accumulator::new).collect();
+                    self.groups.push((key_vals, accs));
+                    self.index.insert(self.key_scratch.clone(), self.groups.len() - 1);
+                    self.groups.len() - 1
+                }
+            }
+        } else {
+            let mut key_bytes = Vec::new();
+            let mut key_vals = Vec::with_capacity(self.group_by.len());
+            for g in &self.group_by {
+                let v = eval(g, t)?;
+                v.encode(&mut key_bytes);
+                key_vals.push(v);
+            }
+            match self.index.get(&key_bytes) {
+                Some(&s) => s,
+                None => {
+                    let accs = self.aggs.iter().map(crate::agg::Accumulator::new).collect();
+                    self.groups.push((key_vals, accs));
+                    self.index.insert(key_bytes, self.groups.len() - 1);
+                    self.groups.len() - 1
+                }
             }
         };
-        for (k, spec) in self.aggs.iter().enumerate() {
+        for (k, src) in self.args.iter().enumerate() {
             let acc = &mut self.groups[slot].1[k];
-            match &spec.arg {
-                Some(a) => acc.update(&eval(a, t)?)?,
-                None => acc.update_star(),
+            match src {
+                ArgSource::Star => acc.update_star(),
+                ArgSource::Col(i) => {
+                    acc.update(t.values().get(*i).ok_or_else(|| {
+                        EngineError::Internal(format!("column {i} out of arity"))
+                    })?)?
+                }
+                ArgSource::Expr(e) => acc.update(&eval(e, t)?)?,
             }
         }
         Ok(())
@@ -740,10 +932,12 @@ impl OperatorTask for AggTask {
                 if consumed >= quota {
                     return Ok(StepResult::Working);
                 }
-                match self.input.next() {
-                    Some(t) => {
-                        self.absorb(&t)?;
-                        consumed += 1;
+                match self.input.next_batch() {
+                    Some(batch) => {
+                        consumed += batch.len().max(1);
+                        for t in &batch {
+                            self.absorb(t)?;
+                        }
                     }
                     None if self.input.finished() => break,
                     None => {
@@ -788,12 +982,15 @@ impl OperatorTask for DistinctTask {
             if !self.emitter.ready() {
                 return Ok(if moved > 0 { StepResult::Working } else { StepResult::Blocked });
             }
-            match self.input.next() {
-                Some(t) => {
-                    moved += 1;
-                    if self.seen.insert(t.encode()) {
-                        emit_transformed(&mut self.emitter, &self.transforms, t)?;
+            match self.input.next_batch() {
+                Some(batch) => {
+                    moved += batch.len().max(1);
+                    for t in batch {
+                        if self.seen.insert(t.encode()) {
+                            emit_transformed(&mut self.emitter, &self.transforms, t)?;
+                        }
                     }
+                    self.emitter.pump();
                 }
                 None if self.input.finished() => {
                     return if self.emitter.finish() {
@@ -835,7 +1032,6 @@ pub(super) struct HashJoinTask {
     pub keys: Vec<(Expr, Expr)>,
     pub residual: Option<Expr>,
     pub table: HashMap<Vec<u8>, Vec<Tuple>>,
-    pub pending: VecDeque<Tuple>,
     pub transforms: Vec<Transform>,
     pub emitter: Emitter,
 }
@@ -849,11 +1045,13 @@ impl OperatorTask for HashJoinTask {
                 if work >= quota {
                     return Ok(StepResult::Working);
                 }
-                match self.build.next() {
-                    Some(t) => {
-                        work += 1;
-                        if let Some(k) = encode_key(&key_exprs, &t)? {
-                            self.table.entry(k).or_default().push(t);
+                match self.build.next_batch() {
+                    Some(batch) => {
+                        work += batch.len().max(1);
+                        for t in batch {
+                            if let Some(k) = encode_key(&key_exprs, &t)? {
+                                self.table.entry(k).or_default().push(t);
+                            }
                         }
                     }
                     None if self.build.finished() => {
@@ -866,31 +1064,37 @@ impl OperatorTask for HashJoinTask {
                 }
             }
         }
-        // Probe phase.
-        let key_exprs: Vec<Expr> = self.keys.iter().map(|(_, r)| r.clone()).collect();
+        // Probe phase: one probe page per readiness check; every match the
+        // page produces goes straight out through the transform chain (the
+        // page is the granularity of back-pressure, so the staging run may
+        // overshoot by one page's join fan-out before the task yields).
+        let key_exprs: Vec<&Expr> = self.keys.iter().map(|(_, r)| r).collect();
         while work < quota {
             if !self.emitter.ready() {
                 return Ok(if work > 0 { StepResult::Working } else { StepResult::Blocked });
             }
-            if let Some(j) = self.pending.pop_front() {
-                emit_transformed(&mut self.emitter, &self.transforms, j)?;
-                work += 1;
-                continue;
-            }
-            match self.probe.next() {
-                Some(probe) => {
-                    work += 1;
-                    let refs: Vec<&Expr> = key_exprs.iter().collect();
-                    let Some(k) = encode_key(&refs, &probe)? else { continue };
-                    if let Some(matches) = self.table.get(&k) {
-                        for m in matches {
-                            let joined = m.concat(&probe);
-                            match &self.residual {
-                                Some(p) if !eval_predicate(p, &joined)? => continue,
-                                _ => self.pending.push_back(joined),
+            match self.probe.next_batch() {
+                Some(batch) => {
+                    work += batch.len().max(1);
+                    for probe in batch {
+                        let Some(k) = encode_key(&key_exprs, &probe)? else { continue };
+                        if let Some(matches) = self.table.get(&k) {
+                            for m in matches {
+                                let joined = m.concat(&probe);
+                                match &self.residual {
+                                    Some(p) if !eval_predicate(p, &joined)? => continue,
+                                    _ => {
+                                        emit_transformed(
+                                            &mut self.emitter,
+                                            &self.transforms,
+                                            joined,
+                                        )?;
+                                    }
+                                }
                             }
                         }
                     }
+                    self.emitter.pump();
                 }
                 None if self.probe.finished() => {
                     return if self.emitter.finish() {
@@ -926,14 +1130,14 @@ impl OperatorTask for MergeJoinTask {
         if self.output.is_none() {
             let mut moved = 0usize;
             while moved < quota {
-                if let Some(t) = self.left.next() {
-                    self.lrows.push(t);
-                    moved += 1;
+                if let Some(batch) = self.left.next_batch() {
+                    moved += batch.len().max(1);
+                    self.lrows.extend(batch);
                     continue;
                 }
-                if let Some(t) = self.right.next() {
-                    self.rrows.push(t);
-                    moved += 1;
+                if let Some(batch) = self.right.next_batch() {
+                    moved += batch.len().max(1);
+                    self.rrows.extend(batch);
                     continue;
                 }
                 if self.left.finished() && self.right.finished() {
@@ -1029,14 +1233,14 @@ impl OperatorTask for NestedLoopTask {
         if !self.gathered {
             let mut moved = 0usize;
             while moved < quota {
-                if let Some(t) = self.left.next() {
-                    self.lrows.push(t);
-                    moved += 1;
+                if let Some(batch) = self.left.next_batch() {
+                    moved += batch.len().max(1);
+                    self.lrows.extend(batch);
                     continue;
                 }
-                if let Some(t) = self.right.next() {
-                    self.rrows.push(t);
-                    moved += 1;
+                if let Some(batch) = self.right.next_batch() {
+                    moved += batch.len().max(1);
+                    self.rrows.extend(batch);
                     continue;
                 }
                 if self.left.finished() && self.right.finished() {
@@ -1095,10 +1299,12 @@ impl OperatorTask for SendTask {
     fn step(&mut self, quota: usize) -> EngineResult<StepResult> {
         let mut moved = 0usize;
         while moved < quota {
-            match self.input.next() {
-                Some(t) => {
-                    self.ctl.emit(t);
-                    moved += 1;
+            match self.input.next_batch() {
+                Some(batch) => {
+                    moved += batch.len().max(1);
+                    for t in batch {
+                        self.ctl.emit(t);
+                    }
                 }
                 None if self.input.finished() => return Ok(StepResult::Done),
                 None => {
@@ -1107,5 +1313,70 @@ impl OperatorTask for SendTask {
             }
         }
         Ok(StepResult::Working)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staged_storage::{BufferPool, Catalog, MemDisk};
+
+    fn tuple(i: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i)])
+    }
+
+    fn test_engine() -> Arc<StagedEngine> {
+        let cat = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 64)));
+        StagedEngine::new(ExecContext::new(cat), EngineConfig::default())
+    }
+
+    #[test]
+    fn emitter_backpressure_is_tuple_denominated_and_stalls_producer() {
+        // Regression for the batch refactor: with pages of 4 tuples and a
+        // downstream buffer of 1 page, the producer must stall once the
+        // buffer is full AND a full page is staged — and both backlog and
+        // the stall threshold must count tuples, not pages.
+        let engine = test_engine();
+        let buf = ExchangeBuffer::new(1);
+        let mut e = Emitter::new(Arc::clone(&buf), engine.make_activator(), PageSize::new(4));
+        for i in 0..4 {
+            assert!(e.ready());
+            e.emit(tuple(i));
+        }
+        assert_eq!(e.backlog(), 0, "a full page flushed into the free buffer");
+        assert_eq!(buf.queued_tuples(), 4);
+        for i in 4..8 {
+            e.emit(tuple(i));
+        }
+        assert_eq!(e.backlog(), 4, "backlog reports staged tuples, not batches");
+        assert!(!e.ready(), "full downstream buffer must stall the producer");
+        assert!(!e.finish(), "cannot close while a page is stuck behind the buffer");
+        // The consumer drains one page; the producer unblocks and drains.
+        let page = buf.try_pop().expect("one page queued");
+        assert_eq!(page.len(), 4);
+        assert!(e.ready());
+        assert!(e.finish());
+        assert_eq!(buf.queued_tuples(), 4);
+        assert!(buf.is_closed());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn emitter_observes_live_page_size_changes() {
+        // Knob (c) applies to the next page an in-flight emitter seals.
+        let engine = test_engine();
+        let buf = ExchangeBuffer::new(8);
+        let page = PageSize::new(2);
+        let mut e = Emitter::new(Arc::clone(&buf), engine.make_activator(), page.clone());
+        e.emit_all((0..2).map(tuple));
+        assert_eq!(buf.try_pop().unwrap().len(), 2);
+        page.set(3);
+        e.emit_all((0..7).map(tuple));
+        assert_eq!(buf.try_pop().unwrap().len(), 3, "new page size in effect");
+        assert_eq!(buf.try_pop().unwrap().len(), 3);
+        assert_eq!(e.backlog(), 1, "partial page stays staged until finish");
+        assert!(e.finish());
+        assert_eq!(buf.try_pop().unwrap().len(), 1);
+        engine.shutdown();
     }
 }

@@ -350,6 +350,82 @@ fn differential_suite_matches_volcano_at_every_cohort_size() {
 }
 
 #[test]
+fn differential_suite_matches_volcano_at_every_page_size() {
+    // The exchange page size (paper §4.3 / §4.4 knob (c)) is the unit of
+    // data exchange between engine stages. Sweep it from the degenerate
+    // page of one tuple — which must reproduce the per-tuple semantics the
+    // batch-first refactor replaced — up to pages far larger than any
+    // buffer's tuple budget, and diff joins, sorts, DISTINCT and
+    // aggregation against Volcano at every size.
+    let shapes = [
+        "SELECT t.a, u.w FROM t, u WHERE t.a = u.a",
+        "SELECT t.a, u.a FROM t, u WHERE t.a < u.a AND u.a < 30 AND t.a > 20",
+        "SELECT a, s FROM t WHERE grp = 1 ORDER BY a DESC",
+        "SELECT DISTINCT grp FROM t ORDER BY grp",
+        "SELECT grp, COUNT(*), SUM(a), AVG(v), MIN(s), MAX(a) FROM t GROUP BY grp",
+        "SELECT s FROM t WHERE a BETWEEN 10 AND 40",
+    ];
+    let cat = setup();
+    let reference: Vec<Vec<String>> =
+        shapes.iter().map(|sql| canonical(run_volcano_on(&cat, sql))).collect();
+    for page in [1usize, 8, 256, 4096] {
+        let cfg = EngineConfig { batch_capacity: page, workers_per_stage: 2, ..Default::default() };
+        for (sql, expect) in shapes.iter().zip(&reference) {
+            let (v, s) = run_both(&cat, sql, &cfg);
+            assert_eq!(canonical(v), *expect, "volcano drifted at page {page} for {sql}");
+            assert_eq!(canonical(s), *expect, "staged drifted at page {page} for {sql}");
+        }
+    }
+}
+
+#[test]
+fn partitioned_two_phase_aggregation_matches_at_every_page_size() {
+    // Two-phase aggregation (partial Aggr per partition, combined by the
+    // Merge stage) exercises every batch edge: scan → aggr partials →
+    // merge → send. The page size must never change the combined result.
+    let shapes = [
+        "SELECT ten, COUNT(*), SUM(unique2), MIN(unique1), MAX(unique2), AVG(unique1) \
+         FROM w GROUP BY ten",
+        "SELECT COUNT(*), AVG(unique2) FROM w WHERE two = 0",
+        "SELECT x.g, COUNT(*), AVG(w.unique2) FROM w, x WHERE w.unique1 = x.k GROUP BY x.g",
+    ];
+    let cat = setup_partitioned(4, false);
+    let reference: Vec<Vec<String>> =
+        shapes.iter().map(|sql| canonical(run_volcano_on(&cat, sql))).collect();
+    for page in [1usize, 8, 256, 4096] {
+        let cfg = EngineConfig { batch_capacity: page, workers_per_stage: 2, ..Default::default() };
+        for (sql, expect) in shapes.iter().zip(&reference) {
+            let (v, s) = run_both_on(&cat, sql, &cfg);
+            assert_eq!(canonical(v), *expect, "volcano drifted at page {page} for {sql}");
+            assert_eq!(canonical(s), *expect, "staged drifted at page {page} for {sql}");
+        }
+    }
+}
+
+#[test]
+fn page_size_is_adjustable_on_a_live_engine() {
+    // Knob (c) is a run-time knob: retuning the page size on a running
+    // engine must apply to subsequent queries without affecting results.
+    let cat = setup();
+    let ctx = ExecContext::new(Arc::clone(&cat));
+    let engine = StagedEngine::new(ctx.clone(), EngineConfig::default());
+    let mk_plan = |sql: &str| {
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else { panic!() };
+        let bound = Binder::new(BindContext::new(&cat)).bind_select(sel).unwrap();
+        plan_select(&bound, &cat, &PlannerConfig::default()).unwrap()
+    };
+    let sql = "SELECT grp, COUNT(*), SUM(a) FROM t GROUP BY grp";
+    let expect = canonical(volcano::run(&mk_plan(sql), &ctx).unwrap());
+    for page in [4096usize, 1, 64] {
+        engine.set_page_size(page);
+        assert_eq!(engine.page_size(), page);
+        let rows = engine.execute(&mk_plan(sql)).collect().unwrap();
+        assert_eq!(canonical(rows), expect, "retuned page {page} changed results");
+    }
+    engine.shutdown();
+}
+
+#[test]
 fn partitioned_index_scans_merge_per_partition_btrees() {
     for parts in [1usize, 4] {
         let cat = setup_partitioned(parts, true);

@@ -131,7 +131,7 @@ impl WireBackend for Arc<StagedServer> {
     }
 
     fn stats_output(&self) -> QueryOutput {
-        let rows = self
+        let mut rows = self
             .stage_stats()
             .into_iter()
             .map(|s| {
@@ -150,6 +150,23 @@ impl WireBackend for Arc<StagedServer> {
                 ])
             })
             .collect::<Vec<_>>();
+        // One synthetic row for the engine's exchange layer: the `batch`
+        // column carries the live exchange page size (§4.4 knob (c)), the
+        // same way stage rows carry their cohort bound (knob (b)). See
+        // PROTOCOL.md §6.
+        rows.push(Tuple::new(vec![
+            Value::Str("exchange".into()),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(self.engine().page_size() as i64),
+            Value::Int(0),
+            Value::Int(0),
+        ]));
         let n = rows.len();
         QueryOutput { rows, schema: Some(stats_schema()), message: format!("STATS {n}") }
     }

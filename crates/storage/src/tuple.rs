@@ -91,6 +91,42 @@ impl Tuple {
         }
         Ok(Tuple::new(values))
     }
+
+    /// Decode only the columns in `cols` (strictly increasing slot
+    /// indexes); the result holds those values in the same order. Skipped
+    /// columns are stepped over without being materialized, so pruning a
+    /// wide row down to the columns a query touches avoids the allocation
+    /// cost of the unread ones (string columns in particular). A requested
+    /// slot beyond the stored arity is a corruption error.
+    pub fn decode_columns(mut bytes: &[u8], cols: &[usize]) -> StorageResult<Tuple> {
+        use crate::error::StorageError;
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be strictly increasing");
+        if bytes.len() < 2 {
+            return Err(StorageError::Corrupt("tuple too short".into()));
+        }
+        let n = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+        bytes = &bytes[2..];
+        if cols.last().is_some_and(|&c| c >= n) {
+            return Err(StorageError::Corrupt(format!(
+                "column {:?} out of arity {n}",
+                cols.last()
+            )));
+        }
+        let mut values = Vec::with_capacity(cols.len());
+        let mut wanted = cols.iter().peekable();
+        for slot in 0..n {
+            match wanted.peek() {
+                Some(&&c) if c == slot => {
+                    values.push(Value::decode(&mut bytes)?);
+                    wanted.next();
+                }
+                Some(_) => Value::skip(&mut bytes)?,
+                // Nothing left to read; the rest of the row is untouched.
+                None => break,
+            }
+        }
+        Ok(Tuple::new(values))
+    }
 }
 
 impl std::fmt::Display for Tuple {
@@ -141,5 +177,29 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(Tuple::decode(&[]).is_err());
         assert!(Tuple::decode(&[5, 0, 1, 2]).is_err()); // claims 5 values
+    }
+
+    #[test]
+    fn decode_columns_prunes_and_preserves_order() {
+        let t = Tuple::new(vec![
+            Value::Int(7),
+            Value::Str("skipped".into()),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Bool(true),
+        ]);
+        let bytes = t.encode();
+        let pruned = Tuple::decode_columns(&bytes, &[0, 3]).unwrap();
+        assert_eq!(pruned.values(), &[Value::Int(7), Value::Float(2.5)]);
+        // Skipping the trailing string column never touches its bytes.
+        let head = Tuple::decode_columns(&bytes, &[2]).unwrap();
+        assert_eq!(head.values(), &[Value::Null]);
+        // Full column list agrees with the plain decoder.
+        let all = Tuple::decode_columns(&bytes, &[0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(all, t);
+        // Empty list reads nothing.
+        assert!(Tuple::decode_columns(&bytes, &[]).unwrap().values().is_empty());
+        // Out-of-arity column is corruption, not a panic.
+        assert!(Tuple::decode_columns(&bytes, &[5]).is_err());
     }
 }

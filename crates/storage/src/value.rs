@@ -170,6 +170,31 @@ impl Value {
         }
     }
 
+    /// Skip one encoded value at the front of `buf`, advancing past it
+    /// without materializing it (no string allocation, no UTF-8 check —
+    /// validation happens whenever the value is actually decoded). This is
+    /// what makes column-pruned page scans cheap: unread columns cost a
+    /// few branches instead of an allocation.
+    pub fn skip(buf: &mut &[u8]) -> StorageResult<()> {
+        if buf.is_empty() {
+            return Err(StorageError::Corrupt("empty buffer skipping value".into()));
+        }
+        let tag = buf.get_u8();
+        let n = match tag {
+            0 => 0,
+            1 | 2 => 8,
+            3 => {
+                ensure(buf.len() >= 2)?;
+                buf.get_u16_le() as usize
+            }
+            4 => 1,
+            t => return Err(StorageError::Corrupt(format!("unknown value tag {t}"))),
+        };
+        ensure(buf.len() >= n)?;
+        buf.advance(n);
+        Ok(())
+    }
+
     /// Decode one value from the front of `buf`, advancing it.
     pub fn decode(buf: &mut &[u8]) -> StorageResult<Value> {
         if buf.is_empty() {

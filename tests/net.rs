@@ -177,6 +177,15 @@ fn ping_stats_and_values_round_trip() {
     assert!(cohorts >= 1, "pipeline stages meter their queue visits");
     let parse_batch: i64 = parse_row[8].as_ref().unwrap().parse().unwrap();
     assert!(parse_batch > 1, "pipeline stages default to batched visits");
+    // The synthetic exchange row surfaces knob (c): its batch column is
+    // the engine's live exchange page size.
+    let exch_row = stats
+        .rows
+        .iter()
+        .find(|r| r[0].as_deref() == Some("exchange"))
+        .expect("exchange row in STATS");
+    let page: i64 = exch_row[8].as_ref().unwrap().parse().unwrap();
+    assert!(page >= 1, "exchange row carries the live page size, got {page}");
     c.quit().unwrap();
     handle.shutdown();
     server.shutdown();
