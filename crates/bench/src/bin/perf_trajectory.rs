@@ -17,8 +17,9 @@
 //! Since PR 4 the slice includes `net_transfers_p2`: the transfer
 //! workload driven through the TCP front end by real client connections.
 //! Since PR 5 it includes `batch_p2`: small scans pipelined through the
-//! cohort-scheduled staged pipeline at the default batch knob (see
-//! EXPERIMENTS.md for the full metric table).
+//! cohort-scheduled staged pipeline at the default batch knob. Since PR 7
+//! it includes `wal_recovery_p2`: snapshot-load plus WAL-tail replay of a
+//! fixed recovery image (see EXPERIMENTS.md for the full metric table).
 //!
 //! Exit status 1 = at least one metric regressed more than the gate
 //! fraction below its baseline.
@@ -347,6 +348,76 @@ fn batch_queries(parts: usize) -> f64 {
     rate
 }
 
+/// The recovery workload (PR 7): a fixed history — snapshot of 4096 rows
+/// plus a 256-row WAL tail — restored into a fresh catalog, over and over.
+/// Reports recoveries/second of the snapshot-load + tail-replay path; the
+/// point of the checkpoint stage is that this number stays flat as total
+/// history grows.
+fn wal_recovery(parts: usize) -> f64 {
+    use staged_engine::checkpoint;
+    use staged_engine::dml;
+    use staged_storage::{
+        LogRecord, MemSegmentStore, MemSnapshotStore, SegmentStore, SnapshotStore, Wal,
+    };
+
+    const SNAPSHOT_ROWS: i64 = 4096;
+    const TAIL_ROWS: i64 = 256;
+    const RECOVERIES: usize = 20;
+
+    let build_ctx = || {
+        let cat = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 2048)));
+        cat.create_table_partitioned(
+            "r",
+            Schema::new(vec![Column::new("id", DataType::Int), Column::new("v", DataType::Int)]),
+            parts,
+            0,
+        )
+        .unwrap();
+        cat.create_index("r_id", "r", "id").unwrap();
+        ExecContext::new(cat)
+    };
+
+    // Build the history once: committed snapshot rows, checkpoint, then a
+    // committed tail that recovery must replay from the log.
+    let segments: Arc<dyn SegmentStore> = Arc::new(MemSegmentStore::new());
+    let snapshots: Arc<dyn SnapshotStore> = Arc::new(MemSnapshotStore::new());
+    let ctx = build_ctx();
+    let wal = Wal::open(Arc::clone(&segments)).unwrap();
+    let table = ctx.catalog.table("r").unwrap();
+    let commit = |xid: u64, ids: std::ops::Range<i64>| {
+        wal.append(&LogRecord::Begin { xid }).unwrap();
+        let rows: Vec<Tuple> =
+            ids.map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 3)])).collect();
+        dml::insert_rows(&ctx, &table, rows, Some(&dml::DmlLog::wal_only(&wal, xid))).unwrap();
+        wal.append(&LogRecord::Commit { xid }).unwrap();
+    };
+    commit(1, 0..SNAPSHOT_ROWS);
+    checkpoint::checkpoint(&ctx.catalog, &wal, snapshots.as_ref()).unwrap();
+    commit(2, SNAPSHOT_ROWS..SNAPSHOT_ROWS + TAIL_ROWS);
+    wal.flush().unwrap();
+
+    best_rate(RECOVERIES as f64, || {
+        for _ in 0..RECOVERIES {
+            let fresh = ExecContext::new(Arc::new(Catalog::new(BufferPool::new(
+                Arc::new(MemDisk::new()),
+                2048,
+            ))));
+            let (_wal, report) = checkpoint::recover(
+                &fresh,
+                Arc::clone(&segments),
+                snapshots.as_ref(),
+                staged_storage::DEFAULT_SEGMENT_PAGES,
+            )
+            .unwrap();
+            assert_eq!(report.snapshot_rows, SNAPSHOT_ROWS as u64);
+            assert_eq!(
+                fresh.catalog.table("r").unwrap().heap.scan().count() as i64,
+                SNAPSHOT_ROWS + TAIL_ROWS
+            );
+        }
+    })
+}
+
 fn parse_bind(catalog: &Arc<Catalog>) -> f64 {
     let sqls: Vec<String> = (0..200)
         .map(|i| {
@@ -439,6 +510,7 @@ fn main() {
     push("oltp_transfers_p4", "txns_per_sec", oltp_transfers(4));
     push("net_transfers_p2", "txns_per_sec", net_transfers(2));
     push("batch_p2", "stmts_per_sec", batch_queries(2));
+    push("wal_recovery_p2", "recoveries_per_sec", wal_recovery(2));
     push("parse_bind_optimize", "stmts_per_sec", parse_bind(&catalog));
 
     write_json(&out_path, calib, &metrics);

@@ -7,7 +7,6 @@ use staged_cachesim::tracker::{RefClass, RefTracker};
 use staged_engine::context::ExecContext;
 use staged_server::pipeline::{self, Exec, Parsed};
 use staged_storage::wal::Wal;
-use staged_storage::MemDisk;
 use staged_workload::{load_wisconsin_table, WorkloadA, WorkloadB};
 use std::sync::Arc;
 
@@ -17,7 +16,7 @@ fn main() {
     load_wisconsin_table(&catalog, "wisc2", 2_000, 2).unwrap();
     let tracker = Arc::new(RefTracker::new());
     let ctx = ExecContext::new(Arc::clone(&catalog)).with_tracker(Arc::clone(&tracker));
-    let wal = Wal::new(Arc::new(MemDisk::new()));
+    let wal = Wal::in_memory();
 
     let mut wa = WorkloadA::new("wisc1", 10_000, 11);
     let mut wb = WorkloadB::new("wisc1", "wisc2", 12);

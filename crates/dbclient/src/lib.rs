@@ -216,6 +216,15 @@ impl Client {
         self.read_result()
     }
 
+    /// Ask the server to checkpoint (`CHECKPOINT`): quiesce writers,
+    /// snapshot the database, truncate the WAL below the snapshot's LSN.
+    /// Blocks until the server's checkpoint stage finishes; the result's
+    /// message starts with `CHECKPOINT` on success.
+    pub fn checkpoint(&mut self) -> ClientResult<QueryResult> {
+        self.send_line("CHECKPOINT")?;
+        self.read_result()
+    }
+
     /// Orderly goodbye: `QUIT` → `BYE`, then the connection closes.
     pub fn quit(mut self) -> ClientResult<()> {
         self.send_line("QUIT")?;

@@ -8,8 +8,9 @@ use crate::txn::{TxnManager, Undo};
 use staged_planner::{plan_table_filter, PhysicalPlan, PlannerConfig};
 use staged_sql::ast::Expr;
 use staged_storage::catalog::TableInfo;
-use staged_storage::wal::{LogRecord, Wal};
+use staged_storage::wal::{LogRecord, Lsn, Wal};
 use staged_storage::{Rid, Tuple, Value};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Where a DML statement's changes are recorded: the WAL (redo), and —
@@ -221,55 +222,63 @@ pub fn update_rows(
     Ok(n)
 }
 
-/// Redo recovery: replay the durable WAL records of *committed*
-/// transactions into the catalog's (freshly re-created, empty) tables. A
-/// first pass collects the xids with a durable `Commit` record; the replay
-/// pass skips every record of an uncommitted or aborted transaction, so a
-/// crash between `Begin` and `Commit` erases that transaction entirely.
-/// Inserts re-route through the hash partitioner and rebuild per-partition
-/// index entries, so a partitioned table comes back with exactly the
-/// layout it had before the crash. Rids in the log are translated through
-/// a map because page allocation order after restart need not match the
-/// original run.
+/// Replay a stream of WAL records belonging to *committed* transactions
+/// into the catalog. A first pass over `records` collects the xids with a
+/// `Commit` record; the replay pass skips every record of an uncommitted
+/// or aborted transaction, so a crash between `Begin` and `Commit` erases
+/// that transaction entirely. Inserts re-route through the hash
+/// partitioner and rebuild per-partition index entries.
+///
+/// Addresses in the log are *capture-time* addresses: `table_map`
+/// translates table ids (identity where absent) and `rid_map` translates
+/// rids. Checkpointed recovery seeds both from
+/// [`RestoreMaps`](staged_storage::snapshot::RestoreMaps), which is what
+/// lets a tail-replayed `Delete` find a row that was restored from the
+/// snapshot rather than inserted during replay; plain full-log redo starts
+/// them empty. The maps are keyed by the ids *written in the log*, and
+/// `rid_map` is extended as inserts replay.
 ///
 /// Returns the number of records applied.
-pub fn redo(ctx: &ExecContext, wal: &Wal) -> EngineResult<u64> {
-    use std::collections::{HashMap, HashSet};
-    // One decode pass: collect the committed xids from the record stream,
-    // then replay it.
-    let records = wal.read_all()?;
+pub fn apply_records(
+    ctx: &ExecContext,
+    records: &[(Lsn, LogRecord)],
+    rid_map: &mut HashMap<(u32, Rid), Rid>,
+    table_map: &HashMap<u32, u32>,
+) -> EngineResult<u64> {
     let committed: HashSet<u64> = records
         .iter()
-        .filter_map(|r| match r {
+        .filter_map(|(_, r)| match r {
             LogRecord::Commit { xid } => Some(*xid),
             _ => None,
         })
         .collect();
-    let mut rid_map: HashMap<(u32, Rid), Rid> = HashMap::new();
     let mut applied = 0u64;
-    for rec in records {
+    for (_, rec) in records {
         if !committed.contains(&rec.xid()) {
             continue;
         }
         match rec {
             LogRecord::Insert { table, rid, bytes, .. } => {
-                let info = ctx.catalog.table_by_id(staged_storage::catalog::TableId(table))?;
-                let row = Tuple::decode(&bytes)?;
+                let target = table_map.get(table).copied().unwrap_or(*table);
+                let info = ctx.catalog.table_by_id(staged_storage::catalog::TableId(target))?;
+                let row = Tuple::decode(bytes)?;
                 let (part, new_rid) = info.heap.insert_routed(&row)?;
                 for ix in ctx.catalog.indexes_for(info.id) {
                     if let Some(k) = row.get(ix.column).as_int() {
                         ix.insert(part, k, new_rid)?;
                     }
                 }
-                rid_map.insert((table, rid), new_rid);
+                rid_map.insert((*table, *rid), new_rid);
                 applied += 1;
             }
             LogRecord::Delete { table, rid, .. } => {
-                let info = ctx.catalog.table_by_id(staged_storage::catalog::TableId(table))?;
-                let new_rid = match rid_map.remove(&(table, rid)) {
+                let target = table_map.get(table).copied().unwrap_or(*table);
+                let info = ctx.catalog.table_by_id(staged_storage::catalog::TableId(target))?;
+                let new_rid = match rid_map.remove(&(*table, *rid)) {
                     Some(r) => r,
                     // A delete of a row whose insert predates the log's
-                    // start; nothing to redo.
+                    // start (and isn't in a seeded snapshot map); nothing
+                    // to redo.
                     None => continue,
                 };
                 let row = info.heap.get(new_rid)?;
@@ -286,6 +295,19 @@ pub fn redo(ctx: &ExecContext, wal: &Wal) -> EngineResult<u64> {
         }
     }
     Ok(applied)
+}
+
+/// Redo recovery over the *whole* log: strict read (any corruption is an
+/// error, never a panic), then [`apply_records`] with empty address maps
+/// into the catalog's (freshly re-created, empty) tables. Checkpointed
+/// recovery lives in [`crate::checkpoint::recover`], which replays only
+/// the tail above the snapshot LSN.
+///
+/// Returns the number of records applied.
+pub fn redo(ctx: &ExecContext, wal: &Wal) -> EngineResult<u64> {
+    let records = wal.read_all()?;
+    let mut rid_map = HashMap::new();
+    apply_records(ctx, &records, &mut rid_map, &HashMap::new())
 }
 
 #[cfg(test)]
@@ -402,18 +424,18 @@ mod tests {
     #[test]
     fn wal_records_dml() {
         let (ctx, t) = setup();
-        let wal = Wal::new(Arc::new(MemDisk::new()));
+        let wal = Wal::in_memory();
         let log = DmlLog::wal_only(&wal, 9);
         insert_rows(&ctx, &t, rows(3), Some(&log)).unwrap();
         delete_rows(&ctx, &t, &None, Some(&log)).unwrap();
         wal.flush().unwrap();
         let recs = wal.read_all().unwrap();
-        let inserts = recs.iter().filter(|r| matches!(r, LogRecord::Insert { .. })).count();
-        let deletes = recs.iter().filter(|r| matches!(r, LogRecord::Delete { .. })).count();
+        let inserts = recs.iter().filter(|(_, r)| matches!(r, LogRecord::Insert { .. })).count();
+        let deletes = recs.iter().filter(|(_, r)| matches!(r, LogRecord::Delete { .. })).count();
         assert_eq!(inserts, 3);
         assert_eq!(deletes, 3);
         // Delete records carry the before-image of what they destroyed.
-        for r in &recs {
+        for (_, r) in &recs {
             if let LogRecord::Delete { before, .. } = r {
                 let row = Tuple::decode(before).unwrap();
                 assert_eq!(row.values().len(), 2);
@@ -424,7 +446,7 @@ mod tests {
     #[test]
     fn redo_skips_uncommitted_and_aborted_transactions() {
         let (ctx, t) = setup();
-        let wal = Wal::new(Arc::new(MemDisk::new()));
+        let wal = Wal::in_memory();
         // xid 1 commits, xid 2 aborts, xid 3 crashes mid-flight.
         wal.append(&LogRecord::Begin { xid: 1 }).unwrap();
         insert_rows(&ctx, &t, rows(5), Some(&DmlLog::wal_only(&wal, 1))).unwrap();

@@ -24,6 +24,7 @@
 
 pub mod agg;
 pub mod batch;
+pub mod checkpoint;
 pub mod context;
 pub mod dml;
 pub mod error;

@@ -214,7 +214,7 @@ mod tests {
             )
             .unwrap();
         catalog.create_index("t_id", "t", "id").unwrap();
-        (ExecContext::new(catalog), t, Wal::new(Arc::new(MemDisk::new())))
+        (ExecContext::new(catalog), t, Wal::in_memory())
     }
 
     fn rows(lo: i64, hi: i64) -> Vec<Tuple> {

@@ -88,6 +88,10 @@ pub trait WireBackend: Send + Sync + Clone + 'static {
     /// One row per stage (or pool) for the `STATS` command; schema
     /// documented in `PROTOCOL.md` §6.
     fn stats_output(&self) -> QueryOutput;
+    /// The `CHECKPOINT` admin command: quiesce, snapshot, truncate the
+    /// WAL. Blocks the caller until the checkpoint finishes (or times out
+    /// against writers that will not drain).
+    fn checkpoint(&self) -> Response;
 }
 
 /// The result-set schema of the `STATS` wire command.
@@ -167,8 +171,30 @@ impl WireBackend for Arc<StagedServer> {
             Value::Int(0),
             Value::Int(0),
         ]));
+        // And one for the write-ahead log, following the same convention
+        // of reusing the stage columns for the layer's own quantities:
+        // `processed` = pages written, `queued` = live segments, `batch` =
+        // pages per segment (the rotation threshold). See PROTOCOL.md §6.
+        let wal = self.wal();
+        rows.push(Tuple::new(vec![
+            Value::Str("wal".into()),
+            Value::Int(wal.io_stats().writes as i64),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(wal.segment_pages() as i64),
+            Value::Int(wal.segments().map(|s| s.len()).unwrap_or(0) as i64),
+            Value::Int(0),
+        ]));
         let n = rows.len();
         QueryOutput { rows, schema: Some(stats_schema()), message: format!("STATS {n}") }
+    }
+
+    fn checkpoint(&self) -> Response {
+        StagedServer::checkpoint(self)
     }
 }
 
@@ -205,6 +231,10 @@ impl WireBackend for Arc<ThreadedServer> {
             Value::Int(self.pool_size() as i64),
         ])];
         QueryOutput { rows, schema: Some(stats_schema()), message: "STATS 1".into() }
+    }
+
+    fn checkpoint(&self) -> Response {
+        ThreadedServer::checkpoint(self)
     }
 }
 
@@ -468,6 +498,7 @@ fn respond<B: WireBackend>(raw: &[u8], session: &B::Session, backend: &B) -> Rep
         Ok(wire::Command::Ping) => Reply::Text("PONG\n".into()),
         Ok(wire::Command::Quit) => Reply::Bye,
         Ok(wire::Command::Stats) => Reply::Text(encode_response(&Ok(backend.stats_output()))),
+        Ok(wire::Command::Checkpoint) => Reply::Text(encode_response(&backend.checkpoint())),
         Ok(wire::Command::Query(sql)) => Reply::Text(encode_response(&session.statement(&sql))),
         Err(msg) => {
             let err: Response = Err(ServerError::Protocol(msg));

@@ -8,15 +8,18 @@ use parking_lot::Mutex;
 use staged_cachesim::tracker::RefTracker;
 use staged_core::monitor::StageStats;
 use staged_core::prelude::*;
+use staged_engine::checkpoint::{self, RecoveryReport, CHECKPOINT_XID};
 use staged_engine::context::ExecContext;
 use staged_engine::staged::StagedEngine;
 use staged_engine::txn::{LockKey, LockMode};
 use staged_planner::PhysicalPlan;
 use staged_sql::binder::BoundSelect;
 use staged_storage::wal::Wal;
-use staged_storage::{Catalog, MemDisk, Schema};
+use staged_storage::{
+    Catalog, MemSegmentStore, MemSnapshotStore, Schema, SegmentStore, SnapshotStore,
+};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -67,6 +70,13 @@ enum PacketBody {
     Bound(Box<BoundSelect>),
     /// Ready to execute.
     Action(Box<PlannedAction>),
+    /// A checkpoint request heading for the checkpoint stage. `auto` marks
+    /// requests the stage raised itself from its idle hook (their reply
+    /// channel is a stub nobody reads).
+    Checkpoint {
+        /// Raised by the idle hook rather than a client.
+        auto: bool,
+    },
     /// Completed; heading to disconnect for commit + reply.
     Finished(Box<Response>),
 }
@@ -75,12 +85,21 @@ struct ServerShared {
     catalog: Arc<Catalog>,
     ctx: ExecContext,
     wal: Wal,
+    snapshots: Arc<dyn SnapshotStore>,
+    recovery: RecoveryReport,
     engine: Arc<StagedEngine>,
     config: ServerConfig,
     prepared: Mutex<HashMap<String, Arc<(PhysicalPlan, Schema)>>>,
     tracker: Option<Arc<RefTracker>>,
     txn: TxnRuntime,
     served: AtomicU64,
+    /// True while a checkpoint holds (or is acquiring) the quiesce locks:
+    /// checkpoints serialize on this claim, since they all lock under the
+    /// one [`CHECKPOINT_XID`].
+    checkpointing: AtomicBool,
+    /// True while an idle-raised checkpoint packet is queued or running;
+    /// stops the idle hook from stacking duplicates.
+    auto_pending: AtomicBool,
 }
 
 /// The staged server.
@@ -89,6 +108,7 @@ pub struct StagedServer {
     runtime: StagedRuntime<SPacket>,
     net_id: StageId,
     connect_id: StageId,
+    checkpoint_id: StageId,
 }
 
 macro_rules! stage_logic {
@@ -271,6 +291,130 @@ stage_logic!(LockStage, shared, pkt, ctx, {
     }
 });
 
+/// The checkpoint stage: the maintenance counterpart of the lock-manager
+/// stage. A checkpoint packet quiesces the writers by acquiring every
+/// partition lock incrementally under [`CHECKPOINT_XID`] — requeueing
+/// itself on conflict exactly like a DML packet at the lock stage — and
+/// once the database is still, snapshots it, truncates the log, and
+/// releases the world. Its idle hook raises a checkpoint on its own when
+/// the live log grows past `config.checkpoint_segments`.
+struct CheckpointStage {
+    shared: Arc<ServerShared>,
+}
+
+impl CheckpointStage {
+    /// Drop the claim flags after a checkpoint finishes (any way).
+    fn done(&self, auto: bool) {
+        self.shared.checkpointing.store(false, Ordering::Release);
+        if auto {
+            self.shared.auto_pending.store(false, Ordering::Release);
+        }
+    }
+
+    /// Park-and-retry: yield the worker briefly, then requeue the packet
+    /// (never blocking on this stage's own queue — same rule as the lock
+    /// stage).
+    fn park(&self, pkt: SPacket, ctx: &StageCtx<'_, SPacket>) -> Result<(), StageError> {
+        ctx.record_retry();
+        std::thread::sleep(std::time::Duration::from_micros(100));
+        match ctx.try_send(ctx.stage_id, pkt) {
+            Ok(()) => Ok(()),
+            Err(EnqueueError::Full(pkt)) => {
+                ctx.requeue(pkt).map_err(|_| StageError::new("pipeline closed"))
+            }
+            Err(EnqueueError::Closed(_)) => Err(StageError::new("pipeline closed")),
+        }
+    }
+}
+
+impl StageLogic<SPacket> for CheckpointStage {
+    fn process(&self, mut pkt: SPacket, ctx: &StageCtx<'_, SPacket>) -> Result<(), StageError> {
+        let shared = &self.shared;
+        let PacketBody::Checkpoint { auto } = pkt.body else {
+            return finish(
+                ctx,
+                pkt,
+                Err(ServerError::Execution("bad packet at checkpoint".into())),
+            );
+        };
+        if pkt.lock_deadline.is_none() {
+            // Checkpoints serialize on the claim: they all lock under the
+            // one CHECKPOINT_XID, so a second one must wait its turn.
+            if shared
+                .checkpointing
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                return self.park(pkt, ctx);
+            }
+            pkt.lock_keys = checkpoint::quiesce_keys(&shared.catalog);
+            pkt.lock_deadline = Some(Instant::now() + shared.config.lock_timeout);
+        }
+        let locks = shared.txn.mgr().locks();
+        while let Some(key) = pkt.lock_keys.first().copied() {
+            if locks.try_lock(CHECKPOINT_XID, key, LockMode::Exclusive) {
+                pkt.lock_keys.remove(0);
+            } else {
+                break;
+            }
+        }
+        if pkt.lock_keys.is_empty() {
+            // The database is still: every partition lock is ours, and
+            // in-flight writers hold theirs through commit (strict 2PL),
+            // so none are mid-statement.
+            let res =
+                checkpoint::checkpoint(&shared.catalog, &shared.wal, shared.snapshots.as_ref());
+            locks.release_all(CHECKPOINT_XID);
+            self.done(auto);
+            let res = res
+                .map(|o| {
+                    crate::types::QueryOutput::message(format!(
+                        "CHECKPOINT {} rows={} segments_deleted={}",
+                        o.lsn, o.rows, o.segments_deleted
+                    ))
+                })
+                .map_err(|e| ServerError::Execution(e.to_string()));
+            return finish(ctx, pkt, res);
+        }
+        if Instant::now() >= pkt.lock_deadline.unwrap_or_else(Instant::now) {
+            // Writers would not drain in time: give the locks back and
+            // report, leaving the log untouched.
+            locks.release_all(CHECKPOINT_XID);
+            self.done(auto);
+            return finish(
+                ctx,
+                pkt,
+                Err(ServerError::Execution(
+                    "checkpoint lock timeout: writers would not quiesce".into(),
+                )),
+            );
+        }
+        self.park(pkt, ctx)
+    }
+
+    fn on_idle(&self, ctx: &StageCtx<'_, SPacket>) {
+        let shared = &self.shared;
+        let Some(limit) = shared.config.checkpoint_segments else { return };
+        let live = shared.wal.segments().map(|s| s.len() as u64).unwrap_or(0);
+        if live <= limit {
+            return;
+        }
+        if shared
+            .auto_pending
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        // The reply channel is a stub: nobody waits on an auto checkpoint.
+        let (tx, _rx) = bounded(1);
+        let pkt = SPacket::new(PacketBody::Checkpoint { auto: true }, None, tx);
+        if ctx.try_send(ctx.stage_id, pkt).is_err() {
+            shared.auto_pending.store(false, Ordering::Release);
+        }
+    }
+}
+
 stage_logic!(OptimizeStage, shared, pkt, ctx, {
     let PacketBody::Bound(bound) = std::mem::replace(&mut pkt.body, PacketBody::Raw(String::new()))
     else {
@@ -338,28 +482,59 @@ impl StagedServer {
     }
 
     /// Like [`new`](Self::new), with Table-1 reference instrumentation.
+    /// Backed by fresh in-memory WAL-segment and snapshot stores.
     pub fn with_tracker(
         catalog: Arc<Catalog>,
         config: ServerConfig,
         tracker: Option<Arc<RefTracker>>,
     ) -> Arc<Self> {
+        Self::with_stores(
+            catalog,
+            config,
+            tracker,
+            Arc::new(MemSegmentStore::new()),
+            Arc::new(MemSnapshotStore::new()),
+        )
+        .expect("recovery from fresh in-memory stores cannot fail")
+    }
+
+    /// Build the server over existing WAL-segment and snapshot stores,
+    /// running checkpointed recovery first: restore the latest snapshot
+    /// (if any) into the catalog, replay only the WAL tail at or after its
+    /// LSN, repair a torn log tail, then start the stages. The catalog
+    /// must be empty when a snapshot exists (recovery rebuilds the tables
+    /// it describes).
+    pub fn with_stores(
+        catalog: Arc<Catalog>,
+        config: ServerConfig,
+        tracker: Option<Arc<RefTracker>>,
+        segments: Arc<dyn SegmentStore>,
+        snapshots: Arc<dyn SnapshotStore>,
+    ) -> Result<Arc<Self>, ServerError> {
         // Tables created through this server's DDL path inherit the
         // configured partition count (scoped to this server's context).
         let mut ctx = ExecContext::new(Arc::clone(&catalog)).with_partitions(config.partitions);
         if let Some(t) = &tracker {
             ctx = ctx.with_tracker(Arc::clone(t));
         }
+        let (wal, recovery) =
+            checkpoint::recover(&ctx, segments, snapshots.as_ref(), config.wal_segment_pages)
+                .map_err(|e| ServerError::Execution(format!("recovery failed: {e}")))?;
         let engine = StagedEngine::new(ctx.clone(), config.engine.clone());
         let shared = Arc::new(ServerShared {
             catalog,
             ctx,
-            wal: Wal::new(Arc::new(MemDisk::new())),
+            wal,
+            snapshots,
+            recovery,
             engine,
             config: config.clone(),
             prepared: Mutex::new(HashMap::new()),
             tracker,
             txn: TxnRuntime::new(),
             served: AtomicU64::new(0),
+            checkpointing: AtomicBool::new(false),
+            auto_pending: AtomicBool::new(false),
         });
         let mut b = StagedRuntime::<SPacket>::builder();
         let cohort = config.max_cohort;
@@ -406,6 +581,15 @@ impl StagedServer {
                 .with_workers(config.control_workers)
                 .with_batch(BatchPolicy::Single),
         );
+        // One worker, one packet at a time: checkpoints serialize anyway
+        // (they share CHECKPOINT_XID), and a parked checkpoint requeues by
+        // sleeping inside `process` like a conflicted lock packet.
+        let checkpoint_id = b.add_stage(
+            StageSpec::new("checkpoint", CheckpointStage { shared: Arc::clone(&shared) })
+                .with_queue_capacity(config.queue_capacity)
+                .with_workers(1)
+                .with_batch(BatchPolicy::Single),
+        );
         b.add_stage(
             StageSpec::new("execute", ExecuteStage { shared: Arc::clone(&shared) })
                 .with_queue_capacity(config.queue_capacity)
@@ -421,7 +605,7 @@ impl StagedServer {
                 .with_max_cohort(cohort),
         );
         let runtime = b.build();
-        Arc::new(Self { shared, runtime, net_id, connect_id })
+        Ok(Arc::new(Self { shared, runtime, net_id, connect_id, checkpoint_id }))
     }
 
     /// Submit SQL; returns the response channel (blocking admission under
@@ -516,6 +700,31 @@ impl StagedServer {
             let _ = e.into_packet().reply.send(Err(ServerError::ShuttingDown));
         }
         rx
+    }
+
+    /// Run a checkpoint through the checkpoint stage and wait for it:
+    /// quiesce the writers, snapshot every table and index, truncate the
+    /// WAL below the snapshot's LSN. The response message starts with
+    /// `CHECKPOINT` on success.
+    pub fn checkpoint(&self) -> Response {
+        let (tx, rx) = bounded(1);
+        let pkt = SPacket::new(PacketBody::Checkpoint { auto: false }, None, tx);
+        if let Err(e) = self.runtime.enqueue(self.checkpoint_id, pkt) {
+            let _ = e.into_packet().reply.send(Err(ServerError::ShuttingDown));
+        }
+        rx.recv().unwrap_or(Err(ServerError::ShuttingDown))
+    }
+
+    /// What recovery found and did when this server was built (how many
+    /// rows came from the snapshot, how many log records replayed, and
+    /// whether the log tail was damaged).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.shared.recovery
+    }
+
+    /// The write-ahead log (for monitoring: live segments, I/O counters).
+    pub fn wal(&self) -> &Wal {
+        &self.shared.wal
     }
 
     /// Per-stage monitoring (the §5.2 "easy to tune" observability).

@@ -9,15 +9,16 @@
 
 use crate::pipeline::{self, Exec, Parsed, PlannedAction};
 use crate::session::TxnRuntime;
-use crate::types::{Request, RequestBody, Response, ServerError};
+use crate::types::{QueryOutput, Request, RequestBody, Response, ServerError};
 use crossbeam::channel::{bounded, Receiver};
 use parking_lot::Mutex;
 use staged_core::queue::{Dequeued, StageQueue};
+use staged_engine::checkpoint;
 use staged_engine::context::ExecContext;
 use staged_engine::txn::LockMode;
 use staged_planner::PlannerConfig;
 use staged_storage::wal::Wal;
-use staged_storage::{Catalog, MemDisk};
+use staged_storage::{Catalog, MemSegmentStore, MemSnapshotStore, SegmentStore, SnapshotStore};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -27,6 +28,7 @@ struct Inner {
     catalog: Arc<Catalog>,
     ctx: ExecContext,
     wal: Wal,
+    snapshots: Arc<dyn SnapshotStore>,
     planner: PlannerConfig,
     queue: StageQueue<Request>,
     txn: TxnRuntime,
@@ -66,10 +68,42 @@ impl ThreadedServer {
         planner: PlannerConfig,
         lock_timeout: Duration,
     ) -> Self {
-        let inner = Arc::new(Inner {
-            ctx: ExecContext::new(Arc::clone(&catalog)),
+        Self::with_stores(
             catalog,
-            wal: Wal::new(Arc::new(MemDisk::new())),
+            pool_size,
+            planner,
+            lock_timeout,
+            Arc::new(MemSegmentStore::new()),
+            Arc::new(MemSnapshotStore::new()),
+        )
+        .expect("recovery from fresh in-memory stores cannot fail")
+    }
+
+    /// Build the pool over existing WAL-segment and snapshot stores,
+    /// running checkpointed recovery first (the same protocol as
+    /// `StagedServer::with_stores`: restore the snapshot, replay the WAL
+    /// tail, repair the log).
+    pub fn with_stores(
+        catalog: Arc<Catalog>,
+        pool_size: usize,
+        planner: PlannerConfig,
+        lock_timeout: Duration,
+        segments: Arc<dyn SegmentStore>,
+        snapshots: Arc<dyn SnapshotStore>,
+    ) -> Result<Self, ServerError> {
+        let ctx = ExecContext::new(Arc::clone(&catalog));
+        let (wal, _report) = checkpoint::recover(
+            &ctx,
+            segments,
+            snapshots.as_ref(),
+            staged_storage::DEFAULT_SEGMENT_PAGES,
+        )
+        .map_err(|e| ServerError::Execution(format!("recovery failed: {e}")))?;
+        let inner = Arc::new(Inner {
+            ctx,
+            catalog,
+            wal,
+            snapshots,
             planner,
             queue: StageQueue::new(1024),
             txn: TxnRuntime::new(),
@@ -86,7 +120,24 @@ impl ThreadedServer {
                     .expect("spawn pool worker")
             })
             .collect();
-        Self { inner, workers: Mutex::new(workers) }
+        Ok(Self { inner, workers: Mutex::new(workers) })
+    }
+
+    /// Run a checkpoint on the calling thread — the monolithic-server
+    /// shape of the staged server's checkpoint stage: block until every
+    /// partition lock is held (quiescing the writers), snapshot, truncate
+    /// the WAL below the snapshot's LSN, release.
+    pub fn checkpoint(&self) -> Response {
+        let inner = &self.inner;
+        let locks = inner.txn.mgr().locks();
+        let _guard = checkpoint::quiesce(locks, &inner.catalog, inner.lock_timeout)
+            .map_err(|e| ServerError::Execution(e.to_string()))?;
+        let outcome = checkpoint::checkpoint(&inner.catalog, &inner.wal, inner.snapshots.as_ref())
+            .map_err(|e| ServerError::Execution(e.to_string()))?;
+        Ok(QueryOutput::message(format!(
+            "CHECKPOINT {} rows={} segments_deleted={}",
+            outcome.lsn, outcome.rows, outcome.segments_deleted
+        )))
     }
 
     /// Submit SQL for execution (one-shot autocommit; use
@@ -268,7 +319,7 @@ fn process(inner: &Inner, req: &Request) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use staged_storage::BufferPool;
+    use staged_storage::{BufferPool, MemDisk};
 
     fn server(pool: usize) -> ThreadedServer {
         let cat = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 256)));

@@ -166,8 +166,18 @@ pub struct ServerConfig {
     pub planner: PlannerConfig,
     /// How long a DML statement may wait for its partition locks before
     /// its transaction is aborted (timeout-abort deadlock resolution at
-    /// the lock-manager stage).
+    /// the lock-manager stage). The checkpoint stage quiesces writers
+    /// under the same deadline.
     pub lock_timeout: Duration,
+    /// Pages per WAL segment (the log rotates to a new segment file once
+    /// the current one reaches this size; checkpoints truncate whole
+    /// segments below the checkpoint LSN).
+    pub wal_segment_pages: u64,
+    /// Auto-checkpoint threshold: when the live log holds more than this
+    /// many segments, the checkpoint stage starts a checkpoint on its own
+    /// during an idle moment. `None` disables automatic checkpoints
+    /// (the `CHECKPOINT` command still works).
+    pub checkpoint_segments: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -183,6 +193,8 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             planner: PlannerConfig::default(),
             lock_timeout: Duration::from_secs(2),
+            wal_segment_pages: staged_storage::DEFAULT_SEGMENT_PAGES,
+            checkpoint_segments: None,
         }
     }
 }

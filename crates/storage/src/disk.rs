@@ -25,6 +25,20 @@ pub struct IoStats {
     pub writes: u64,
     /// Pages allocated.
     pub allocations: u64,
+    /// Durability syncs (`fsync`-class barriers; counted even where the
+    /// barrier itself is a no-op, as on [`MemDisk`]).
+    pub syncs: u64,
+}
+
+impl IoStats {
+    /// Fold another counter snapshot into this one (used by segment stores
+    /// to keep totals across deleted segments).
+    pub fn absorb(&mut self, other: &IoStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.allocations += other.allocations;
+        self.syncs += other.syncs;
+    }
 }
 
 /// Abstract page store.
@@ -41,6 +55,12 @@ pub trait DiskManager: Send + Sync {
     /// Number of allocated pages.
     fn num_pages(&self) -> u64;
 
+    /// Force previously written pages to stable storage (a durability
+    /// barrier). A page write alone only reaches the OS page cache on a
+    /// real file; the WAL's commit protocol is a lie without this. In-memory
+    /// disks count the call and return; [`FileDisk`] issues `sync_data`.
+    fn sync(&self) -> StorageResult<()>;
+
     /// I/O counters.
     fn stats(&self) -> IoStats;
 
@@ -55,11 +75,17 @@ struct Counters {
     reads: AtomicU64,
     writes: AtomicU64,
     allocations: AtomicU64,
+    syncs: AtomicU64,
 }
 
 impl Counters {
     fn new() -> Self {
-        Self { reads: AtomicU64::new(0), writes: AtomicU64::new(0), allocations: AtomicU64::new(0) }
+        Self {
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            allocations: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+        }
     }
 
     fn snapshot(&self) -> IoStats {
@@ -67,6 +93,7 @@ impl Counters {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             allocations: self.allocations.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
         }
     }
 }
@@ -151,6 +178,13 @@ impl DiskManager for MemDisk {
         self.pages.lock().len() as u64
     }
 
+    fn sync(&self) -> StorageResult<()> {
+        // Memory is "stable" by definition here; only the counter matters,
+        // so tests can assert the commit protocol issues its barriers.
+        self.counters.syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
     fn stats(&self) -> IoStats {
         self.counters.snapshot()
     }
@@ -218,6 +252,12 @@ impl DiskManager for FileDisk {
         self.num_pages.load(Ordering::SeqCst)
     }
 
+    fn sync(&self) -> StorageResult<()> {
+        self.file.lock().sync_data()?;
+        self.counters.syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
     fn stats(&self) -> IoStats {
         self.counters.snapshot()
     }
@@ -237,10 +277,12 @@ mod tests {
         disk.read_page(p, &mut r).unwrap();
         assert_eq!(r[0], 0xAB);
         assert_eq!(r[PAGE_SIZE - 1], 0xCD);
+        disk.sync().unwrap();
         let s = disk.stats();
         assert_eq!(s.reads, 1);
         assert_eq!(s.writes, 1);
         assert_eq!(s.allocations, 1);
+        assert_eq!(s.syncs, 1);
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub mod heap;
 pub mod page;
 pub mod partition;
 pub mod schema;
+pub mod segment;
+pub mod snapshot;
 pub mod stats;
 pub mod tuple;
 pub mod value;
@@ -35,5 +37,8 @@ pub use error::{StorageError, StorageResult};
 pub use page::{PageId, PAGE_SIZE};
 pub use partition::{partition_of_value, PartitionedHeap};
 pub use schema::{Column, Schema};
+pub use segment::{FileSegmentStore, MemSegmentStore, SegmentStore};
+pub use snapshot::{FileSnapshotStore, MemSnapshotStore, RestoreMaps, Snapshot, SnapshotStore};
 pub use tuple::{Rid, Tuple};
 pub use value::{DataType, Value};
+pub use wal::{LogRecord, Lsn, Wal, DEFAULT_SEGMENT_PAGES};

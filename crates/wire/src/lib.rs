@@ -98,6 +98,10 @@ pub enum Command {
     Quit,
     /// `STATS` — per-stage monitor snapshot as a result set.
     Stats,
+    /// `CHECKPOINT` — quiesce writers, snapshot the database, truncate
+    /// the WAL below the snapshot's LSN. Answered `OK` with a
+    /// `CHECKPOINT …` message once the checkpoint stage finishes.
+    Checkpoint,
     /// `QUERY <sql>` (or the `BEGIN`/`COMMIT`/`ROLLBACK` shorthands) — run
     /// one SQL statement under the connection's session.
     Query(String),
@@ -127,12 +131,15 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
     };
     let upper = word.to_ascii_uppercase();
     match upper.as_str() {
-        "PING" | "QUIT" | "STATS" | "BEGIN" | "COMMIT" | "ROLLBACK" if !rest.is_empty() => {
+        "PING" | "QUIT" | "STATS" | "CHECKPOINT" | "BEGIN" | "COMMIT" | "ROLLBACK"
+            if !rest.is_empty() =>
+        {
             Err(format!("{upper} takes no argument"))
         }
         "PING" => Ok(Command::Ping),
         "QUIT" => Ok(Command::Quit),
         "STATS" => Ok(Command::Stats),
+        "CHECKPOINT" => Ok(Command::Checkpoint),
         "BEGIN" | "COMMIT" | "ROLLBACK" => Ok(Command::Query(upper)),
         "QUERY" if rest.is_empty() => Err("QUERY requires a SQL statement".into()),
         "QUERY" => Ok(Command::Query(rest.to_string())),
@@ -219,6 +226,7 @@ mod tests {
         assert_eq!(parse_command("ping\r\n").unwrap(), Command::Ping);
         assert_eq!(parse_command("Quit").unwrap(), Command::Quit);
         assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command("checkpoint").unwrap(), Command::Checkpoint);
         assert_eq!(parse_command("commit").unwrap(), Command::Query("COMMIT".into()));
         assert_eq!(
             parse_command("QUERY SELECT * FROM t").unwrap(),
@@ -231,6 +239,7 @@ mod tests {
         assert!(parse_command("").is_err());
         assert!(parse_command("QUERY").is_err());
         assert!(parse_command("PING now").is_err());
+        assert!(parse_command("CHECKPOINT now").is_err());
         assert!(parse_command("BEGIN work").is_err());
         assert!(parse_command("EXPLODE").is_err());
     }

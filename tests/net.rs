@@ -260,3 +260,59 @@ fn protocol_errors_are_reported_not_fatal() {
     handle.shutdown();
     server.shutdown();
 }
+
+/// `CHECKPOINT` over the wire: both backends run it, answer `OK` with a
+/// `CHECKPOINT …` message, and the staged server's STATS afterwards shows
+/// the checkpoint stage plus the synthetic `wal` row with a truncated
+/// segment count.
+#[test]
+fn checkpoint_command_works_on_both_backends() {
+    let (server, handle) = staged_net(2);
+    let mut c = connect(&handle);
+    c.query("CREATE TABLE ck (k INT, v INT)").unwrap();
+    for i in 0..20 {
+        c.query(&format!("INSERT INTO ck VALUES ({i}, {})", i * 2)).unwrap();
+    }
+    let out = c.checkpoint().unwrap();
+    assert!(
+        out.tag.starts_with("CHECKPOINT"),
+        "checkpoint reply should start with CHECKPOINT, got {:?}",
+        out.tag
+    );
+    // Data still queryable after the quiesce/snapshot/truncate cycle.
+    let count = c.query("SELECT COUNT(*) FROM ck").unwrap();
+    assert_eq!(count.rows[0][0].as_deref(), Some("20"));
+    // STATS now carries the checkpoint stage (it processed our packet)
+    // and the wal row (processed = pages written, queued = live segments,
+    // batch = pages per segment).
+    let stats = c.stats().unwrap();
+    let ck_row = stats
+        .rows
+        .iter()
+        .find(|r| r[0].as_deref() == Some("checkpoint"))
+        .expect("checkpoint stage row in STATS");
+    let processed: i64 = ck_row[1].as_ref().unwrap().parse().unwrap();
+    assert!(processed >= 1, "the checkpoint stage served our packet");
+    let wal_row =
+        stats.rows.iter().find(|r| r[0].as_deref() == Some("wal")).expect("wal row in STATS");
+    let pages_written: i64 = wal_row[1].as_ref().unwrap().parse().unwrap();
+    assert!(pages_written >= 1, "wal row counts written pages");
+    let live_segments: i64 = wal_row[9].as_ref().unwrap().parse().unwrap();
+    assert!(live_segments >= 1, "wal row reports live segments");
+    c.quit().unwrap();
+    handle.shutdown();
+    server.shutdown();
+
+    // The monolithic baseline answers the same command.
+    let (threaded, handle) = threaded_net(2);
+    let mut c = connect(&handle);
+    c.query("CREATE TABLE ck (k INT)").unwrap();
+    c.query("INSERT INTO ck VALUES (1), (2)").unwrap();
+    let out = c.checkpoint().unwrap();
+    assert!(out.tag.starts_with("CHECKPOINT"), "threaded: got {:?}", out.tag);
+    let count = c.query("SELECT COUNT(*) FROM ck").unwrap();
+    assert_eq!(count.rows[0][0].as_deref(), Some("2"));
+    c.quit().unwrap();
+    handle.shutdown();
+    threaded.shutdown();
+}

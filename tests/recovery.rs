@@ -17,7 +17,7 @@ fn setup() -> (ExecContext, Arc<staged_db::storage::catalog::TableInfo>, Wal) {
             Schema::new(vec![Column::new("id", DataType::Int), Column::new("v", DataType::Int)]),
         )
         .unwrap();
-    (ExecContext::new(catalog), t, Wal::new(Arc::new(MemDisk::new())))
+    (ExecContext::new(catalog), t, Wal::in_memory())
 }
 
 #[test]
@@ -54,7 +54,7 @@ fn redo_replay_rebuilds_table_contents() {
         )
         .unwrap();
     let mut rid_map = std::collections::HashMap::new();
-    for rec in wal.read_all().unwrap() {
+    for (_, rec) in wal.read_all().unwrap() {
         match rec {
             LogRecord::Insert { rid, bytes, .. } => {
                 let tuple = Tuple::decode(&bytes).unwrap();
@@ -98,7 +98,7 @@ fn redo_rebuilds_partitioned_table_and_indexes_byte_for_byte() {
     };
     let ctx = mk_catalog();
     let t = ctx.catalog.table("p").unwrap();
-    let wal = Wal::new(Arc::new(MemDisk::new()));
+    let wal = Wal::in_memory();
     let rows: Vec<Tuple> =
         (0..200).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 3)])).collect();
     dml::insert_rows(&ctx, &t, rows, Some(&dml::DmlLog::wal_only(&wal, 1))).unwrap();
@@ -190,7 +190,7 @@ fn crash_between_begin_and_commit_replays_only_committed_txns() {
         };
         let ctx = mk_catalog();
         let t = ctx.catalog.table("p").unwrap();
-        let wal = Wal::new(Arc::new(MemDisk::new()));
+        let wal = Wal::in_memory();
 
         // Transaction 1 commits 100 rows.
         wal.append(&LogRecord::Begin { xid: 1 }).unwrap();
@@ -283,5 +283,303 @@ fn torn_page_is_reported_as_corruption() {
     match t.heap.get(rid) {
         Err(StorageError::Corrupt(_)) => {}
         other => panic!("expected corruption error, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointed recovery: snapshot + tail replay, crash torture, torn logs
+// ---------------------------------------------------------------------------
+
+use staged_db::engine::checkpoint;
+use staged_db::storage::{
+    DiskManager, MemSegmentStore, MemSnapshotStore, SegmentStore, SnapshotStore,
+};
+
+/// A fresh context with the standard partitioned table + index used by the
+/// checkpoint tests.
+fn part_ctx(parts: usize) -> ExecContext {
+    let pool = BufferPool::new(Arc::new(MemDisk::new()), 512);
+    let catalog = Arc::new(Catalog::new(pool));
+    catalog
+        .create_table_partitioned(
+            "p",
+            Schema::new(vec![Column::new("id", DataType::Int), Column::new("v", DataType::Int)]),
+            parts,
+            0,
+        )
+        .unwrap();
+    catalog.create_index("p_id", "p", "id").unwrap();
+    ExecContext::new(catalog)
+}
+
+/// A bare (table-less) context for recovery paths where the snapshot
+/// recreates the DDL.
+fn empty_ctx() -> ExecContext {
+    let pool = BufferPool::new(Arc::new(MemDisk::new()), 512);
+    ExecContext::new(Arc::new(Catalog::new(pool)))
+}
+
+/// One committed transaction inserting `ids` (id, id * 10) rows.
+fn commit_rows(ctx: &ExecContext, wal: &Wal, xid: u64, ids: std::ops::Range<i64>) {
+    let t = ctx.catalog.table("p").unwrap();
+    wal.append(&LogRecord::Begin { xid }).unwrap();
+    let rows: Vec<Tuple> =
+        ids.map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 10)])).collect();
+    dml::insert_rows(ctx, &t, rows, Some(&dml::DmlLog::wal_only(wal, xid))).unwrap();
+    wal.append(&LogRecord::Commit { xid }).unwrap();
+}
+
+fn sorted_ids(ctx: &ExecContext) -> Vec<i64> {
+    let t = ctx.catalog.table("p").unwrap();
+    let mut ids: Vec<i64> = t.heap.scan().map(|r| r.unwrap().1.get(0).as_int().unwrap()).collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// The acceptance test of the checkpoint path: after a checkpoint, the
+/// segments below the checkpoint LSN are *gone*, and recovery reads
+/// strictly fewer log pages than a full-history replay of the identical
+/// workload — proof that it replays only the tail.
+#[test]
+fn checkpoint_truncates_history_and_recovery_reads_only_the_tail() {
+    // Two identical histories: one checkpointed, one not.
+    let run = |checkpointed: bool| -> (Arc<MemSegmentStore>, MemSnapshotStore, u64) {
+        let segments = Arc::new(MemSegmentStore::new());
+        let snapshots = MemSnapshotStore::new();
+        let ctx = part_ctx(2);
+        // One page per segment: the 400-row history spreads over many
+        // segments, so truncation has something to bite on.
+        let wal = Wal::open_with_segment_pages(Arc::clone(&segments) as _, 1).unwrap();
+        commit_rows(&ctx, &wal, 1, 0..2000);
+        let mut deleted = 0;
+        if checkpointed {
+            let outcome = checkpoint::checkpoint(&ctx.catalog, &wal, &snapshots).unwrap();
+            deleted = outcome.segments_deleted;
+            // Every segment below the checkpoint LSN is gone from the store.
+            let live = segments.list().unwrap();
+            assert!(
+                live.iter().all(|&id| id >= outcome.lsn.segment),
+                "segments below the checkpoint LSN must be deleted, store holds {live:?}"
+            );
+        }
+        commit_rows(&ctx, &wal, 2, 2000..2040);
+        wal.flush().unwrap();
+        (segments, snapshots, deleted)
+    };
+
+    let (cp_segments, cp_snapshots, deleted) = run(true);
+    let (full_segments, full_snapshots, _) = run(false);
+    assert!(deleted >= 5, "the 2000-row history must span many deleted segments, got {deleted}");
+
+    // Recover both, metering segment-store page reads across recovery only.
+    let cp_ctx = empty_ctx(); // snapshot recreates the DDL
+    let before = cp_segments.io_stats().reads;
+    let (_, cp_report) =
+        checkpoint::recover(&cp_ctx, Arc::clone(&cp_segments) as _, &cp_snapshots, 1).unwrap();
+    let cp_reads = cp_segments.io_stats().reads - before;
+
+    let full_ctx = part_ctx(2); // no snapshot: recovery needs the DDL in place
+    let before = full_segments.io_stats().reads;
+    let (_, full_report) =
+        checkpoint::recover(&full_ctx, Arc::clone(&full_segments) as _, &full_snapshots, 1)
+            .unwrap();
+    let full_reads = full_segments.io_stats().reads - before;
+
+    // Same end state either way...
+    assert_eq!(sorted_ids(&cp_ctx), (0..2040).collect::<Vec<i64>>());
+    assert_eq!(sorted_ids(&full_ctx), (0..2040).collect::<Vec<i64>>());
+    assert_eq!(cp_report.snapshot_rows, 2000);
+    assert!(cp_report.corruption.is_none());
+    assert_eq!(full_report.snapshot_rows, 0);
+    // ...but the checkpointed store served strictly fewer log-page reads.
+    assert!(
+        cp_reads < full_reads,
+        "tail replay must read fewer log pages than full history ({cp_reads} vs {full_reads})"
+    );
+    // And the snapshotted rows are reachable through the restored index.
+    let t = cp_ctx.catalog.table("p").unwrap();
+    let ix = cp_ctx.catalog.index_on(t.id, 0).unwrap();
+    assert_eq!(ix.search(123).unwrap().len(), 1);
+}
+
+/// Kill the checkpoint protocol between each pair of steps — after the
+/// snapshot is captured but not saved, after it is saved but nothing is
+/// truncated, and halfway through truncation — at 1, 2 and 4 partitions.
+/// Every crash point must recover the full committed state.
+#[test]
+fn crash_during_checkpoint_recovers_at_every_step_boundary() {
+    for parts in [1usize, 2, 4] {
+        // Crash point A: rotated + captured, never saved. The snapshot is
+        // lost; the whole log survives and replays.
+        {
+            let segments = Arc::new(MemSegmentStore::new());
+            let snapshots = MemSnapshotStore::new();
+            let ctx = part_ctx(parts);
+            let wal = Wal::open_with_segment_pages(Arc::clone(&segments) as _, 1).unwrap();
+            commit_rows(&ctx, &wal, 1, 0..60);
+            let (_lsn, snap) = checkpoint::snapshot_catalog(&ctx.catalog, &wal).unwrap();
+            drop(snap); // "crash" before snapshots.save
+            commit_rows(&ctx, &wal, 2, 60..80);
+            wal.flush().unwrap();
+            let ctx2 = part_ctx(parts); // no snapshot -> DDL must pre-exist
+            let (_, report) =
+                checkpoint::recover(&ctx2, Arc::clone(&segments) as _, &snapshots, 1).unwrap();
+            assert!(report.corruption.is_none(), "{parts} partitions, crash A");
+            assert_eq!(sorted_ids(&ctx2), (0..80).collect::<Vec<i64>>(), "{parts} parts, A");
+        }
+        // Crash point B: snapshot saved, nothing truncated. Recovery must
+        // anchor at the snapshot and skip the stale segments cleanly.
+        {
+            let segments = Arc::new(MemSegmentStore::new());
+            let snapshots = MemSnapshotStore::new();
+            let ctx = part_ctx(parts);
+            let wal = Wal::open_with_segment_pages(Arc::clone(&segments) as _, 1).unwrap();
+            commit_rows(&ctx, &wal, 1, 0..60);
+            let (lsn, snap) = checkpoint::snapshot_catalog(&ctx.catalog, &wal).unwrap();
+            snapshots.save(&snap.encode()).unwrap(); // "crash" before truncate
+            commit_rows(&ctx, &wal, 2, 60..80);
+            wal.flush().unwrap();
+            let ctx2 = empty_ctx();
+            let (_, report) =
+                checkpoint::recover(&ctx2, Arc::clone(&segments) as _, &snapshots, 1).unwrap();
+            assert!(report.corruption.is_none(), "{parts} partitions, crash B");
+            assert_eq!(report.checkpoint_lsn, lsn, "{parts} partitions, crash B");
+            assert_eq!(report.snapshot_rows, 60, "{parts} partitions, crash B");
+            assert_eq!(sorted_ids(&ctx2), (0..80).collect::<Vec<i64>>(), "{parts} parts, B");
+        }
+        // Crash point C: truncation killed halfway. truncate_below deletes
+        // oldest-first, so the survivors are a contiguous suffix; recovery
+        // skips them regardless.
+        {
+            let segments = Arc::new(MemSegmentStore::new());
+            let snapshots = MemSnapshotStore::new();
+            let ctx = part_ctx(parts);
+            let wal = Wal::open_with_segment_pages(Arc::clone(&segments) as _, 1).unwrap();
+            commit_rows(&ctx, &wal, 1, 0..600);
+            let (lsn, snap) = checkpoint::snapshot_catalog(&ctx.catalog, &wal).unwrap();
+            snapshots.save(&snap.encode()).unwrap();
+            // Partial truncation: only the oldest half of the doomed
+            // segments is gone when the "crash" lands.
+            let doomed: Vec<u64> =
+                segments.list().unwrap().into_iter().filter(|&id| id < lsn.segment).collect();
+            assert!(doomed.len() >= 2, "{parts} partitions: need segments to half-delete");
+            for &id in &doomed[..doomed.len() / 2] {
+                segments.delete(id).unwrap();
+            }
+            commit_rows(&ctx, &wal, 2, 600..680);
+            wal.flush().unwrap();
+            let ctx2 = empty_ctx();
+            let (_, report) =
+                checkpoint::recover(&ctx2, Arc::clone(&segments) as _, &snapshots, 1).unwrap();
+            assert!(report.corruption.is_none(), "{parts} partitions, crash C");
+            assert_eq!(sorted_ids(&ctx2), (0..680).collect::<Vec<i64>>(), "{parts} parts, C");
+        }
+    }
+}
+
+/// A torn write on the final log page is the end of the log, not an
+/// error: recovery applies everything before it and reports no damage.
+#[test]
+fn torn_tail_page_recovers_the_committed_prefix_silently() {
+    let segments = Arc::new(MemSegmentStore::new());
+    let snapshots = MemSnapshotStore::new();
+    let ctx = part_ctx(2);
+    let wal = Wal::open_with_segment_pages(Arc::clone(&segments) as _, 64).unwrap();
+    // Six separate committed transactions of 100 rows each: tearing the
+    // final page must lose whole *suffix* transactions, never earlier ones.
+    for xid in 0..6u64 {
+        commit_rows(&ctx, &wal, xid + 1, (xid as i64 * 100)..((xid as i64 + 1) * 100));
+    }
+    // Tear the last written page of the final segment: flip a byte so its
+    // checksum fails, the way a half-written sector looks after a crash.
+    let last = *segments.list().unwrap().last().unwrap();
+    let disk = segments.disk(last).unwrap();
+    let pages = disk.num_pages();
+    assert!(pages >= 2, "need a multi-page log, got {pages}");
+    let mut page = vec![0u8; staged_db::storage::PAGE_SIZE];
+    disk.read_page(staged_db::storage::PageId(pages - 1), &mut page).unwrap();
+    page[100] ^= 0xFF;
+    disk.write_page(staged_db::storage::PageId(pages - 1), &page).unwrap();
+
+    let ctx2 = part_ctx(2);
+    let (wal2, report) =
+        checkpoint::recover(&ctx2, Arc::clone(&segments) as _, &snapshots, 64).unwrap();
+    assert!(report.corruption.is_none(), "a torn tail is the end of the log, not damage");
+    // A whole-transaction prefix survived; the torn page's txns are gone.
+    let ids = sorted_ids(&ctx2);
+    assert!(!ids.is_empty() && ids.len() < 600, "prefix expected, got {} rows", ids.len());
+    assert_eq!(ids.len() % 100, 0, "partial transactions must never replay");
+    assert_eq!(ids, (0..ids.len() as i64).collect::<Vec<i64>>());
+    // The repaired log accepts new appends after the tear.
+    wal2.append(&LogRecord::Commit { xid: 99 }).unwrap();
+    assert!(wal2.committed_xids().unwrap().contains(&99));
+}
+
+/// Corruption *in front of* valid log pages is damage, never a panic:
+/// recovery applies the pre-corruption committed prefix and reports the
+/// error in the recovery report.
+#[test]
+fn corruption_before_valid_pages_is_reported_with_prefix_intact() {
+    let segments = Arc::new(MemSegmentStore::new());
+    let snapshots = MemSnapshotStore::new();
+    let ctx = part_ctx(1);
+    let wal = Wal::open_with_segment_pages(Arc::clone(&segments) as _, 64).unwrap();
+    commit_rows(&ctx, &wal, 1, 0..500);
+    commit_rows(&ctx, &wal, 2, 500..1000);
+    wal.flush().unwrap();
+    let last = *segments.list().unwrap().last().unwrap();
+    let disk = segments.disk(last).unwrap();
+    let pages = disk.num_pages();
+    assert!(pages >= 3, "need interior pages to corrupt, got {pages}");
+    // Corrupt an interior page: valid pages follow it, so this cannot be a
+    // torn tail and must be reported.
+    let mut page = vec![0u8; staged_db::storage::PAGE_SIZE];
+    disk.read_page(staged_db::storage::PageId(1), &mut page).unwrap();
+    page[200] ^= 0xFF;
+    disk.write_page(staged_db::storage::PageId(1), &page).unwrap();
+
+    let ctx2 = part_ctx(1);
+    let (_, report) =
+        checkpoint::recover(&ctx2, Arc::clone(&segments) as _, &snapshots, 64).unwrap();
+    match report.corruption {
+        Some(StorageError::Corrupt(_)) => {}
+        other => panic!("expected corruption report, got {other:?}"),
+    }
+    // Only records from the intact prefix (page 0) applied; nothing panicked.
+    let ids = sorted_ids(&ctx2);
+    assert!(ids.len() < 1000, "corrupted page's records must not replay");
+}
+
+/// A tuple close to the 8 KiB page limit logs as a WAL record *larger*
+/// than a page (record header + row bytes); it must round-trip through
+/// continuation frames and redo byte-exactly.
+#[test]
+fn wide_tuple_near_page_size_survives_wal_and_redo() {
+    let pool = BufferPool::new(Arc::new(MemDisk::new()), 64);
+    let catalog = Arc::new(Catalog::new(pool));
+    let t = catalog.create_table("w", Schema::new(vec![Column::new("x", DataType::Str)])).unwrap();
+    let ctx = ExecContext::new(Arc::clone(&catalog));
+    let segments = Arc::new(MemSegmentStore::new());
+    let wal = Wal::open(Arc::clone(&segments) as _).unwrap();
+    // The heap takes tuples up to PAGE_SIZE - 8; aim just under it so the
+    // WAL record (record header + encoded row) exceeds one log page.
+    let payload = "y".repeat(8100);
+    let wide = Tuple::new(vec![Value::Str(payload.clone())]);
+    wal.append(&LogRecord::Begin { xid: 1 }).unwrap();
+    dml::insert_rows(&ctx, &t, vec![wide], Some(&dml::DmlLog::wal_only(&wal, 1))).unwrap();
+    wal.append(&LogRecord::Commit { xid: 1 }).unwrap();
+
+    let pool2 = BufferPool::new(Arc::new(MemDisk::new()), 64);
+    let catalog2 = Arc::new(Catalog::new(pool2));
+    catalog2.create_table("w", Schema::new(vec![Column::new("x", DataType::Str)])).unwrap();
+    let ctx2 = ExecContext::new(Arc::clone(&catalog2));
+    let applied = dml::redo(&ctx2, &wal).unwrap();
+    assert_eq!(applied, 1);
+    let t2 = catalog2.table("w").unwrap();
+    let rows: Vec<Tuple> = t2.heap.scan().map(|r| r.unwrap().1).collect();
+    assert_eq!(rows.len(), 1);
+    match rows[0].get(0) {
+        Value::Str(s) => assert_eq!(s, &payload),
+        other => panic!("wrong value {other:?}"),
     }
 }
