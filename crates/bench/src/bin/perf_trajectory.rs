@@ -19,7 +19,11 @@
 //! Since PR 5 it includes `batch_p2`: small scans pipelined through the
 //! cohort-scheduled staged pipeline at the default batch knob. Since PR 7
 //! it includes `wal_recovery_p2`: snapshot-load plus WAL-tail replay of a
-//! fixed recovery image (see EXPERIMENTS.md for the full metric table).
+//! fixed recovery image. Since PR 8 it includes `mixed_htap_p2`: full-table
+//! `BEGIN READ ONLY` snapshot scans driven *while* concurrent transfer
+//! transactions commit — the HTAP mix MVCC exists for; the reader never
+//! touches the lock table, so its throughput must not collapse under
+//! write load (see EXPERIMENTS.md for the full metric table).
 //!
 //! Exit status 1 = at least one metric regressed more than the gate
 //! fraction below its baseline.
@@ -418,6 +422,108 @@ fn wal_recovery(parts: usize) -> f64 {
     })
 }
 
+/// The HTAP workload (PR 8): a snapshot reader runs full-table
+/// `BEGIN READ ONLY` aggregates while writer sessions commit transfers
+/// against the same table. Reports reader scans/second under write load;
+/// every scan asserts the balanced-sum invariant, so the number is also a
+/// continuous consistency check. Before MVCC this mix either returned
+/// torn sums (plain scans) or serialized behind the writers (2PL reads);
+/// the snapshot path does neither.
+fn mixed_htap(parts: usize) -> f64 {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const ROWS: i64 = 8192;
+    const SCANS: usize = 15;
+    const WRITERS: usize = 2;
+
+    let cat = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 4096)));
+    cat.create_table_partitioned(
+        "accounts",
+        Schema::new(vec![Column::new("id", DataType::Int), Column::new("bal", DataType::Int)]),
+        parts,
+        0,
+    )
+    .unwrap();
+    let t = cat.table("accounts").unwrap();
+    for i in 0..ROWS {
+        t.heap.insert(&Tuple::new(vec![Value::Int(i), Value::Int(100)])).unwrap();
+    }
+    cat.create_index("accounts_id", "accounts", "id").unwrap();
+    cat.analyze_table("accounts").unwrap();
+    let server = StagedServer::new(
+        Arc::clone(&cat),
+        ServerConfig {
+            mode: ExecutionMode::Staged,
+            partitions: parts,
+            lock_timeout: Duration::from_secs(2),
+            ..Default::default()
+        },
+    );
+
+    let mut best = f64::MIN;
+    for _ in 0..REPS {
+        let stop = AtomicBool::new(false);
+        let rate = std::thread::scope(|scope| {
+            for sid in 0..WRITERS {
+                let server = &server;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let sess = server.session();
+                    let mut state = 0x9e3779b97f4a7c15u64 ^ (sid as u64 + 1);
+                    let mut next = move || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    };
+                    while !stop.load(Ordering::Relaxed) {
+                        let from = (next() % ROWS as u64) as i64;
+                        let to = (next() % ROWS as u64) as i64;
+                        if sess.execute_sql("BEGIN").is_err() {
+                            continue;
+                        }
+                        let part_of =
+                            |id: i64| staged_storage::partition_of_value(&Value::Int(id), parts);
+                        let mut stmts = [(part_of(from), from, "-"), (part_of(to), to, "+")];
+                        stmts.sort_unstable();
+                        let mut failed = false;
+                        for (_, id, op) in stmts {
+                            if sess
+                                .execute_sql(&format!(
+                                    "UPDATE accounts SET bal = bal {op} 1 WHERE id = {id}"
+                                ))
+                                .is_err()
+                            {
+                                failed = true;
+                                break;
+                            }
+                        }
+                        let _ = sess.execute_sql(if failed { "ROLLBACK" } else { "COMMIT" });
+                    }
+                });
+            }
+            let sess = server.session();
+            let start = Instant::now();
+            for _ in 0..SCANS {
+                sess.execute_sql("BEGIN READ ONLY").unwrap();
+                let out = sess.execute_sql("SELECT SUM(bal), COUNT(*) FROM accounts").unwrap();
+                assert_eq!(
+                    out.rows[0].to_string(),
+                    format!("[{}, {ROWS}]", ROWS * 100),
+                    "snapshot saw a torn transfer"
+                );
+                sess.execute_sql("COMMIT").unwrap();
+            }
+            let elapsed = start.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            SCANS as f64 / elapsed.as_secs_f64()
+        });
+        best = best.max(rate);
+    }
+    server.shutdown();
+    best
+}
+
 fn parse_bind(catalog: &Arc<Catalog>) -> f64 {
     let sqls: Vec<String> = (0..200)
         .map(|i| {
@@ -485,7 +591,7 @@ fn main() {
     let flag = |name: &str| -> Option<String> {
         args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
     };
-    let out_path = flag("--out").unwrap_or_else(|| "BENCH_6.json".into());
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_8.json".into());
     let baseline_path = flag("--baseline");
     let gate: f64 = flag("--gate").and_then(|g| g.parse().ok()).unwrap_or(0.25);
 
@@ -511,6 +617,7 @@ fn main() {
     push("net_transfers_p2", "txns_per_sec", net_transfers(2));
     push("batch_p2", "stmts_per_sec", batch_queries(2));
     push("wal_recovery_p2", "recoveries_per_sec", wal_recovery(2));
+    push("mixed_htap_p2", "scans_per_sec", mixed_htap(2));
     push("parse_bind_optimize", "stmts_per_sec", parse_bind(&catalog));
 
     write_json(&out_path, calib, &metrics);

@@ -200,6 +200,14 @@ impl Client {
         self.query("BEGIN")
     }
 
+    /// `BEGIN READ ONLY`: open a snapshot transaction on this connection's
+    /// session. Every statement until `COMMIT`/`ROLLBACK` reads the same
+    /// consistent snapshot without taking locks; DML is refused with the
+    /// `READ_ONLY` error code.
+    pub fn begin_read_only(&mut self) -> ClientResult<QueryResult> {
+        self.query("BEGIN READ ONLY")
+    }
+
     /// `COMMIT` the open transaction.
     pub fn commit(&mut self) -> ClientResult<QueryResult> {
         self.query("COMMIT")

@@ -27,10 +27,10 @@
 use crate::context::ExecContext;
 use crate::dml::apply_records;
 use crate::error::{EngineError, EngineResult};
-use crate::txn::{LockKey, LockMode, LockTable};
+use crate::txn::{LockKey, LockMode, LockTable, TxnManager};
 use staged_storage::snapshot::Snapshot;
 use staged_storage::wal::{Lsn, Wal};
-use staged_storage::{Catalog, SegmentStore, SnapshotStore, StorageError};
+use staged_storage::{Catalog, SegmentStore, SnapshotStore, StorageError, VacuumStats};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -144,6 +144,25 @@ pub fn checkpoint(
     })
 }
 
+/// Garbage-collect every table's MVCC version overlay. Must run while the
+/// caller holds the quiesce set (see [`quiesce`]): with no DML in flight,
+/// a transaction absent from [`TxnManager::active_xids`] is guaranteed
+/// finished — not mid-commit — so its leftover `Pending` stamps are dead
+/// and reapable. Timestamp-based reclamation is bounded by the oracle's
+/// oldest pinned snapshot; the position-dependent moves (rollback anchor
+/// collapses) additionally require that *no* snapshot is pinned at all.
+/// Long-running `BEGIN READ ONLY` sessions therefore delay GC, never
+/// correctness.
+pub fn vacuum(catalog: &Catalog, mgr: &TxnManager) -> VacuumStats {
+    let (min_ts, pins_empty) = mgr.oracle().min_active();
+    let live = mgr.active_xids();
+    let mut total = VacuumStats::default();
+    for table in catalog.list_tables() {
+        total.add(table.versions.vacuum(min_ts, pins_empty, &live));
+    }
+    total
+}
+
 /// Checkpointed recovery into an *empty* catalog: load the latest
 /// snapshot (if any), restore it, replay only the WAL tail at or after
 /// its LSN through [`apply_records`] — with the snapshot's old→new
@@ -172,6 +191,13 @@ pub fn recover(
     let (records, corruption) = Wal::read_store_from(segments.as_ref(), checkpoint_lsn);
     let replayed = apply_records(ctx, &records, &mut maps.rids, &maps.tables)?;
     let wal = Wal::open_with_segment_pages(segments, segment_pages)?;
+    // Only committed — visible-to-everyone — data survives a crash, so the
+    // recovered overlay is empty. (The catalog object may persist across a
+    // simulated crash in tests; reset makes the overlay state follow the
+    // data, not the object lifetime.)
+    for table in ctx.catalog.list_tables() {
+        table.versions.reset();
+    }
     Ok((wal, RecoveryReport { snapshot_rows, replayed, checkpoint_lsn, corruption }))
 }
 

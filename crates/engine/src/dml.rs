@@ -43,6 +43,15 @@ impl<'a> DmlLog<'a> {
             mgr.record_undo(self.xid, undo);
         }
     }
+
+    /// The xid to register MVCC version notes under: statements running
+    /// under the transaction manager version their changes; bare-WAL
+    /// callers (bulk loads, recovery replay) do not — their rows are
+    /// immediately visible to everyone, which is correct because those
+    /// paths run without concurrent readers.
+    fn versioned(&self) -> Option<u64> {
+        self.txn.map(|_| self.xid)
+    }
 }
 
 /// Insert fully-evaluated rows; returns the number inserted.
@@ -56,7 +65,15 @@ pub fn insert_rows(
     let mut n = 0;
     for row in rows {
         table.schema.validate(&row)?;
-        let (part, rid) = table.heap.insert_routed(&row)?;
+        let (part, rid) = match log.and_then(|l| l.versioned()) {
+            // Versioned insert: register the rid in the overlay from inside
+            // the page latch, so no reader can decode the row before its
+            // Pending stamp exists.
+            Some(xid) => {
+                table.heap.insert_routed_with(&row, |rid| table.versions.note_insert(rid, xid))?
+            }
+            None => table.heap.insert_routed(&row)?,
+        };
         ctx.note_page_ref();
         for ix in &indexes {
             if let Some(k) = row.get(ix.column).as_int() {
@@ -143,6 +160,14 @@ pub fn delete_rows(
     let mut n = 0;
     for (rid, row) in victims {
         let part = table.heap.partition_of(&row);
+        let before = row.encode();
+        // Register the dead version *before* the heap delete: a reader
+        // either still sees the live row (and deduplicates against the
+        // dead copy) or misses it and finds the dead version — never
+        // neither.
+        if let Some(xid) = log.and_then(|l| l.versioned()) {
+            table.versions.note_delete(rid, before.clone(), xid);
+        }
         table.heap.delete(rid)?;
         for ix in &indexes {
             if let Some(k) = row.get(ix.column).as_int() {
@@ -150,7 +175,6 @@ pub fn delete_rows(
             }
         }
         if let Some(log) = log {
-            let before = row.encode();
             log.wal.append(&LogRecord::Delete {
                 xid: log.xid,
                 table: table.id.0,
@@ -188,7 +212,19 @@ pub fn update_rows(
         table.schema.validate(&new)?;
         let old_part = table.heap.partition_of(&old);
         let new_part = table.heap.partition_of(&new);
-        let new_rid = table.heap.update(rid, &new)?;
+        let before = old.encode();
+        // An update is delete + insert, versioned the same way: old image
+        // becomes a dead version, new image gets a Pending stamp.
+        if let Some(xid) = log.and_then(|l| l.versioned()) {
+            table.versions.note_delete(rid, before.clone(), xid);
+        }
+        table.heap.delete(rid)?;
+        let new_rid = match log.and_then(|l| l.versioned()) {
+            Some(xid) => {
+                table.heap.insert_routed_with(&new, |r| table.versions.note_insert(r, xid))?.1
+            }
+            None => table.heap.insert(&new)?,
+        };
         for ix in &indexes {
             if let Some(k) = old.get(ix.column).as_int() {
                 ix.delete(old_part, k, rid)?;
@@ -198,7 +234,6 @@ pub fn update_rows(
             }
         }
         if let Some(log) = log {
-            let before = old.encode();
             log.wal.append(&LogRecord::Delete {
                 xid: log.xid,
                 table: table.id.0,

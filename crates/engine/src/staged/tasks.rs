@@ -195,29 +195,35 @@ fn build(
             ts.extend(transforms);
             build(engine, input, out, ts, parent, ctl, cfg);
         }
-        PhysicalPlan::SeqScan { table, predicate } => {
+        PhysicalPlan::SeqScan { table, predicate, snapshot } => {
             let mut ts = Vec::new();
             if let Some(p) = predicate {
                 ts.push(Transform::filter(p.clone()));
             }
             ts.extend(transforms);
             let emitter = Emitter::new(out, parent, engine.page_handle());
-            if cfg.shared_scans {
+            // Snapshot scans never share a driver: each reader filters
+            // pages against its own view, so piggybacking subscribers with
+            // different views on one scan would cross-contaminate results.
+            if cfg.shared_scans && snapshot.is_none() {
                 // A shared driver serves every subscriber, so it must
                 // decode full rows; per-subscriber pruning does not apply.
                 let sub = Subscriber::new(emitter, ts, Arc::clone(&ctl));
                 sharing::subscribe(engine, table, sub);
             } else {
                 let mut ts = ts;
-                let scan = match prune_scan_columns(&mut ts, table.schema.len()) {
+                let mut scan = match prune_scan_columns(&mut ts, table.schema.len()) {
                     Some(cols) => table.heap.scan_pages().with_columns(cols),
                     None => table.heap.scan_pages(),
                 };
+                if let Some(view) = snapshot {
+                    scan = scan.with_snapshot(Arc::clone(&table.versions), *view);
+                }
                 let task = ScanTask { ctx, scan, transforms: ts, emitter, input_done: false };
                 engine.enqueue(StageKind::FScan, TaskPacket { ctl, task: Box::new(task) });
             }
         }
-        PhysicalPlan::PartitionScan { table, partition, predicate } => {
+        PhysicalPlan::PartitionScan { table, partition, predicate, snapshot } => {
             // A partial scan: one partition, one fscan packet. Partition
             // pipelines are never shared — each belongs to exactly one
             // Exchange (or is already pruned to a single partition).
@@ -226,10 +232,13 @@ fn build(
                 ts.push(Transform::filter(p.clone()));
             }
             ts.extend(transforms);
-            let scan = match prune_scan_columns(&mut ts, table.schema.len()) {
+            let mut scan = match prune_scan_columns(&mut ts, table.schema.len()) {
                 Some(cols) => table.heap.scan_partition_pages(*partition).with_columns(cols),
                 None => table.heap.scan_partition_pages(*partition),
             };
+            if let Some(view) = snapshot {
+                scan = scan.with_snapshot(Arc::clone(&table.versions), *view);
+            }
             let task = ScanTask {
                 ctx,
                 scan,
@@ -260,7 +269,7 @@ fn build(
                 })
             });
         }
-        PhysicalPlan::IndexScan { table, index, lo, hi, predicate } => {
+        PhysicalPlan::IndexScan { table, index, lo, hi, predicate, .. } => {
             let mut ts = Vec::new();
             if let Some(p) = predicate {
                 ts.push(Transform::filter(p.clone()));

@@ -23,9 +23,10 @@ use crate::error::{EngineError, EngineResult};
 use parking_lot::Mutex;
 use staged_storage::catalog::TableId;
 use staged_storage::wal::{LogRecord, Wal};
-use staged_storage::{Rid, Tuple};
-use std::collections::HashMap;
+use staged_storage::{CommitOracle, Rid, Tuple};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One entry of a transaction's in-memory undo log.
 #[derive(Debug, Clone)]
@@ -65,21 +66,36 @@ pub struct TxnManager {
     locks: LockTable,
     next_xid: AtomicU64,
     active: Mutex<HashMap<u64, TxnState>>,
+    oracle: Arc<CommitOracle>,
 }
 
 impl TxnManager {
     /// A fresh manager; xids start at 1 (0 is the "no transaction" xid).
     pub fn new() -> Self {
+        Self::with_oracle(CommitOracle::new())
+    }
+
+    /// A fresh manager stamping commits against an existing `oracle` —
+    /// use the catalog's so every manager over the same tables shares
+    /// one commit clock (see `Catalog::oracle`).
+    pub fn with_oracle(oracle: Arc<CommitOracle>) -> Self {
         Self {
             locks: LockTable::new(),
             next_xid: AtomicU64::new(1),
             active: Mutex::new(HashMap::new()),
+            oracle,
         }
     }
 
     /// The lock table (the lock-manager stage's data structure).
     pub fn locks(&self) -> &LockTable {
         &self.locks
+    }
+
+    /// The commit-timestamp oracle. Readers pin snapshots here; commits
+    /// advance it.
+    pub fn oracle(&self) -> &Arc<CommitOracle> {
+        &self.oracle
     }
 
     /// Start a transaction: allocate an xid and log `Begin`.
@@ -98,6 +114,13 @@ impl TxnManager {
     /// Number of live transactions.
     pub fn active_count(&self) -> usize {
         self.active.lock().len()
+    }
+
+    /// The xids of every live transaction (the version GC's liveness set;
+    /// only meaningful while writers are quiesced, since a transaction can
+    /// begin the instant the lock drops).
+    pub fn active_xids(&self) -> HashSet<u64> {
+        self.active.lock().keys().copied().collect()
     }
 
     /// Append an undo entry to a live transaction (no-op for finished or
@@ -119,11 +142,27 @@ impl TxnManager {
         };
         match wal.append(&LogRecord::Commit { xid }) {
             Ok(_) => {
+                // Publish the transaction's versions: allocate the commit
+                // timestamp and flip its Pending overlay entries inside the
+                // oracle's critical section, *before* releasing locks —
+                // once another writer can touch these partitions, readers
+                // must already agree on what this transaction changed.
+                let tables = touched_tables(&state.undo);
+                if !tables.is_empty() {
+                    self.oracle.commit(|ts| {
+                        for t in &tables {
+                            if let Ok(info) = ctx.catalog.table_by_id(TableId(*t)) {
+                                info.versions.commit(xid, ts);
+                            }
+                        }
+                    });
+                }
                 self.locks.release_all(xid);
                 Ok(())
             }
             Err(e) => {
                 let undo_res = self.apply_undo(&state.undo, ctx);
+                self.drop_version_pendings(xid, &state.undo, ctx);
                 self.locks.release_all(xid);
                 undo_res?;
                 Err(EngineError::Txn(format!("commit of xid {xid} failed, rolled back: {e}")))
@@ -140,6 +179,7 @@ impl TxnManager {
             return Err(EngineError::Txn(format!("rollback of unknown xid {xid}")));
         };
         let result = self.apply_undo(&state.undo, ctx);
+        self.drop_version_pendings(xid, &state.undo, ctx);
         // Locks release and the Abort record land even if an undo step
         // failed — a wedged lock table would be strictly worse.
         let wal_res = wal.append(&LogRecord::Abort { xid }).and_then(|_| wal.flush());
@@ -174,7 +214,16 @@ impl TxnManager {
                 Undo::Delete { table, rid, before } => {
                     let info = ctx.catalog.table_by_id(TableId(*table))?;
                     let row = Tuple::decode(before)?;
-                    let (part, new_rid) = info.heap.insert_routed(&row)?;
+                    // Re-insert the before-image, anchoring the new copy to
+                    // the dead version at the old rid: the twin stays
+                    // invisible (a concurrent snapshot scan may already
+                    // have passed its page) and readers keep finding the
+                    // row through the dead version until GC collapses the
+                    // pair.
+                    let old = *rid;
+                    let versions = Arc::clone(&info.versions);
+                    let (part, new_rid) =
+                        info.heap.insert_routed_with(&row, |nr| versions.note_restore(old, nr))?;
                     for ix in ctx.catalog.indexes_for(info.id) {
                         if let Some(k) = row.get(ix.column).as_int() {
                             ix.insert(part, k, new_rid)?;
@@ -189,6 +238,30 @@ impl TxnManager {
         }
         Ok(applied)
     }
+
+    /// After undo, drop the aborted transaction's flip handles in every
+    /// overlay it touched. The overlay entries themselves stay (see
+    /// [`staged_storage::VersionStore::abort`]); GC reaps them.
+    fn drop_version_pendings(&self, xid: u64, undo: &[Undo], ctx: &ExecContext) {
+        for t in touched_tables(undo) {
+            if let Ok(info) = ctx.catalog.table_by_id(TableId(t)) {
+                info.versions.abort(xid);
+            }
+        }
+    }
+}
+
+/// Unique table ids appearing in an undo log.
+fn touched_tables(undo: &[Undo]) -> Vec<u32> {
+    let mut tables: Vec<u32> = undo
+        .iter()
+        .map(|u| match u {
+            Undo::Insert { table, .. } | Undo::Delete { table, .. } => *table,
+        })
+        .collect();
+    tables.sort_unstable();
+    tables.dedup();
+    tables
 }
 
 #[cfg(test)]

@@ -26,21 +26,21 @@ pub trait Executor {
 /// Compile a physical plan into an executor tree.
 pub fn build(plan: &PhysicalPlan, ctx: &ExecContext) -> EngineResult<Box<dyn Executor>> {
     Ok(match plan {
-        PhysicalPlan::SeqScan { table, predicate } => {
+        PhysicalPlan::SeqScan { table, predicate, snapshot } => {
             ctx.note_module_entry(4096);
-            Box::new(SeqScanExec {
-                ctx: ctx.clone(),
-                scan: table.heap.scan(),
-                predicate: predicate.clone(),
-            })
+            let mut scan = table.heap.scan();
+            if let Some(view) = snapshot {
+                scan = scan.with_snapshot(Arc::clone(&table.versions), *view);
+            }
+            Box::new(SeqScanExec { ctx: ctx.clone(), scan, predicate: predicate.clone() })
         }
-        PhysicalPlan::PartitionScan { table, partition, predicate } => {
+        PhysicalPlan::PartitionScan { table, partition, predicate, snapshot } => {
             ctx.note_module_entry(4096);
-            Box::new(SeqScanExec {
-                ctx: ctx.clone(),
-                scan: table.heap.scan_partition(*partition),
-                predicate: predicate.clone(),
-            })
+            let mut scan = table.heap.scan_partition(*partition);
+            if let Some(view) = snapshot {
+                scan = scan.with_snapshot(Arc::clone(&table.versions), *view);
+            }
+            Box::new(SeqScanExec { ctx: ctx.clone(), scan, predicate: predicate.clone() })
         }
         PhysicalPlan::Exchange { inputs } => {
             // The Volcano equivalent of the staged engine's parallel merge:
@@ -59,7 +59,7 @@ pub fn build(plan: &PhysicalPlan, ctx: &ExecContext) -> EngineResult<Box<dyn Exe
                 pos: 0,
             })
         }
-        PhysicalPlan::IndexScan { table, index, lo, hi, predicate } => {
+        PhysicalPlan::IndexScan { table, index, lo, hi, predicate, .. } => {
             ctx.note_module_entry(4096);
             Box::new(IndexScanExec::new(
                 ctx.clone(),

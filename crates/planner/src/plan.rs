@@ -4,9 +4,10 @@
 //! layout (column indexes filled by the binder or by the planner's
 //! rewrites), so executors never resolve names.
 
-use staged_sql::ast::{AggFunc, ColumnRef, Expr};
+use staged_sql::ast::{AggFunc, BinOp, ColumnRef, Expr};
+use staged_sql::rewrite::join_conjuncts;
 use staged_storage::catalog::{IndexInfo, TableInfo};
-use staged_storage::Schema;
+use staged_storage::{ReadView, Schema};
 use std::fmt;
 use std::sync::Arc;
 
@@ -31,6 +32,8 @@ pub enum PhysicalPlan {
         table: Arc<TableInfo>,
         /// Residual predicate evaluated per tuple.
         predicate: Option<Expr>,
+        /// MVCC read view; `None` = current (locked) read.
+        snapshot: Option<ReadView>,
     },
     /// Scan of one hash partition of a table (a *partial* scan; N of these
     /// under an [`PhysicalPlan::Exchange`] cover the whole table).
@@ -41,6 +44,8 @@ pub enum PhysicalPlan {
         partition: usize,
         /// Residual predicate evaluated per tuple.
         predicate: Option<Expr>,
+        /// MVCC read view; `None` = current (locked) read.
+        snapshot: Option<ReadView>,
     },
     /// Bag union of N independent inputs (the partition-parallel exchange:
     /// each input runs as its own pipeline; the merge preserves no order).
@@ -72,6 +77,11 @@ pub enum PhysicalPlan {
         hi: Option<i64>,
         /// Residual predicate evaluated per fetched tuple.
         predicate: Option<Expr>,
+        /// MVCC read view; `None` = current (locked) read. Index scans
+        /// never execute under a snapshot — [`PhysicalPlan::attach_snapshot`]
+        /// rewrites them to sequential scans — but the field keeps the
+        /// variant shape uniform for pattern matches.
+        snapshot: Option<ReadView>,
     },
     /// Filter.
     Filter {
@@ -176,6 +186,55 @@ impl PhysicalPlan {
         }
     }
 
+    /// Attach an MVCC read view to every table access in the plan, making
+    /// it a snapshot read (executed without locks; visibility filtered per
+    /// page against each table's version overlay).
+    ///
+    /// Index scans are rewritten to sequential scans first: a B+tree probe
+    /// resolves keys to rids without consulting the version overlay, so it
+    /// would miss deleted-but-still-visible rows and surface uncommitted
+    /// inserts. The key bounds fold back into the scan predicate, so the
+    /// rewrite changes the access path, never the result.
+    pub fn attach_snapshot(&mut self, view: ReadView) {
+        match self {
+            PhysicalPlan::SeqScan { snapshot, .. }
+            | PhysicalPlan::PartitionScan { snapshot, .. } => *snapshot = Some(view),
+            PhysicalPlan::IndexScan { table, index, lo, hi, predicate, .. } => {
+                let key = || col_at(index.column);
+                let mut conjuncts = Vec::new();
+                if let Some(a) = lo {
+                    conjuncts.push(Expr::binary(key(), BinOp::GtEq, Expr::int(*a)));
+                }
+                if let Some(b) = hi {
+                    conjuncts.push(Expr::binary(key(), BinOp::LtEq, Expr::int(*b)));
+                }
+                conjuncts.extend(predicate.take());
+                *self = PhysicalPlan::SeqScan {
+                    table: Arc::clone(table),
+                    predicate: join_conjuncts(conjuncts),
+                    snapshot: Some(view),
+                };
+            }
+            PhysicalPlan::Exchange { inputs } | PhysicalPlan::MergeAggregate { inputs, .. } => {
+                for i in inputs {
+                    i.attach_snapshot(view);
+                }
+            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. } => input.attach_snapshot(view),
+            PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::MergeJoin { left, right, .. } => {
+                left.attach_snapshot(view);
+                right.attach_snapshot(view);
+            }
+        }
+    }
+
     /// Names of all base tables in the plan (diagnostics, shared scans).
     pub fn base_tables(&self) -> Vec<String> {
         let mut out = Vec::new();
@@ -216,14 +275,14 @@ impl PhysicalPlan {
     fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
         let pad = "  ".repeat(depth);
         match self {
-            PhysicalPlan::SeqScan { table, predicate } => {
+            PhysicalPlan::SeqScan { table, predicate, .. } => {
                 write!(f, "{pad}SeqScan {}", table.name)?;
                 if let Some(p) = predicate {
                     write!(f, " filter={p}")?;
                 }
                 writeln!(f)
             }
-            PhysicalPlan::PartitionScan { table, partition, predicate } => {
+            PhysicalPlan::PartitionScan { table, partition, predicate, .. } => {
                 write!(
                     f,
                     "{pad}PartitionScan {}[{}/{}]",
@@ -260,7 +319,7 @@ impl PhysicalPlan {
                 }
                 Ok(())
             }
-            PhysicalPlan::IndexScan { table, index, lo, hi, predicate } => {
+            PhysicalPlan::IndexScan { table, index, lo, hi, predicate, .. } => {
                 write!(f, "{pad}IndexScan {} via {} ", table.name, index.name)?;
                 match (lo, hi) {
                     (Some(a), Some(b)) if a == b => write!(f, "key={a}")?,

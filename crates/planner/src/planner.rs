@@ -324,6 +324,7 @@ fn plan_access_path(
                 lo,
                 hi,
                 predicate: join_conjuncts(residual),
+                snapshot: None,
             };
             return (plan, est);
         }
@@ -334,8 +335,11 @@ fn plan_access_path(
     if nparts > 1 && config.enable_partition_parallel {
         return plan_partitioned_scan(table, conjuncts, nparts, seq_est);
     }
-    let plan =
-        PhysicalPlan::SeqScan { table: Arc::clone(table), predicate: join_conjuncts(conjuncts) };
+    let plan = PhysicalPlan::SeqScan {
+        table: Arc::clone(table),
+        predicate: join_conjuncts(conjuncts),
+        snapshot: None,
+    };
     (plan, seq_est)
 }
 
@@ -367,6 +371,7 @@ fn plan_partitioned_scan(
                 table: Arc::clone(table),
                 partition: partition_of_value(&Value::Int(k), nparts),
                 predicate,
+                snapshot: None,
             };
             // One partition's worth of pages and rows.
             let est = Estimate::new(seq_est.rows, seq_est.cost / nparts as f64);
@@ -378,6 +383,7 @@ fn plan_partitioned_scan(
                     table: Arc::clone(table),
                     partition: p,
                     predicate: predicate.clone(),
+                    snapshot: None,
                 })
                 .collect();
             // Same total work; the win is wall-clock parallelism, which the

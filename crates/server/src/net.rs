@@ -111,6 +111,40 @@ fn stats_schema() -> Schema {
     ])
 }
 
+/// The synthetic `mvcc` STATS row, following the wal/exchange convention of
+/// reusing the stage columns for the layer's own quantities: `processed` =
+/// commit timestamps allocated, `cohorts` = tracked creation stamps,
+/// `max_cohort` = dead versions retained, `preempts` = writer transactions
+/// with unflipped entries, `batch` = dead versions reclaimed by vacuum so
+/// far, `queued` = snapshot pins currently held. See PROTOCOL.md §6.
+fn mvcc_row(catalog: &staged_storage::Catalog, txn: &crate::session::TxnRuntime) -> Tuple {
+    let mut created = 0u64;
+    let mut dead = 0u64;
+    let mut pending = 0u64;
+    let mut reclaimed = 0u64;
+    for table in catalog.list_tables() {
+        let s = table.versions.stats();
+        created += s.created;
+        dead += s.dead;
+        pending += s.pending_txns;
+        reclaimed += table.versions.gc_totals().0;
+    }
+    let oracle = txn.mgr().oracle();
+    Tuple::new(vec![
+        Value::Str("mvcc".into()),
+        Value::Int(oracle.latest() as i64),
+        Value::Int(0),
+        Value::Int(0),
+        Value::Int(0),
+        Value::Int(created as i64),
+        Value::Int(dead as i64),
+        Value::Int(pending as i64),
+        Value::Int(reclaimed as i64),
+        Value::Int(oracle.pins() as i64),
+        Value::Int(0),
+    ])
+}
+
 // ---------------------------------------------------------------------------
 // Backend impls for the two servers
 // ---------------------------------------------------------------------------
@@ -189,6 +223,8 @@ impl WireBackend for Arc<StagedServer> {
             Value::Int(wal.segments().map(|s| s.len()).unwrap_or(0) as i64),
             Value::Int(0),
         ]));
+        // And one for the MVCC layer (version overlays + commit oracle).
+        rows.push(mvcc_row(self.catalog(), self.txn_runtime()));
         let n = rows.len();
         QueryOutput { rows, schema: Some(stats_schema()), message: format!("STATS {n}") }
     }
@@ -217,7 +253,7 @@ impl WireBackend for Arc<ThreadedServer> {
         // The monolithic baseline has no per-stage monitors — one coarse
         // row for the whole pool, same schema. It also has no cohorts:
         // a thread runs one query start to finish (batch reads as 1).
-        let rows = vec![Tuple::new(vec![
+        let mut rows = vec![Tuple::new(vec![
             Value::Str("pool".into()),
             Value::Int(self.served() as i64),
             Value::Int(0),
@@ -230,7 +266,9 @@ impl WireBackend for Arc<ThreadedServer> {
             Value::Int(self.backlog() as i64),
             Value::Int(self.pool_size() as i64),
         ])];
-        QueryOutput { rows, schema: Some(stats_schema()), message: "STATS 1".into() }
+        rows.push(mvcc_row(self.catalog(), self.txn_runtime()));
+        let n = rows.len();
+        QueryOutput { rows, schema: Some(stats_schema()), message: format!("STATS {n}") }
     }
 
     fn checkpoint(&self) -> Response {

@@ -1,7 +1,7 @@
 //! The query pipeline, factored into the stage bodies of Figure 3 so the
 //! staged server and the threaded baseline run byte-identical logic.
 
-use crate::session::TxnRuntime;
+use crate::session::{StatementCtx, TxnRuntime};
 use crate::types::{QueryOutput, ServerError};
 use staged_cachesim::tracker::RefTracker;
 use staged_engine::context::ExecContext;
@@ -16,7 +16,7 @@ use staged_sql::parser::parse_statement;
 use staged_sql::rewrite::fold;
 use staged_storage::catalog::TableInfo;
 use staged_storage::wal::Wal;
-use staged_storage::{Catalog, DataType, Schema, Tuple, Value};
+use staged_storage::{Catalog, DataType, ReadView, Schema, SnapshotGuard, Tuple, Value};
 use std::sync::Arc;
 
 /// Output of the parse stage: either a bound SELECT still needing the
@@ -263,10 +263,54 @@ pub fn execute_txn_control(
     wal: &Wal,
 ) -> Result<QueryOutput, ServerError> {
     match stmt {
-        Statement::Begin => txn.begin(session, wal),
+        Statement::Begin { read_only } => txn.begin(session, wal, *read_only),
         Statement::Commit => txn.commit(session, ctx, wal),
         Statement::Rollback => txn.rollback(session, ctx, wal),
         other => Err(ServerError::Sql(format!("not transaction control: {other}"))),
+    }
+}
+
+/// True when `action` writes — and so must be refused inside a
+/// `BEGIN READ ONLY` transaction.
+pub fn writes(action: &PlannedAction) -> bool {
+    action.is_dml() || matches!(action, PlannedAction::Ddl(_))
+}
+
+/// Give a SELECT action an MVCC read view, making its scans snapshot
+/// reads (lock-free, visibility-filtered): the core of the read-only fast
+/// path. The view's timestamp comes from the session's transaction state:
+///
+/// - `ReadOnly` — the timestamp pinned at `BEGIN READ ONLY`, so every
+///   statement in the transaction reads the same snapshot;
+/// - `Write` — a fresh pin at the current timestamp, with the reader's
+///   xid in the view so the transaction sees its own uncommitted writes;
+/// - `Autocommit` — a fresh pin at the current timestamp.
+///
+/// Returns the pin guard for fresh pins; the caller must hold it across
+/// execution so the vacuum horizon cannot pass the view (a `ReadOnly`
+/// binding already holds its own pin, so none is returned). Non-SELECT
+/// actions are untouched.
+pub fn snapshot_select(
+    action: &mut PlannedAction,
+    txn: &TxnRuntime,
+    stmt: &StatementCtx,
+) -> Option<SnapshotGuard> {
+    let PlannedAction::Select { plan, .. } = action else { return None };
+    match stmt {
+        StatementCtx::ReadOnly(ts) => {
+            plan.attach_snapshot(ReadView { ts: *ts, xid: 0 });
+            None
+        }
+        StatementCtx::Write(xid) => {
+            let pin = txn.mgr().oracle().pin();
+            plan.attach_snapshot(ReadView { ts: pin.ts(), xid: *xid });
+            Some(pin)
+        }
+        StatementCtx::Autocommit => {
+            let pin = txn.mgr().oracle().pin();
+            plan.attach_snapshot(ReadView { ts: pin.ts(), xid: 0 });
+            Some(pin)
+        }
     }
 }
 

@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 use staged_engine::context::ExecContext;
 use staged_engine::txn::TxnManager;
 use staged_storage::wal::Wal;
+use staged_storage::SnapshotGuard;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -25,10 +26,27 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// statement fails until the client issues `COMMIT`/`ROLLBACK` — without
 /// this, a client script that keeps sending the rest of its transaction
 /// would silently run those statements as autocommit singletons.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `ReadOnly` is a `BEGIN READ ONLY` transaction: no xid, no locks, no
+/// undo — just a pinned snapshot timestamp every statement reads at. The
+/// held [`SnapshotGuard`] keeps the vacuum horizon at or below that
+/// timestamp for as long as the transaction stays open.
+#[derive(Debug)]
 enum TxnBinding {
     Open(u64),
+    ReadOnly(SnapshotGuard),
     Aborted,
+}
+
+/// How a new statement from a session must run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementCtx {
+    /// No open transaction: the statement is its own implicit transaction.
+    Autocommit,
+    /// An open read-write transaction under this xid.
+    Write(u64),
+    /// An open `READ ONLY` transaction pinned at this commit timestamp.
+    /// Only reads may run; DML and DDL must be refused.
+    ReadOnly(u64),
 }
 
 /// Session/transaction bookkeeping: the [`TxnManager`] plus the
@@ -45,6 +63,18 @@ impl TxnRuntime {
     pub fn new() -> Self {
         Self {
             mgr: TxnManager::new(),
+            active: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+        }
+    }
+
+    /// A runtime whose transactions commit against `catalog`'s shared
+    /// timestamp oracle. Every server over a catalog must use this form:
+    /// snapshot visibility only works when all writers stamp versions
+    /// from the same clock readers pin against.
+    pub fn for_catalog(catalog: &staged_storage::Catalog) -> Self {
+        Self {
+            mgr: TxnManager::with_oracle(std::sync::Arc::clone(catalog.oracle())),
             active: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
         }
@@ -69,7 +99,9 @@ impl TxnRuntime {
                 let _ = self.mgr.rollback(xid, ctx, wal);
                 true
             }
-            Some(TxnBinding::Aborted) | None => false,
+            // Dropping the binding releases the snapshot pin; a read-only
+            // transaction has nothing to undo.
+            Some(TxnBinding::ReadOnly(_)) | Some(TxnBinding::Aborted) | None => false,
         }
     }
 
@@ -82,26 +114,40 @@ impl TxnRuntime {
         }
     }
 
-    /// The xid a new statement from `session` must run under: `Ok(None)`
-    /// means autocommit, `Ok(Some(xid))` an open transaction, and `Err`
-    /// the failed-transaction state (the statement must not run).
-    pub fn statement_xid(&self, session: Option<u64>) -> Result<Option<u64>, ServerError> {
-        let Some(sid) = session else { return Ok(None) };
+    /// How a new statement from `session` must run, or `Err` in the
+    /// failed-transaction state (the statement must not run).
+    pub fn statement_ctx(&self, session: Option<u64>) -> Result<StatementCtx, ServerError> {
+        let Some(sid) = session else { return Ok(StatementCtx::Autocommit) };
         match self.active.lock().get(&sid) {
-            Some(TxnBinding::Open(xid)) => Ok(Some(*xid)),
+            Some(TxnBinding::Open(xid)) => Ok(StatementCtx::Write(*xid)),
+            Some(TxnBinding::ReadOnly(pin)) => Ok(StatementCtx::ReadOnly(pin.ts())),
             Some(TxnBinding::Aborted) => Err(ServerError::TxnAborted),
-            None => Ok(None),
+            None => Ok(StatementCtx::Autocommit),
         }
     }
 
-    /// `BEGIN`: open a transaction on the session.
-    pub fn begin(&self, session: Option<u64>, wal: &Wal) -> Result<QueryOutput, ServerError> {
+    /// `BEGIN` / `BEGIN READ ONLY`: open a transaction on the session.
+    ///
+    /// A read-write transaction allocates an xid (locks, undo, WAL); a
+    /// read-only one allocates nothing — it pins the commit-timestamp
+    /// oracle at the current timestamp and every statement until
+    /// `COMMIT`/`ROLLBACK` reads that snapshot, lock-free.
+    pub fn begin(
+        &self,
+        session: Option<u64>,
+        wal: &Wal,
+        read_only: bool,
+    ) -> Result<QueryOutput, ServerError> {
         let Some(sid) = session else {
             return Err(ServerError::Sql("BEGIN requires a client session".into()));
         };
         let mut active = self.active.lock();
         if active.contains_key(&sid) {
             return Err(ServerError::Sql("already in a transaction".into()));
+        }
+        if read_only {
+            active.insert(sid, TxnBinding::ReadOnly(self.mgr.oracle().pin()));
+            return Ok(QueryOutput::message("BEGIN"));
         }
         let xid = self.mgr.begin(wal).map_err(|e| ServerError::Execution(e.to_string()))?;
         active.insert(sid, TxnBinding::Open(xid));
@@ -125,6 +171,9 @@ impl TxnRuntime {
                     .map_err(|e| ServerError::Execution(e.to_string()))?;
                 Ok(QueryOutput::message("COMMIT"))
             }
+            // Nothing to make durable: dropping the binding unpins the
+            // snapshot and the vacuum horizon may advance past it.
+            Some(TxnBinding::ReadOnly(_)) => Ok(QueryOutput::message("COMMIT")),
             Some(TxnBinding::Aborted) => Ok(QueryOutput::message("ROLLBACK")),
             None => Err(ServerError::Sql("COMMIT outside a transaction".into())),
         }
@@ -145,7 +194,9 @@ impl TxnRuntime {
                     .map_err(|e| ServerError::Execution(e.to_string()))?;
                 Ok(QueryOutput::message("ROLLBACK"))
             }
-            Some(TxnBinding::Aborted) => Ok(QueryOutput::message("ROLLBACK")),
+            Some(TxnBinding::ReadOnly(_)) | Some(TxnBinding::Aborted) => {
+                Ok(QueryOutput::message("ROLLBACK"))
+            }
             None => Err(ServerError::Sql("ROLLBACK outside a transaction".into())),
         }
     }
@@ -158,7 +209,7 @@ impl TxnRuntime {
     pub fn fail_txn(&self, session: Option<u64>, xid: u64, ctx: &ExecContext, wal: &Wal) {
         if let Some(sid) = session {
             let mut active = self.active.lock();
-            if active.get(&sid) == Some(&TxnBinding::Open(xid)) {
+            if matches!(active.get(&sid), Some(TxnBinding::Open(x)) if *x == xid) {
                 active.insert(sid, TxnBinding::Aborted);
             }
         }

@@ -1,7 +1,7 @@
 //! The staged DBMS server (paper Figure 3, top row).
 
 use crate::pipeline::{self, Exec, Parsed, PlannedAction};
-use crate::session::TxnRuntime;
+use crate::session::{StatementCtx, TxnRuntime};
 use crate::types::{ExecutionMode, Response, ServerConfig, ServerError};
 use crossbeam::channel::{bounded, Receiver};
 use parking_lot::Mutex;
@@ -196,7 +196,7 @@ stage_logic!(ParseStage, shared, pkt, ctx, {
     };
     match pipeline::parse_stage(&sql, &shared.catalog, shared.tracker.as_deref()) {
         Ok(Parsed::NeedsPlan(bound)) => {
-            if let Err(e) = shared.txn.statement_xid(pkt.session) {
+            if let Err(e) = shared.txn.statement_ctx(pkt.session) {
                 return finish(ctx, pkt, Err(e));
             }
             pkt.body = PacketBody::Bound(bound);
@@ -207,10 +207,17 @@ stage_logic!(ParseStage, shared, pkt, ctx, {
             // itself from the connect stage directly to the execute stage").
             // DML makes one extra hop through the lock-manager stage first.
             // A session in the failed-transaction state refuses everything
-            // except the COMMIT/ROLLBACK acknowledgement.
+            // except the COMMIT/ROLLBACK acknowledgement; a READ ONLY
+            // transaction refuses writes here, before they reach the lock
+            // stage — the per-statement policy decision of the read-only
+            // fast path.
             if !matches!(action.as_ref(), PlannedAction::TxnControl(_)) {
-                if let Err(e) = shared.txn.statement_xid(pkt.session) {
-                    return finish(ctx, pkt, Err(e));
+                match shared.txn.statement_ctx(pkt.session) {
+                    Err(e) => return finish(ctx, pkt, Err(e)),
+                    Ok(StatementCtx::ReadOnly(_)) if pipeline::writes(&action) => {
+                        return finish(ctx, pkt, Err(ServerError::ReadOnly));
+                    }
+                    Ok(_) => {}
                 }
             }
             let dest = if action.is_dml() { "lock" } else { "execute" };
@@ -230,13 +237,19 @@ stage_logic!(LockStage, shared, pkt, ctx, {
     // (case iii of §4.1.1) until its deadline, at which point the
     // transaction is aborted: timeout-abort deadlock resolution.
     if pkt.lock_deadline.is_none() {
-        match shared.txn.statement_xid(pkt.session) {
+        match shared.txn.statement_ctx(pkt.session) {
             Err(e) => return finish(ctx, pkt, Err(e)),
-            Ok(Some(xid)) => {
+            // Parse already refuses writes in a READ ONLY transaction;
+            // refusing again here keeps the lock stage safe against any
+            // future routing change.
+            Ok(StatementCtx::ReadOnly(_)) => {
+                return finish(ctx, pkt, Err(ServerError::ReadOnly));
+            }
+            Ok(StatementCtx::Write(xid)) => {
                 pkt.xid = xid;
                 pkt.implicit = false;
             }
-            Ok(None) => match shared.txn.mgr().begin(&shared.wal) {
+            Ok(StatementCtx::Autocommit) => match shared.txn.mgr().begin(&shared.wal) {
                 Ok(xid) => {
                     pkt.xid = xid;
                     pkt.implicit = true;
@@ -364,13 +377,16 @@ impl StageLogic<SPacket> for CheckpointStage {
             // so none are mid-statement.
             let res =
                 checkpoint::checkpoint(&shared.catalog, &shared.wal, shared.snapshots.as_ref());
+            // Writers are quiesced (we hold every partition lock), so dead
+            // versions can be reclaimed before the world is released.
+            let gc = checkpoint::vacuum(&shared.catalog, shared.txn.mgr());
             locks.release_all(CHECKPOINT_XID);
             self.done(auto);
             let res = res
                 .map(|o| {
                     crate::types::QueryOutput::message(format!(
-                        "CHECKPOINT {} rows={} segments_deleted={}",
-                        o.lsn, o.rows, o.segments_deleted
+                        "CHECKPOINT {} rows={} segments_deleted={} versions_gc={}",
+                        o.lsn, o.rows, o.segments_deleted, gc.dead_removed
                     ))
                 })
                 .map_err(|e| ServerError::Execution(e.to_string()));
@@ -445,7 +461,16 @@ stage_logic!(ExecuteStage, shared, pkt, ctx, {
         ExecutionMode::Staged => Exec::Staged(&shared.engine),
     };
     let txn = (pkt.xid != 0).then(|| shared.txn.mgr());
-    let res = pipeline::execute_stage(*action, &shared.ctx, &shared.wal, pkt.xid, exec, txn);
+    // SELECTs run as snapshot reads; the statement context is re-read here
+    // (not at parse) so the view reflects commits up to this moment. The
+    // pin guard must outlive the execute call.
+    let mut action = *action;
+    let stmt_ctx = match shared.txn.statement_ctx(pkt.session) {
+        Ok(c) => c,
+        Err(e) => return finish(ctx, pkt, Err(e)),
+    };
+    let _pin = pipeline::snapshot_select(&mut action, &shared.txn, &stmt_ctx);
+    let res = pipeline::execute_stage(action, &shared.ctx, &shared.wal, pkt.xid, exec, txn);
     finish(ctx, pkt, res)
 });
 
@@ -521,6 +546,7 @@ impl StagedServer {
             checkpoint::recover(&ctx, segments, snapshots.as_ref(), config.wal_segment_pages)
                 .map_err(|e| ServerError::Execution(format!("recovery failed: {e}")))?;
         let engine = StagedEngine::new(ctx.clone(), config.engine.clone());
+        let txn = TxnRuntime::for_catalog(&catalog);
         let shared = Arc::new(ServerShared {
             catalog,
             ctx,
@@ -531,7 +557,7 @@ impl StagedServer {
             config: config.clone(),
             prepared: Mutex::new(HashMap::new()),
             tracker,
-            txn: TxnRuntime::new(),
+            txn,
             served: AtomicU64::new(0),
             checkpointing: AtomicBool::new(false),
             auto_pending: AtomicBool::new(false),
@@ -725,6 +751,14 @@ impl StagedServer {
     /// The write-ahead log (for monitoring: live segments, I/O counters).
     pub fn wal(&self) -> &Wal {
         &self.shared.wal
+    }
+
+    pub(crate) fn catalog(&self) -> &Arc<Catalog> {
+        &self.shared.catalog
+    }
+
+    pub(crate) fn txn_runtime(&self) -> &TxnRuntime {
+        &self.shared.txn
     }
 
     /// Per-stage monitoring (the §5.2 "easy to tune" observability).

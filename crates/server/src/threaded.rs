@@ -8,7 +8,7 @@
 //! demonstrates.
 
 use crate::pipeline::{self, Exec, Parsed, PlannedAction};
-use crate::session::TxnRuntime;
+use crate::session::{StatementCtx, TxnRuntime};
 use crate::types::{QueryOutput, Request, RequestBody, Response, ServerError};
 use crossbeam::channel::{bounded, Receiver};
 use parking_lot::Mutex;
@@ -99,6 +99,7 @@ impl ThreadedServer {
             staged_storage::DEFAULT_SEGMENT_PAGES,
         )
         .map_err(|e| ServerError::Execution(format!("recovery failed: {e}")))?;
+        let txn = TxnRuntime::for_catalog(&catalog);
         let inner = Arc::new(Inner {
             ctx,
             catalog,
@@ -106,7 +107,7 @@ impl ThreadedServer {
             snapshots,
             planner,
             queue: StageQueue::new(1024),
-            txn: TxnRuntime::new(),
+            txn,
             lock_timeout,
             served: AtomicU64::new(0),
             pool_size: pool_size.max(1),
@@ -134,9 +135,12 @@ impl ThreadedServer {
             .map_err(|e| ServerError::Execution(e.to_string()))?;
         let outcome = checkpoint::checkpoint(&inner.catalog, &inner.wal, inner.snapshots.as_ref())
             .map_err(|e| ServerError::Execution(e.to_string()))?;
+        // The quiesce guard is still held: the database is still, so this
+        // is the one safe moment to reclaim dead versions.
+        let gc = checkpoint::vacuum(&inner.catalog, inner.txn.mgr());
         Ok(QueryOutput::message(format!(
-            "CHECKPOINT {} rows={} segments_deleted={}",
-            outcome.lsn, outcome.rows, outcome.segments_deleted
+            "CHECKPOINT {} rows={} segments_deleted={} versions_gc={}",
+            outcome.lsn, outcome.rows, outcome.segments_deleted, gc.dead_removed
         )))
     }
 
@@ -176,6 +180,14 @@ impl ThreadedServer {
     /// Size of the worker pool, as configured at construction.
     pub fn pool_size(&self) -> usize {
         self.inner.pool_size
+    }
+
+    pub(crate) fn catalog(&self) -> &Arc<Catalog> {
+        &self.inner.catalog
+    }
+
+    pub(crate) fn txn_runtime(&self) -> &TxnRuntime {
+        &self.inner.txn
     }
 
     /// Stop the pool, draining queued requests first. Takes `&self` —
@@ -279,16 +291,24 @@ fn process(inner: &Inner, req: &Request) -> Response {
     }
     // A session whose transaction was aborted server-side refuses every
     // statement until the client acknowledges with COMMIT/ROLLBACK.
-    let explicit = inner.txn.statement_xid(req.session)?;
+    let stmt_ctx = inner.txn.statement_ctx(req.session)?;
+    if matches!(stmt_ctx, StatementCtx::ReadOnly(_)) && pipeline::writes(&action) {
+        return Err(ServerError::ReadOnly);
+    }
     let mut keys = pipeline::dml_lock_keys(&action, &inner.catalog, &inner.planner);
     if keys.is_empty() {
-        // Reads and DDL bypass the transaction machinery entirely.
+        // Reads and DDL bypass the transaction machinery entirely; SELECTs
+        // run as snapshot reads against the statement's MVCC view. The pin
+        // guard (when one is taken) lives across execution so vacuum
+        // cannot pass the view.
+        let mut action = action;
+        let _pin = pipeline::snapshot_select(&mut action, &inner.txn, &stmt_ctx);
         return pipeline::execute_stage(action, &inner.ctx, &inner.wal, 0, Exec::Volcano, None);
     }
     let mgr = inner.txn.mgr();
-    let (xid, implicit) = match explicit {
-        Some(xid) => (xid, false),
-        None => (mgr.begin(&inner.wal).map_err(|e| ServerError::Execution(e.to_string()))?, true),
+    let (xid, implicit) = match stmt_ctx {
+        StatementCtx::Write(xid) => (xid, false),
+        _ => (mgr.begin(&inner.wal).map_err(|e| ServerError::Execution(e.to_string()))?, true),
     };
     if mgr.locks().lock_all(xid, &mut keys, LockMode::Exclusive, inner.lock_timeout).is_err() {
         inner.txn.fail_txn(req.session, xid, &inner.ctx, &inner.wal);

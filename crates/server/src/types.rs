@@ -36,6 +36,9 @@ pub enum ServerError {
     /// failure or lock timeout); statements are refused until the client
     /// acknowledges with `COMMIT`/`ROLLBACK` (the Postgres convention).
     TxnAborted,
+    /// The statement writes (DML/DDL) inside a `BEGIN READ ONLY`
+    /// transaction; only reads may run until `COMMIT`/`ROLLBACK`.
+    ReadOnly,
     /// The server is overloaded (connect queue full, §5.2).
     Overloaded,
     /// The server is shutting down.
@@ -56,6 +59,7 @@ impl ServerError {
             ServerError::Sql(_) => ErrorCode::Sql,
             ServerError::Execution(_) => ErrorCode::Exec,
             ServerError::TxnAborted => ErrorCode::TxnAborted,
+            ServerError::ReadOnly => ErrorCode::ReadOnly,
             ServerError::Overloaded => ErrorCode::Overloaded,
             ServerError::ShuttingDown => ErrorCode::Shutdown,
             ServerError::UnknownPrepared(_) => ErrorCode::UnknownPrepared,
@@ -71,6 +75,9 @@ impl fmt::Display for ServerError {
             ServerError::Execution(m) => write!(f, "execution error: {m}"),
             ServerError::TxnAborted => {
                 write!(f, "current transaction is aborted; issue ROLLBACK before new statements")
+            }
+            ServerError::ReadOnly => {
+                write!(f, "cannot execute a write statement in a read-only transaction")
             }
             ServerError::Overloaded => write!(f, "server overloaded"),
             ServerError::ShuttingDown => write!(f, "server shutting down"),

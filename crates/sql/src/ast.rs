@@ -373,8 +373,12 @@ pub enum Statement {
         /// Row filter.
         filter: Option<Expr>,
     },
-    /// `BEGIN`.
-    Begin,
+    /// `BEGIN` / `BEGIN READ ONLY`.
+    Begin {
+        /// `READ ONLY`: the transaction runs against an MVCC snapshot,
+        /// acquires no locks, and refuses DML.
+        read_only: bool,
+    },
     /// `COMMIT`.
     Commit,
     /// `ROLLBACK` / `ABORT`.
@@ -398,7 +402,7 @@ impl Statement {
     /// True for `BEGIN` / `COMMIT` / `ROLLBACK` — statements that drive the
     /// session's transaction state rather than touching any table.
     pub fn is_txn_control(&self) -> bool {
-        matches!(self, Statement::Begin | Statement::Commit | Statement::Rollback)
+        matches!(self, Statement::Begin { .. } | Statement::Commit | Statement::Rollback)
     }
 }
 
@@ -567,7 +571,8 @@ impl fmt::Display for Statement {
                 }
                 Ok(())
             }
-            Statement::Begin => write!(f, "BEGIN"),
+            Statement::Begin { read_only: false } => write!(f, "BEGIN"),
+            Statement::Begin { read_only: true } => write!(f, "BEGIN READ ONLY"),
             Statement::Commit => write!(f, "COMMIT"),
             Statement::Rollback => write!(f, "ROLLBACK"),
             Statement::Analyze { table } => write!(f, "ANALYZE {table}"),

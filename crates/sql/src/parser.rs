@@ -194,7 +194,13 @@ impl<'a> Parser<'a> {
                 "DELETE" => self.parse_delete(),
                 "BEGIN" => {
                     self.bump();
-                    Ok(Statement::Begin)
+                    let read_only = if self.eat_keyword("READ") {
+                        self.expect_keyword("ONLY")?;
+                        true
+                    } else {
+                        false
+                    };
+                    Ok(Statement::Begin { read_only })
                 }
                 "COMMIT" => {
                     self.bump();
@@ -714,7 +720,12 @@ mod tests {
             parse_statement("DELETE FROM t WHERE a < 0").unwrap(),
             Statement::Delete { .. }
         ));
-        assert!(matches!(parse_statement("BEGIN").unwrap(), Statement::Begin));
+        assert!(matches!(parse_statement("BEGIN").unwrap(), Statement::Begin { read_only: false }));
+        assert!(matches!(
+            parse_statement("BEGIN READ ONLY").unwrap(),
+            Statement::Begin { read_only: true }
+        ));
+        assert!(parse_statement("BEGIN READ").is_err());
         assert!(matches!(parse_statement("COMMIT").unwrap(), Statement::Commit));
         assert!(matches!(parse_statement("ANALYZE t").unwrap(), Statement::Analyze { .. }));
         assert!(matches!(

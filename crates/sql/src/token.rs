@@ -65,7 +65,7 @@ pub const KEYWORDS: &[&str] = &[
     "INNER", "AS", "AND", "OR", "NOT", "NULL", "IS", "IN", "BETWEEN", "LIKE", "TRUE", "FALSE",
     "INT", "INTEGER", "FLOAT", "VARCHAR", "TEXT", "BOOL", "BOOLEAN", "COUNT", "SUM", "AVG", "MIN",
     "MAX", "DISTINCT", "BEGIN", "COMMIT", "ROLLBACK", "ABORT", "ANALYZE", "EXPLAIN", "PREPARE",
-    "EXECUTE",
+    "EXECUTE", "READ", "ONLY",
 ];
 
 /// A token plus its byte offset.

@@ -8,6 +8,7 @@
 use crate::btree::BTree;
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};
+use crate::mvcc::{CommitOracle, VersionStore};
 use crate::partition::PartitionedHeap;
 use crate::schema::Schema;
 use crate::stats::{analyze, TableStats};
@@ -35,6 +36,8 @@ pub struct TableInfo {
     pub schema: Schema,
     /// Row storage (hash-partitioned; single-partition for plain tables).
     pub heap: Arc<PartitionedHeap>,
+    /// MVCC version overlay for snapshot reads (see `mvcc` module docs).
+    pub versions: Arc<VersionStore>,
     /// Optimizer statistics (refreshed by [`Catalog::analyze_table`]).
     pub stats: RwLock<TableStats>,
 }
@@ -162,17 +165,27 @@ struct CatalogInner {
 pub struct Catalog {
     pool: Arc<BufferPool>,
     inner: RwLock<CatalogInner>,
+    oracle: Arc<CommitOracle>,
 }
 
 impl Catalog {
     /// A catalog allocating storage from `pool`.
     pub fn new(pool: Arc<BufferPool>) -> Self {
-        Self { pool, inner: RwLock::new(CatalogInner::default()) }
+        Self { pool, inner: RwLock::new(CatalogInner::default()), oracle: CommitOracle::new() }
     }
 
     /// The shared buffer pool.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// The commit-timestamp authority for every table in this catalog.
+    /// There is exactly one clock per catalog — servers sharing a catalog
+    /// must stamp versions and pin snapshots against the same sequence,
+    /// or a commit published through one server would sit above another
+    /// server's snapshot horizon and silently vanish from its reads.
+    pub fn oracle(&self) -> &Arc<CommitOracle> {
+        &self.oracle
     }
 
     /// Create an unpartitioned table. (Partition choice is the *caller's*
@@ -209,6 +222,7 @@ impl Catalog {
             name: name.clone(),
             schema,
             heap: Arc::new(PartitionedHeap::create(Arc::clone(&self.pool), partitions, key)),
+            versions: VersionStore::new(),
             stats: RwLock::new(TableStats {
                 row_count: 0,
                 page_count: 0,

@@ -2,6 +2,7 @@
 
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};
+use crate::mvcc::{ReadView, VersionStore};
 use crate::page::{PageId, SlottedPage, PAGE_SIZE};
 use crate::tuple::{Rid, Tuple};
 use parking_lot::{Mutex, RwLock};
@@ -34,15 +35,34 @@ impl HeapFile {
 
     /// Insert a tuple, returning its rid.
     pub fn insert(&self, tuple: &Tuple) -> StorageResult<Rid> {
+        self.insert_with(tuple, |_| {})
+    }
+
+    /// Insert a tuple, invoking `note` with the assigned rid from *inside*
+    /// the page write latch — before any reader can decode the new row.
+    /// This is the MVCC registration hook: `note` typically records the
+    /// rid in the table's [`VersionStore`], and running it under the latch
+    /// guarantees a reader that sees the row's bytes also sees its
+    /// overlay entry.
+    pub fn insert_with<F: FnOnce(Rid)>(&self, tuple: &Tuple, note: F) -> StorageResult<Rid> {
         let bytes = tuple.encode();
         if bytes.len() > PAGE_SIZE - 8 {
             return Err(StorageError::RecordTooLarge(bytes.len()));
         }
+        let mut note = Some(note);
         let _guard = self.insert_lock.lock();
         // Try the last page first.
         if let Some(&last) = self.pages.read().last() {
             let page = self.pool.fetch(last)?;
-            if let Some(slot) = page.write(|d| SlottedPage::insert(d, &bytes)) {
+            if let Some(slot) = page.write(|d| {
+                let slot = SlottedPage::insert(d, &bytes);
+                if let Some(s) = slot {
+                    if let Some(f) = note.take() {
+                        f(Rid::new(last, s));
+                    }
+                }
+                slot
+            }) {
                 return Ok(Rid::new(last, slot));
             }
         }
@@ -51,7 +71,13 @@ impl HeapFile {
         let pid = page.page_id();
         page.write(|d| {
             SlottedPage::init(d);
-            SlottedPage::insert(d, &bytes)
+            let slot = SlottedPage::insert(d, &bytes);
+            if let Some(s) = slot {
+                if let Some(f) = note.take() {
+                    f(Rid::new(pid, s));
+                }
+            }
+            slot
         })
         .map(|slot| {
             self.pages.write().push(pid);
@@ -85,6 +111,7 @@ impl HeapFile {
             pages: self.page_ids(),
             next_page: 0,
             buffered: Vec::new(),
+            mvcc: None,
         }
     }
 
@@ -98,6 +125,7 @@ impl HeapFile {
             pages: self.page_ids(),
             next_page: 0,
             cols: None,
+            mvcc: None,
         }
     }
 
@@ -119,12 +147,21 @@ pub struct HeapScan {
     pages: Vec<PageId>,
     next_page: usize,
     buffered: Vec<(Rid, Tuple)>,
+    mvcc: Option<(Arc<VersionStore>, ReadView)>,
 }
 
 impl HeapScan {
     /// Pages this scan will visit (for I/O accounting in experiments).
     pub fn num_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Filter every page through `store`'s version overlay for `view`:
+    /// uncommitted rows the view cannot see are dropped, dead versions it
+    /// can still see are merged back in.
+    pub fn with_snapshot(mut self, store: Arc<VersionStore>, view: ReadView) -> Self {
+        self.mvcc = Some((store, view));
+        self
     }
 }
 
@@ -158,6 +195,11 @@ impl Iterator for HeapScan {
             if let Err(e) = res {
                 return Some(Err(e));
             }
+            if let Some((store, view)) = &self.mvcc {
+                if let Err(e) = store.filter_page(*view, pid, &mut decoded, None) {
+                    return Some(Err(e));
+                }
+            }
             // Reverse so pop() yields in slot order.
             decoded.reverse();
             self.buffered = decoded;
@@ -173,6 +215,7 @@ pub struct HeapPageScan {
     pages: Vec<PageId>,
     next_page: usize,
     cols: Option<Vec<usize>>,
+    mvcc: Option<(Arc<VersionStore>, ReadView)>,
 }
 
 impl HeapPageScan {
@@ -188,6 +231,14 @@ impl HeapPageScan {
     pub fn with_columns(mut self, cols: Vec<usize>) -> Self {
         debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be strictly increasing");
         self.cols = Some(cols);
+        self
+    }
+
+    /// Filter every page through `store`'s version overlay for `view` (see
+    /// [`HeapScan::with_snapshot`]). Dead versions are decoded with this
+    /// scan's column pruning.
+    pub fn with_snapshot(mut self, store: Arc<VersionStore>, view: ReadView) -> Self {
+        self.mvcc = Some((store, view));
         self
     }
 }
@@ -219,6 +270,14 @@ impl Iterator for HeapPageScan {
             });
             if let Err(e) = res {
                 return Some(Err(e));
+            }
+            if let Some((store, view)) = &self.mvcc {
+                // The overlay can both drop rows and resurrect deleted ones
+                // (even on pages whose live rows are all filtered away), so
+                // the emptiness check must come after.
+                if let Err(e) = store.filter_page(*view, pid, &mut decoded, self.cols.as_deref()) {
+                    return Some(Err(e));
+                }
             }
             if !decoded.is_empty() {
                 return Some(Ok(decoded));

@@ -20,6 +20,7 @@ pub mod catalog;
 pub mod disk;
 pub mod error;
 pub mod heap;
+pub mod mvcc;
 pub mod page;
 pub mod partition;
 pub mod schema;
@@ -34,6 +35,7 @@ pub use buffer::BufferPool;
 pub use catalog::Catalog;
 pub use disk::{DiskManager, FileDisk, MemDisk};
 pub use error::{StorageError, StorageResult};
+pub use mvcc::{CommitOracle, ReadView, SnapshotGuard, VacuumStats, VersionStats, VersionStore};
 pub use page::{PageId, PAGE_SIZE};
 pub use partition::{partition_of_value, PartitionedHeap};
 pub use schema::{Column, Schema};

@@ -11,6 +11,7 @@
 use crate::buffer::BufferPool;
 use crate::error::StorageResult;
 use crate::heap::{HeapFile, HeapPageScan, HeapScan};
+use crate::mvcc::{ReadView, VersionStore};
 use crate::page::PageId;
 use crate::tuple::{Rid, Tuple};
 use crate::value::Value;
@@ -80,8 +81,19 @@ impl PartitionedHeap {
     /// Insert a tuple, returning `(partition, rid)` so callers maintaining
     /// per-partition indexes know where it landed.
     pub fn insert_routed(&self, tuple: &Tuple) -> StorageResult<(usize, Rid)> {
+        self.insert_routed_with(tuple, |_| {})
+    }
+
+    /// [`Self::insert_routed`] with an MVCC registration hook: `note` runs
+    /// with the assigned rid from inside the page write latch (see
+    /// [`HeapFile::insert_with`]).
+    pub fn insert_routed_with<F: FnOnce(Rid)>(
+        &self,
+        tuple: &Tuple,
+        note: F,
+    ) -> StorageResult<(usize, Rid)> {
         let p = self.partition_of(tuple);
-        let rid = self.parts[p].insert(tuple)?;
+        let rid = self.parts[p].insert_with(tuple, note)?;
         Ok((p, rid))
     }
 
@@ -105,7 +117,7 @@ impl PartitionedHeap {
 
     /// Full scan over every partition, in partition order.
     pub fn scan(&self) -> PartitionedScan {
-        PartitionedScan { parts: self.parts.clone(), next: 0, current: None }
+        PartitionedScan { parts: self.parts.clone(), next: 0, current: None, mvcc: None }
     }
 
     /// Scan of one partition only.
@@ -115,7 +127,13 @@ impl PartitionedHeap {
 
     /// Page-granular scan over every partition, in partition order.
     pub fn scan_pages(&self) -> PartitionedPageScan {
-        PartitionedPageScan { parts: self.parts.clone(), next: 0, current: None, cols: None }
+        PartitionedPageScan {
+            parts: self.parts.clone(),
+            next: 0,
+            current: None,
+            cols: None,
+            mvcc: None,
+        }
     }
 
     /// Page-granular scan of one partition only.
@@ -148,12 +166,20 @@ pub struct PartitionedScan {
     parts: Vec<Arc<HeapFile>>,
     next: usize,
     current: Option<HeapScan>,
+    mvcc: Option<(Arc<VersionStore>, ReadView)>,
 }
 
 impl PartitionedScan {
     /// Pages this scan will visit (for I/O accounting).
     pub fn num_pages(&self) -> usize {
         self.parts.iter().map(|h| h.num_pages()).sum()
+    }
+
+    /// Snapshot-filter every partition's scan (see
+    /// [`HeapScan::with_snapshot`]).
+    pub fn with_snapshot(mut self, store: Arc<VersionStore>, view: ReadView) -> Self {
+        self.mvcc = Some((store, view));
+        self
     }
 }
 
@@ -170,7 +196,11 @@ impl Iterator for PartitionedScan {
             if self.next >= self.parts.len() {
                 return None;
             }
-            self.current = Some(self.parts[self.next].scan());
+            let scan = self.parts[self.next].scan();
+            self.current = Some(match &self.mvcc {
+                Some((store, view)) => scan.with_snapshot(Arc::clone(store), *view),
+                None => scan,
+            });
             self.next += 1;
         }
     }
@@ -182,6 +212,7 @@ pub struct PartitionedPageScan {
     next: usize,
     current: Option<HeapPageScan>,
     cols: Option<Vec<usize>>,
+    mvcc: Option<(Arc<VersionStore>, ReadView)>,
 }
 
 impl PartitionedPageScan {
@@ -194,6 +225,13 @@ impl PartitionedPageScan {
     /// [`HeapPageScan::with_columns`]).
     pub fn with_columns(mut self, cols: Vec<usize>) -> Self {
         self.cols = Some(cols);
+        self
+    }
+
+    /// Snapshot-filter every partition's page scan (see
+    /// [`HeapPageScan::with_snapshot`]).
+    pub fn with_snapshot(mut self, store: Arc<VersionStore>, view: ReadView) -> Self {
+        self.mvcc = Some((store, view));
         self
     }
 }
@@ -211,11 +249,14 @@ impl Iterator for PartitionedPageScan {
             if self.next >= self.parts.len() {
                 return None;
             }
-            let scan = self.parts[self.next].scan_pages();
-            self.current = Some(match &self.cols {
-                Some(cols) => scan.with_columns(cols.clone()),
-                None => scan,
-            });
+            let mut scan = self.parts[self.next].scan_pages();
+            if let Some(cols) = &self.cols {
+                scan = scan.with_columns(cols.clone());
+            }
+            if let Some((store, view)) = &self.mvcc {
+                scan = scan.with_snapshot(Arc::clone(store), *view);
+            }
+            self.current = Some(scan);
             self.next += 1;
         }
     }

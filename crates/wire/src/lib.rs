@@ -43,6 +43,9 @@ pub enum ErrorCode {
     /// The session's transaction was aborted server-side; every statement
     /// is refused until the client acknowledges with `COMMIT`/`ROLLBACK`.
     TxnAborted,
+    /// The statement writes inside a `BEGIN READ ONLY` transaction; only
+    /// reads are allowed until `COMMIT`/`ROLLBACK`.
+    ReadOnly,
     /// The server shed the request (admission queue or connection limit).
     Overloaded,
     /// The server is shutting down.
@@ -60,6 +63,7 @@ impl ErrorCode {
             ErrorCode::Sql => "SQL",
             ErrorCode::Exec => "EXEC",
             ErrorCode::TxnAborted => "TXN_ABORTED",
+            ErrorCode::ReadOnly => "READ_ONLY",
             ErrorCode::Overloaded => "OVERLOADED",
             ErrorCode::Shutdown => "SHUTDOWN",
             ErrorCode::UnknownPrepared => "UNKNOWN_PREPARED",
@@ -73,6 +77,7 @@ impl ErrorCode {
             "SQL" => ErrorCode::Sql,
             "EXEC" => ErrorCode::Exec,
             "TXN_ABORTED" => ErrorCode::TxnAborted,
+            "READ_ONLY" => ErrorCode::ReadOnly,
             "OVERLOADED" => ErrorCode::Overloaded,
             "SHUTDOWN" => ErrorCode::Shutdown,
             "UNKNOWN_PREPARED" => ErrorCode::UnknownPrepared,
@@ -110,8 +115,9 @@ pub enum Command {
 /// Parse one request line into a [`Command`].
 ///
 /// The command word is case-insensitive; everything after `QUERY ` is the
-/// SQL text, verbatim. `BEGIN`, `COMMIT` and `ROLLBACK` are accepted as
-/// bare commands and normalised to the equivalent `QUERY`.
+/// SQL text, verbatim. `BEGIN`, `BEGIN READ ONLY`, `COMMIT` and `ROLLBACK`
+/// are accepted as bare commands and normalised to the equivalent `QUERY`;
+/// `READ ONLY` is the only argument `BEGIN` accepts.
 ///
 /// ```
 /// use staged_wire::{parse_command, Command};
@@ -131,6 +137,9 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
     };
     let upper = word.to_ascii_uppercase();
     match upper.as_str() {
+        "BEGIN" if rest.eq_ignore_ascii_case("READ ONLY") => {
+            Ok(Command::Query("BEGIN READ ONLY".into()))
+        }
         "PING" | "QUIT" | "STATS" | "CHECKPOINT" | "BEGIN" | "COMMIT" | "ROLLBACK"
             if !rest.is_empty() =>
         {
@@ -229,6 +238,10 @@ mod tests {
         assert_eq!(parse_command("checkpoint").unwrap(), Command::Checkpoint);
         assert_eq!(parse_command("commit").unwrap(), Command::Query("COMMIT".into()));
         assert_eq!(
+            parse_command("begin read only").unwrap(),
+            Command::Query("BEGIN READ ONLY".into())
+        );
+        assert_eq!(
             parse_command("QUERY SELECT * FROM t").unwrap(),
             Command::Query("SELECT * FROM t".into())
         );
@@ -241,6 +254,7 @@ mod tests {
         assert!(parse_command("PING now").is_err());
         assert!(parse_command("CHECKPOINT now").is_err());
         assert!(parse_command("BEGIN work").is_err());
+        assert!(parse_command("BEGIN READ").is_err());
         assert!(parse_command("EXPLODE").is_err());
     }
 
@@ -283,6 +297,7 @@ mod tests {
             ErrorCode::Sql,
             ErrorCode::Exec,
             ErrorCode::TxnAborted,
+            ErrorCode::ReadOnly,
             ErrorCode::Overloaded,
             ErrorCode::Shutdown,
             ErrorCode::UnknownPrepared,
