@@ -23,7 +23,10 @@
 //! `BEGIN READ ONLY` snapshot scans driven *while* concurrent transfer
 //! transactions commit — the HTAP mix MVCC exists for; the reader never
 //! touches the lock table, so its throughput must not collapse under
-//! write load (see EXPERIMENTS.md for the full metric table).
+//! write load. Since PR 9 it includes `repl_catchup_p2`: WAL records per
+//! second a replica applies while catching up from LSN zero over a real
+//! socket, with result-set parity asserted before the number is accepted
+//! (see EXPERIMENTS.md for the full metric table).
 //!
 //! Exit status 1 = at least one metric regressed more than the gate
 //! fraction below its baseline.
@@ -524,6 +527,103 @@ fn mixed_htap(parts: usize) -> f64 {
     best
 }
 
+/// The replication workload (PR 9): a primary commits a fixed transfer
+/// history, then a fresh replica subscribes over a real socket from LSN
+/// zero and the metric clocks WAL records applied from subscription to
+/// zero lag — the full ship → mirror-append → atomic-apply path of
+/// DESIGN.md §15. Result-set parity (balance sum + row count) is
+/// asserted on the replica before the number is accepted.
+fn repl_catchup(parts: usize) -> f64 {
+    use staged_server::net::{self, NetConfig};
+    use staged_server::{ReplicaConfig, ReplicaServer};
+    use staged_storage::MemSegmentStore;
+
+    const ROWS: i64 = 64;
+    const HISTORY: usize = 300;
+
+    // The primary: seed in one transaction, then a committed transfer
+    // history — all of it WAL-logged, all of it shipped on subscription.
+    let cat = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 2048)));
+    let schema =
+        Schema::new(vec![Column::new("id", DataType::Int), Column::new("bal", DataType::Int)]);
+    cat.create_table_partitioned("accounts", schema.clone(), parts, 0).unwrap();
+    let server = StagedServer::new(
+        Arc::clone(&cat),
+        ServerConfig {
+            mode: ExecutionMode::Staged,
+            partitions: parts,
+            lock_timeout: Duration::from_secs(2),
+            ..Default::default()
+        },
+    );
+    let sess = server.session();
+    sess.execute_sql("BEGIN").unwrap();
+    for i in 0..ROWS {
+        sess.execute_sql(&format!("INSERT INTO accounts VALUES ({i}, 100)")).unwrap();
+    }
+    sess.execute_sql("COMMIT").unwrap();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..HISTORY {
+        let from = (next() % ROWS as u64) as i64;
+        let to = (next() % ROWS as u64) as i64;
+        sess.execute_sql("BEGIN").unwrap();
+        let part_of = |id: i64| staged_storage::partition_of_value(&Value::Int(id), parts);
+        let mut stmts = [(part_of(from), from, "-"), (part_of(to), to, "+")];
+        stmts.sort_unstable();
+        for (_, id, op) in stmts {
+            sess.execute_sql(&format!("UPDATE accounts SET bal = bal {op} 1 WHERE id = {id}"))
+                .unwrap();
+        }
+        sess.execute_sql("COMMIT").unwrap();
+    }
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = net::serve(listener, Arc::clone(&server), NetConfig::default()).unwrap();
+    let addr = handle.local_addr().to_string();
+    let expected = format!("[{}, {ROWS}]", ROWS * 100);
+
+    // Each rep is one cold catch-up: fresh replica, same DDL in the same
+    // creation order (table ids must align), feed from LSN zero.
+    let mut best = f64::MIN;
+    for _ in 0..REPS {
+        let rcat = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 2048)));
+        rcat.create_table_partitioned("accounts", schema.clone(), parts, 0).unwrap();
+        let replica = ReplicaServer::open(
+            rcat,
+            Arc::new(MemSegmentStore::new()),
+            ReplicaConfig { partitions: parts, ..Default::default() },
+        )
+        .unwrap();
+        let start = Instant::now();
+        replica.start(addr.clone());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let done = replica.feed_stats().applied_records > 0
+                && replica.status().lag_records == 0
+                && replica
+                    .execute_sql("SELECT SUM(bal), COUNT(*) FROM accounts")
+                    .is_ok_and(|out| out.rows[0].to_string() == expected);
+            if done {
+                break;
+            }
+            assert!(Instant::now() < deadline, "replica never caught up");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let applied = replica.feed_stats().applied_records as f64;
+        replica.shutdown();
+        best = best.max(applied / elapsed);
+    }
+    handle.shutdown();
+    server.shutdown();
+    best
+}
+
 fn parse_bind(catalog: &Arc<Catalog>) -> f64 {
     let sqls: Vec<String> = (0..200)
         .map(|i| {
@@ -591,7 +691,7 @@ fn main() {
     let flag = |name: &str| -> Option<String> {
         args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
     };
-    let out_path = flag("--out").unwrap_or_else(|| "BENCH_8.json".into());
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_9.json".into());
     let baseline_path = flag("--baseline");
     let gate: f64 = flag("--gate").and_then(|g| g.parse().ok()).unwrap_or(0.25);
 
@@ -618,6 +718,7 @@ fn main() {
     push("batch_p2", "stmts_per_sec", batch_queries(2));
     push("wal_recovery_p2", "recoveries_per_sec", wal_recovery(2));
     push("mixed_htap_p2", "scans_per_sec", mixed_htap(2));
+    push("repl_catchup_p2", "records_per_sec", repl_catchup(2));
     push("parse_bind_optimize", "stmts_per_sec", parse_bind(&catalog));
 
     write_json(&out_path, calib, &metrics);

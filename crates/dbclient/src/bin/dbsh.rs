@@ -8,9 +8,11 @@
 //! printf 'BEGIN\nINSERT INTO t VALUES (1)\nCOMMIT\n' | dbsh --addr 127.0.0.1:5433
 //! ```
 //!
-//! Shell meta-commands: `\ping`, `\stats`, `\checkpoint`, `\begin ro`
-//! (shorthand for `BEGIN READ ONLY`), `\q` (everything else is sent as
-//! SQL). Exit status is 0 when every statement succeeded, 1 otherwise.
+//! Shell meta-commands: `\ping`, `\stats`, `\replica` (the replication
+//! rows of `\stats`: shipping counters on a primary, apply counters on a
+//! replica), `\checkpoint`, `\begin ro` (shorthand for `BEGIN READ ONLY`),
+//! `\q` (everything else is sent as SQL). Exit status is 0 when every
+//! statement succeeded, 1 otherwise.
 
 use staged_dbclient::{Client, ClientError};
 use std::io::{BufRead, IsTerminal, Write};
@@ -70,6 +72,15 @@ fn main() {
                 }
             },
             "\\stats" => print_result(client.stats(), failed),
+            "\\replica" => print_result(
+                client.stats().map(|mut out| {
+                    out.rows
+                        .retain(|r| r.first().and_then(|c| c.as_deref()) == Some("replication"));
+                    out.tag = format!("SELECT {}", out.rows.len());
+                    out
+                }),
+                failed,
+            ),
             "\\checkpoint" => print_result(client.checkpoint(), failed),
             "\\begin ro" => print_result(client.begin_read_only(), failed),
             sql => print_result(client.query(sql.trim_end_matches(';')), failed),

@@ -133,9 +133,28 @@ pub fn checkpoint(
     wal: &Wal,
     snapshots: &dyn SnapshotStore,
 ) -> EngineResult<CheckpointOutcome> {
+    checkpoint_with_floor(catalog, wal, snapshots, None)
+}
+
+/// [`checkpoint`] with a truncation floor: segments at or above
+/// `min(floor, snapshot LSN)` survive. Replication supplies the minimum
+/// LSN acknowledged by a connected replica as the floor, so a lagging
+/// replica's unshipped history is never deleted out from under it — the
+/// checkpoint itself (snapshot anchor, recovery point) is unaffected,
+/// only log retention is.
+pub fn checkpoint_with_floor(
+    catalog: &Catalog,
+    wal: &Wal,
+    snapshots: &dyn SnapshotStore,
+    floor: Option<Lsn>,
+) -> EngineResult<CheckpointOutcome> {
     let (lsn, snap) = snapshot_catalog(catalog, wal)?;
     snapshots.save(&snap.encode())?;
-    let segments_deleted = wal.truncate_below(lsn)?;
+    let truncate_at = match floor {
+        Some(f) => f.min(lsn),
+        None => lsn,
+    };
+    let segments_deleted = wal.truncate_below(truncate_at)?;
     Ok(CheckpointOutcome {
         lsn,
         tables: snap.tables.len(),
@@ -314,6 +333,24 @@ mod tests {
         let t2 = ctx2.catalog.table("t").unwrap();
         let ix = ctx2.catalog.index_on(t2.id, 0).unwrap();
         assert!(ix.search(7).unwrap().is_empty(), "index entry of the deleted row must go");
+    }
+
+    #[test]
+    fn truncation_floor_holds_back_history_for_lagging_replicas() {
+        let segments = Arc::new(MemSegmentStore::new());
+        let snapshots = MemSnapshotStore::new();
+        let ctx = ctx_with_table(1);
+        let wal = Wal::open_with_segment_pages(segments.clone(), 1).unwrap();
+        committed_insert(&ctx, &wal, 1, 0..50);
+        // A replica that has acked nothing pins the whole log.
+        let held = checkpoint_with_floor(&ctx.catalog, &wal, &snapshots, Some(Lsn::ZERO)).unwrap();
+        assert_eq!(held.segments_deleted, 0, "floor at ZERO must retain every segment");
+        // Once the replica catches up (floor at the log tail), retention
+        // reverts to the checkpoint LSN and history is reclaimed.
+        committed_insert(&ctx, &wal, 2, 50..60);
+        let tail = wal.next_lsn();
+        let free = checkpoint_with_floor(&ctx.catalog, &wal, &snapshots, Some(tail)).unwrap();
+        assert!(free.segments_deleted >= 1, "caught-up floor must not block truncation");
     }
 
     #[test]

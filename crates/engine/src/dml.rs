@@ -345,11 +345,93 @@ pub fn redo(ctx: &ExecContext, wal: &Wal) -> EngineResult<u64> {
     apply_records(ctx, &records, &mut rid_map, &HashMap::new())
 }
 
+/// Apply the records of *one committed transaction* with MVCC version
+/// tracking — the replica apply path. Unlike [`apply_records`] (whose
+/// bare inserts are instantly visible, fine for offline recovery but a
+/// torn read waiting to happen under live readers), every heap change is
+/// stamped Pending under the transaction's xid while it lands, and
+/// visibility flips atomically through the catalog's commit oracle —
+/// the same discipline `TxnManager::commit` follows. Snapshot sessions
+/// pinned on a replica therefore see the whole transaction or none of it.
+///
+/// `records` must be the complete record run of a single transaction
+/// (its `Begin`/`Commit` markers are tolerated and skipped); `rid_map`
+/// translates primary rids to local rids exactly as in [`apply_records`]
+/// and is extended as inserts land.
+///
+/// Returns the number of records applied.
+pub fn apply_versioned_txn(
+    ctx: &ExecContext,
+    records: &[LogRecord],
+    rid_map: &mut HashMap<(u32, Rid), Rid>,
+) -> EngineResult<u64> {
+    let Some(xid) = records.first().map(|r| r.xid()) else {
+        return Ok(0);
+    };
+    let mut touched: HashMap<u32, Arc<TableInfo>> = HashMap::new();
+    let mut applied = 0u64;
+    for rec in records {
+        if rec.xid() != xid {
+            return Err(EngineError::Internal(format!(
+                "apply_versioned_txn: mixed xids {xid} and {}",
+                rec.xid()
+            )));
+        }
+        match rec {
+            LogRecord::Insert { table, rid, bytes, .. } => {
+                let info = ctx.catalog.table_by_id(staged_storage::catalog::TableId(*table))?;
+                let row = Tuple::decode(bytes)?;
+                let (part, new_rid) =
+                    info.heap.insert_routed_with(&row, |r| info.versions.note_insert(r, xid))?;
+                for ix in ctx.catalog.indexes_for(info.id) {
+                    if let Some(k) = row.get(ix.column).as_int() {
+                        ix.insert(part, k, new_rid)?;
+                    }
+                }
+                rid_map.insert((*table, *rid), new_rid);
+                touched.insert(*table, info);
+                applied += 1;
+            }
+            LogRecord::Delete { table, rid, before, .. } => {
+                let info = ctx.catalog.table_by_id(staged_storage::catalog::TableId(*table))?;
+                let new_rid = match rid_map.remove(&(*table, *rid)) {
+                    Some(r) => r,
+                    None => continue,
+                };
+                let row = info.heap.get(new_rid)?;
+                let part = info.heap.partition_of(&row);
+                // Dead version registered before the heap delete, so a
+                // concurrent snapshot reader either still sees the live
+                // row or finds the dead version — never neither.
+                info.versions.note_delete(new_rid, before.clone(), xid);
+                info.heap.delete(new_rid)?;
+                for ix in ctx.catalog.indexes_for(info.id) {
+                    if let Some(k) = row.get(ix.column).as_int() {
+                        ix.delete(part, k, new_rid)?;
+                    }
+                }
+                touched.insert(*table, info);
+                applied += 1;
+            }
+            LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => {}
+        }
+    }
+    // The atomic visibility flip: inside the oracle's publish section, so
+    // a reader's snapshot either predates the whole transaction or covers
+    // all of it.
+    ctx.catalog.oracle().commit(|ts| {
+        for info in touched.values() {
+            info.versions.commit(xid, ts);
+        }
+    });
+    Ok(applied)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use staged_sql::ast::{BinOp, ColumnRef};
-    use staged_storage::{BufferPool, Catalog, Column, DataType, MemDisk, Schema};
+    use staged_storage::{BufferPool, Catalog, Column, DataType, MemDisk, PageId, Schema};
 
     fn setup() -> (ExecContext, Arc<TableInfo>) {
         let pool = BufferPool::new(Arc::new(MemDisk::new()), 256);
@@ -476,6 +558,34 @@ mod tests {
                 assert_eq!(row.values().len(), 2);
             }
         }
+    }
+
+    #[test]
+    fn versioned_apply_lands_rows_and_advances_the_oracle() {
+        let (ctx, t) = setup();
+        let row = |i: i64| Tuple::new(vec![Value::Int(i), Value::Int(i * 2)]).encode();
+        let recs = vec![
+            LogRecord::Begin { xid: 7 },
+            LogRecord::Insert { xid: 7, table: t.id.0, rid: Rid::new(PageId(1), 0), bytes: row(1) },
+            LogRecord::Insert { xid: 7, table: t.id.0, rid: Rid::new(PageId(1), 1), bytes: row(2) },
+            LogRecord::Delete {
+                xid: 7,
+                table: t.id.0,
+                rid: Rid::new(PageId(1), 0),
+                before: row(1),
+            },
+            LogRecord::Commit { xid: 7 },
+        ];
+        let before_ts = ctx.catalog.oracle().latest();
+        let mut rid_map = HashMap::new();
+        assert_eq!(apply_versioned_txn(&ctx, &recs, &mut rid_map).unwrap(), 3);
+        assert_eq!(t.heap.count().unwrap(), 1);
+        assert!(ctx.catalog.oracle().latest() > before_ts, "commit must advance the oracle");
+        // The surviving row is fully committed: no Pending stamps remain.
+        assert_eq!(t.versions.stats().pending_txns, 0);
+        // Mixed xids in one run are a caller bug, not silently applied.
+        let mixed = vec![LogRecord::Begin { xid: 1 }, LogRecord::Commit { xid: 2 }];
+        assert!(apply_versioned_txn(&ctx, &mixed, &mut rid_map).is_err());
     }
 
     #[test]

@@ -25,17 +25,27 @@
 //! statements through a dedicated `net` stage (bounded-queue back-pressure
 //! all the way to the socket), the threaded baseline serves
 //! thread-per-connection, and the two answer byte-identical responses.
+//!
+//! The [`replication`] module adds STAR-style asymmetric roles on top:
+//! either server acts as a **primary**, shipping committed WAL records to
+//! subscribed [`ReplicaServer`]s over a `REPLICATE` feed (a dedicated
+//! `replication` stage on the staged server), while replicas apply the
+//! feed transactionally and serve snapshot reads only.
 
 #![deny(missing_docs)]
 
 pub mod net;
 pub mod pipeline;
+pub mod replication;
 pub mod session;
 pub mod staged_server;
 pub mod threaded;
 pub mod types;
 
 pub use net::{serve, NetConfig, NetHandle, NetStats};
+pub use replication::{
+    ReplicaConfig, ReplicaServer, ReplicaSession, ReplicaStatus, ReplicationHub,
+};
 pub use session::TxnRuntime;
 pub use staged_server::{StagedServer, StagedSession};
 pub use threaded::{ThreadedServer, ThreadedSession};

@@ -29,9 +29,11 @@
 //! with `ERR OVERLOADED` and closed: admission control before any session
 //! state is allocated.
 
+use crate::replication::{ReplicaServer, ReplicaSession, ReplicationHub};
 use crate::types::{QueryOutput, Response, ServerError};
 use crate::{StagedServer, StagedSession, ThreadedServer, ThreadedSession};
 use parking_lot::Mutex;
+use staged_storage::wal::Lsn;
 use staged_storage::{Column, DataType, Schema, Tuple, Value};
 use staged_wire as wire;
 use std::io::{Read, Write};
@@ -92,6 +94,12 @@ pub trait WireBackend: Send + Sync + Clone + 'static {
     /// WAL. Blocks the caller until the checkpoint finishes (or times out
     /// against writers that will not drain).
     fn checkpoint(&self) -> Response;
+    /// The WAL-shipping hub, when this backend can act as a replication
+    /// primary. `None` (the default) refuses `REPLICATE` — a replica, for
+    /// instance, does not re-ship its feed.
+    fn replication(&self) -> Option<Arc<ReplicationHub>> {
+        None
+    }
 }
 
 /// The result-set schema of the `STATS` wire command.
@@ -145,6 +153,29 @@ fn mvcc_row(catalog: &staged_storage::Catalog, txn: &crate::session::TxnRuntime)
     ])
 }
 
+/// The synthetic `replication` STATS row of a **primary**, reusing the
+/// stage columns: `processed` = records shipped, `errors` = slow replicas
+/// evicted, `idle_polls`/`preempts` = shipped LSN (segment/offset),
+/// `cohorts` = connected replicas, `max_cohort` = worst per-replica lag in
+/// unacked records, `batch` = outbox capacity, `queued` = total unacked
+/// records. See PROTOCOL.md §6.
+fn replication_row(hub: &ReplicationHub) -> Tuple {
+    let s = hub.stats();
+    Tuple::new(vec![
+        Value::Str("replication".into()),
+        Value::Int(s.shipped_records as i64),
+        Value::Int(s.evicted as i64),
+        Value::Int(0),
+        Value::Int(s.shipped_lsn.segment as i64),
+        Value::Int(s.connected as i64),
+        Value::Int(s.max_lag_records as i64),
+        Value::Int(s.shipped_lsn.offset as i64),
+        Value::Int(s.outbox_capacity as i64),
+        Value::Int(s.unacked_records as i64),
+        Value::Int(0),
+    ])
+}
+
 // ---------------------------------------------------------------------------
 // Backend impls for the two servers
 // ---------------------------------------------------------------------------
@@ -172,6 +203,10 @@ impl WireBackend for Arc<StagedServer> {
         let mut rows = self
             .stage_stats()
             .into_iter()
+            // The replication stage's only work is its idle-hook pump; its
+            // queue row would shadow the shipping summary row of the same
+            // name pushed below, which carries the useful counters.
+            .filter(|s| s.name != "replication")
             .map(|s| {
                 Tuple::new(vec![
                     Value::Str(s.name),
@@ -225,12 +260,18 @@ impl WireBackend for Arc<StagedServer> {
         ]));
         // And one for the MVCC layer (version overlays + commit oracle).
         rows.push(mvcc_row(self.catalog(), self.txn_runtime()));
+        // And one for the WAL-shipping hub.
+        rows.push(replication_row(self.replication_hub()));
         let n = rows.len();
         QueryOutput { rows, schema: Some(stats_schema()), message: format!("STATS {n}") }
     }
 
     fn checkpoint(&self) -> Response {
         StagedServer::checkpoint(self)
+    }
+
+    fn replication(&self) -> Option<Arc<ReplicationHub>> {
+        Some(Arc::clone(self.replication_hub()))
     }
 }
 
@@ -267,12 +308,71 @@ impl WireBackend for Arc<ThreadedServer> {
             Value::Int(self.pool_size() as i64),
         ])];
         rows.push(mvcc_row(self.catalog(), self.txn_runtime()));
+        rows.push(replication_row(self.replication_hub()));
         let n = rows.len();
         QueryOutput { rows, schema: Some(stats_schema()), message: format!("STATS {n}") }
     }
 
     fn checkpoint(&self) -> Response {
         ThreadedServer::checkpoint(self)
+    }
+
+    fn replication(&self) -> Option<Arc<ReplicationHub>> {
+        Some(Arc::clone(self.replication_hub()))
+    }
+}
+
+/// A replica wire session: snapshot reads (and bootstrap DDL) only.
+pub struct ReplicaWireSession {
+    session: ReplicaSession,
+}
+
+impl WireSession for ReplicaWireSession {
+    fn statement(&self, sql: &str) -> Response {
+        self.session.execute_sql(sql)
+    }
+}
+
+impl WireBackend for Arc<ReplicaServer> {
+    type Session = ReplicaWireSession;
+
+    fn open_session(&self) -> ReplicaWireSession {
+        ReplicaWireSession { session: self.session() }
+    }
+
+    fn stats_output(&self) -> QueryOutput {
+        // The replica's `replication` row is the *apply* side of the
+        // shipping columns: `processed` = records applied, `errors` =
+        // stream errors, `retries` = subscriptions (reconnect count + 1),
+        // `idle_polls`/`preempts` = applied LSN (segment/offset),
+        // `cohorts` = 1 when the feed is connected, `queued` =
+        // records buffered behind their commit. See PROTOCOL.md §6.
+        let feed = self.feed_stats();
+        let status = self.status();
+        let rows = vec![
+            Tuple::new(vec![
+                Value::Str("replication".into()),
+                Value::Int(feed.applied_records as i64),
+                Value::Int(feed.stream_errors as i64),
+                Value::Int(feed.connects as i64),
+                Value::Int(status.applied_lsn.segment as i64),
+                Value::Int(feed.connected as i64),
+                Value::Int(status.lag_records as i64),
+                Value::Int(status.applied_lsn.offset as i64),
+                Value::Int(0),
+                Value::Int(status.lag_records as i64),
+                Value::Int(0),
+            ]),
+            mvcc_row(self.catalog(), self.txn_runtime()),
+        ];
+        let n = rows.len();
+        QueryOutput { rows, schema: Some(stats_schema()), message: format!("STATS {n}") }
+    }
+
+    fn checkpoint(&self) -> Response {
+        // The replica's WAL layout mirrors the primary's; truncating it
+        // locally would break exactly-once resume.
+        Err(ServerError::ReadOnlyReplica)
     }
 }
 
@@ -491,6 +591,23 @@ fn handle_connection<B: WireBackend>(
                     stream.write_all(b"BYE\n")?;
                     break 'conn;
                 }
+                Reply::Replicate(from) => {
+                    // The connection stops being request/response and
+                    // becomes a WAL feed; it never comes back.
+                    match backend.replication() {
+                        Some(hub) => {
+                            let r = stream_feed(stream, &hub, from, shared, buf);
+                            return r;
+                        }
+                        None => {
+                            let err: Response = Err(ServerError::Protocol(
+                                "this server does not ship WAL (not a primary)".into(),
+                            ));
+                            stream.write_all(encode_response(&err).as_bytes())?;
+                            break 'conn;
+                        }
+                    }
+                }
             }
         }
         if buf.len() > wire::MAX_LINE_BYTES {
@@ -519,9 +636,130 @@ fn handle_connection<B: WireBackend>(
     Ok(())
 }
 
+/// How many outbox bytes a feed connection will hold in its own write
+/// buffer before it stops draining the outbox — so a stalled socket fills
+/// the *bounded* outbox (and gets the replica evicted by the pump) instead
+/// of growing an unbounded local buffer.
+const FEED_PENDING_CAP: usize = 64 * 1024;
+
+/// Drop guard: a feed that exits any way (error, eviction, shutdown)
+/// unregisters its replica so it stops pinning the checkpoint floor.
+struct FeedGuard<'a> {
+    hub: &'a ReplicationHub,
+    id: u64,
+}
+
+impl Drop for FeedGuard<'_> {
+    fn drop(&mut self) {
+        self.hub.disconnect(self.id);
+    }
+}
+
+/// Serve one `REPLICATE` subscription: relay the hub's outbox to the
+/// socket and `ACK` lines back to the hub, until eviction, disconnect or
+/// shutdown. `leftover` is whatever the reader buffered past the
+/// `REPLICATE` line (early ACKs).
+fn stream_feed(
+    mut stream: TcpStream,
+    hub: &Arc<ReplicationHub>,
+    from: Lsn,
+    shared: &Arc<NetShared>,
+    mut leftover: Vec<u8>,
+) -> std::io::Result<()> {
+    let (id, rx) = match hub.subscribe(from) {
+        Ok(sub) => sub,
+        Err(e) => {
+            let err: Response = Err(e);
+            stream.write_all(encode_response(&err).as_bytes())?;
+            return Ok(());
+        }
+    };
+    let _guard = FeedGuard { hub, id };
+    // Short timeouts make the relay loop responsive in both directions: a
+    // blocked write must not stop ACK reading for long, and vice versa.
+    stream.set_write_timeout(Some(shared.config.poll_interval))?;
+    stream.set_read_timeout(Some(Duration::from_millis(1)))?;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Pull framed lines from the outbox — but only while our own
+        // write buffer is small; past the cap the bounded outbox must
+        // fill so the pump can evict us.
+        if pending.len() < FEED_PENDING_CAP {
+            loop {
+                match rx.try_recv() {
+                    Ok(line) => {
+                        pending.extend_from_slice(line.as_bytes());
+                        pending.push(b'\n');
+                        if pending.len() >= FEED_PENDING_CAP {
+                            break;
+                        }
+                    }
+                    Err(crossbeam::channel::TryRecvError::Empty) => break,
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => return Ok(()),
+                }
+            }
+        }
+        // Push to the socket (bounded by the write timeout).
+        while !pending.is_empty() {
+            match stream.write(&pending) {
+                Ok(0) => return Ok(()),
+                Ok(n) => {
+                    pending.drain(..n);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(_) => return Ok(()),
+            }
+        }
+        // Relay ACK lines back to the hub.
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => {
+                leftover.extend_from_slice(&chunk[..n]);
+                while let Some(nl) = leftover.iter().position(|b| *b == b'\n') {
+                    let line: Vec<u8> = leftover.drain(..=nl).collect();
+                    if let Ok(text) = std::str::from_utf8(&line[..nl]) {
+                        if let Ok((segment, offset)) = wire::parse_ack(text.trim_end()) {
+                            hub.ack(id, Lsn { segment, offset });
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return Ok(()),
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if pending.is_empty() {
+            // Caught up: let the hub look for fresh records (the feed
+            // thread drives its own catch-up instead of waiting for the
+            // pump stage's idle tick), then block briefly on the outbox.
+            hub.pump();
+            match rx.recv_timeout(shared.config.poll_interval) {
+                Ok(line) => {
+                    pending.extend_from_slice(line.as_bytes());
+                    pending.push(b'\n');
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return Ok(()),
+            }
+        }
+    }
+}
+
 enum Reply {
     Text(String),
     Bye,
+    /// `REPLICATE <lsn>`: hand the connection over to the WAL feed.
+    Replicate(Lsn),
 }
 
 fn respond<B: WireBackend>(raw: &[u8], session: &B::Session, backend: &B) -> Reply {
@@ -537,6 +775,9 @@ fn respond<B: WireBackend>(raw: &[u8], session: &B::Session, backend: &B) -> Rep
         Ok(wire::Command::Quit) => Reply::Bye,
         Ok(wire::Command::Stats) => Reply::Text(encode_response(&Ok(backend.stats_output()))),
         Ok(wire::Command::Checkpoint) => Reply::Text(encode_response(&backend.checkpoint())),
+        Ok(wire::Command::Replicate { segment, offset }) => {
+            Reply::Replicate(Lsn { segment, offset })
+        }
         Ok(wire::Command::Query(sql)) => Reply::Text(encode_response(&session.statement(&sql))),
         Err(msg) => {
             let err: Response = Err(ServerError::Protocol(msg));

@@ -1,6 +1,7 @@
 //! The staged DBMS server (paper Figure 3, top row).
 
 use crate::pipeline::{self, Exec, Parsed, PlannedAction};
+use crate::replication::ReplicationHub;
 use crate::session::{StatementCtx, TxnRuntime};
 use crate::types::{ExecutionMode, Response, ServerConfig, ServerError};
 use crossbeam::channel::{bounded, Receiver};
@@ -84,7 +85,7 @@ enum PacketBody {
 struct ServerShared {
     catalog: Arc<Catalog>,
     ctx: ExecContext,
-    wal: Wal,
+    wal: Arc<Wal>,
     snapshots: Arc<dyn SnapshotStore>,
     recovery: RecoveryReport,
     engine: Arc<StagedEngine>,
@@ -100,6 +101,11 @@ struct ServerShared {
     /// True while an idle-raised checkpoint packet is queued or running;
     /// stops the idle hook from stacking duplicates.
     auto_pending: AtomicBool,
+    /// WAL-shipping hub: the primary side of replication. Connected
+    /// replicas subscribe through the network front end; the dedicated
+    /// `replication` stage pumps committed records to them from its idle
+    /// hook.
+    replication: Arc<ReplicationHub>,
 }
 
 /// The staged server.
@@ -375,8 +381,15 @@ impl StageLogic<SPacket> for CheckpointStage {
             // The database is still: every partition lock is ours, and
             // in-flight writers hold theirs through commit (strict 2PL),
             // so none are mid-statement.
-            let res =
-                checkpoint::checkpoint(&shared.catalog, &shared.wal, shared.snapshots.as_ref());
+            // The truncation floor is clamped to the minimum replica-acked
+            // LSN: history a live replica has not yet confirmed durable
+            // stays on disk so a reconnect can resume, not re-seed.
+            let res = checkpoint::checkpoint_with_floor(
+                &shared.catalog,
+                &shared.wal,
+                shared.snapshots.as_ref(),
+                shared.replication.min_acked(),
+            );
             // Writers are quiesced (we hold every partition lock), so dead
             // versions can be reclaimed before the world is released.
             let gc = checkpoint::vacuum(&shared.catalog, shared.txn.mgr());
@@ -428,6 +441,29 @@ impl StageLogic<SPacket> for CheckpointStage {
         if ctx.try_send(ctx.stage_id, pkt).is_err() {
             shared.auto_pending.store(false, Ordering::Release);
         }
+    }
+}
+
+/// The replication stage: the shipping side of the primary, run as its own
+/// bounded stage like everything else in the server. It receives no client
+/// packets — its work hook is `on_idle`, which pumps committed WAL records
+/// into every subscribed replica's bounded outbox (evicting replicas whose
+/// outbox is full rather than buffering without bound). Feed connection
+/// threads also pump on their own when caught up, so this stage's idle
+/// cadence only bounds the *eviction* latency of a stalled replica, not the
+/// shipping latency of a healthy one.
+struct ReplicationStage {
+    shared: Arc<ServerShared>,
+}
+
+impl StageLogic<SPacket> for ReplicationStage {
+    fn process(&self, pkt: SPacket, ctx: &StageCtx<'_, SPacket>) -> Result<(), StageError> {
+        // Nothing routes packets here; anything that arrives is a bug.
+        finish(ctx, pkt, Err(ServerError::Execution("bad packet at replication".into())))
+    }
+
+    fn on_idle(&self, _ctx: &StageCtx<'_, SPacket>) {
+        self.shared.replication.pump();
     }
 }
 
@@ -545,6 +581,9 @@ impl StagedServer {
         let (wal, recovery) =
             checkpoint::recover(&ctx, segments, snapshots.as_ref(), config.wal_segment_pages)
                 .map_err(|e| ServerError::Execution(format!("recovery failed: {e}")))?;
+        let wal = Arc::new(wal);
+        let replication =
+            Arc::new(ReplicationHub::new(Arc::clone(&wal), config.replication_outbox));
         let engine = StagedEngine::new(ctx.clone(), config.engine.clone());
         let txn = TxnRuntime::for_catalog(&catalog);
         let shared = Arc::new(ServerShared {
@@ -561,6 +600,7 @@ impl StagedServer {
             served: AtomicU64::new(0),
             checkpointing: AtomicBool::new(false),
             auto_pending: AtomicBool::new(false),
+            replication,
         });
         let mut b = StagedRuntime::<SPacket>::builder();
         let cohort = config.max_cohort;
@@ -612,6 +652,15 @@ impl StagedServer {
         // sleeping inside `process` like a conflicted lock packet.
         let checkpoint_id = b.add_stage(
             StageSpec::new("checkpoint", CheckpointStage { shared: Arc::clone(&shared) })
+                .with_queue_capacity(config.queue_capacity)
+                .with_workers(1)
+                .with_batch(BatchPolicy::Single),
+        );
+        // One worker, one packet at a time: the replication stage does all
+        // of its work from the idle hook (no packets are ever routed here),
+        // pumping the shipping hub on the runtime's idle cadence.
+        b.add_stage(
+            StageSpec::new("replication", ReplicationStage { shared: Arc::clone(&shared) })
                 .with_queue_capacity(config.queue_capacity)
                 .with_workers(1)
                 .with_batch(BatchPolicy::Single),
@@ -751,6 +800,13 @@ impl StagedServer {
     /// The write-ahead log (for monitoring: live segments, I/O counters).
     pub fn wal(&self) -> &Wal {
         &self.shared.wal
+    }
+
+    /// The WAL-shipping hub (primary side of replication): replica
+    /// subscriptions, the shipping pump, and the acked-LSN floor that
+    /// clamps checkpoint truncation.
+    pub fn replication_hub(&self) -> &Arc<ReplicationHub> {
+        &self.shared.replication
     }
 
     pub(crate) fn catalog(&self) -> &Arc<Catalog> {

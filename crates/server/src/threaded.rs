@@ -8,6 +8,7 @@
 //! demonstrates.
 
 use crate::pipeline::{self, Exec, Parsed, PlannedAction};
+use crate::replication::ReplicationHub;
 use crate::session::{StatementCtx, TxnRuntime};
 use crate::types::{QueryOutput, Request, RequestBody, Response, ServerError};
 use crossbeam::channel::{bounded, Receiver};
@@ -19,7 +20,7 @@ use staged_engine::txn::LockMode;
 use staged_planner::PlannerConfig;
 use staged_storage::wal::Wal;
 use staged_storage::{Catalog, MemSegmentStore, MemSnapshotStore, SegmentStore, SnapshotStore};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -27,7 +28,7 @@ use std::time::Duration;
 struct Inner {
     catalog: Arc<Catalog>,
     ctx: ExecContext,
-    wal: Wal,
+    wal: Arc<Wal>,
     snapshots: Arc<dyn SnapshotStore>,
     planner: PlannerConfig,
     queue: StageQueue<Request>,
@@ -35,6 +36,12 @@ struct Inner {
     lock_timeout: Duration,
     served: AtomicU64,
     pool_size: usize,
+    /// WAL-shipping hub (primary side of replication); pumped by the
+    /// dedicated `repl-pump` thread — the monolithic counterpart of the
+    /// staged server's `replication` stage.
+    replication: Arc<ReplicationHub>,
+    /// Stops the `repl-pump` thread at shutdown.
+    stop: AtomicBool,
 }
 
 impl Inner {
@@ -52,6 +59,7 @@ impl Inner {
 pub struct ThreadedServer {
     inner: Arc<Inner>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    pump: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ThreadedServer {
@@ -99,6 +107,11 @@ impl ThreadedServer {
             staged_storage::DEFAULT_SEGMENT_PAGES,
         )
         .map_err(|e| ServerError::Execution(format!("recovery failed: {e}")))?;
+        let wal = Arc::new(wal);
+        let replication = Arc::new(ReplicationHub::new(
+            Arc::clone(&wal),
+            crate::replication::DEFAULT_OUTBOX_CAPACITY,
+        ));
         let txn = TxnRuntime::for_catalog(&catalog);
         let inner = Arc::new(Inner {
             ctx,
@@ -111,6 +124,8 @@ impl ThreadedServer {
             lock_timeout,
             served: AtomicU64::new(0),
             pool_size: pool_size.max(1),
+            replication,
+            stop: AtomicBool::new(false),
         });
         let workers = (0..pool_size.max(1))
             .map(|i| {
@@ -121,7 +136,23 @@ impl ThreadedServer {
                     .expect("spawn pool worker")
             })
             .collect();
-        Ok(Self { inner, workers: Mutex::new(workers) })
+        // The shipping pump: in the monolithic server there is no stage to
+        // hang an idle hook on, so a dedicated thread pumps the hub. Feed
+        // connection threads still self-pump when caught up; this thread
+        // mainly bounds stalled-replica eviction latency.
+        let pump = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("repl-pump".into())
+                .spawn(move || {
+                    while !inner.stop.load(Ordering::Acquire) {
+                        inner.replication.pump();
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                })
+                .expect("spawn replication pump")
+        };
+        Ok(Self { inner, workers: Mutex::new(workers), pump: Mutex::new(Some(pump)) })
     }
 
     /// Run a checkpoint on the calling thread — the monolithic-server
@@ -133,8 +164,15 @@ impl ThreadedServer {
         let locks = inner.txn.mgr().locks();
         let _guard = checkpoint::quiesce(locks, &inner.catalog, inner.lock_timeout)
             .map_err(|e| ServerError::Execution(e.to_string()))?;
-        let outcome = checkpoint::checkpoint(&inner.catalog, &inner.wal, inner.snapshots.as_ref())
-            .map_err(|e| ServerError::Execution(e.to_string()))?;
+        // Truncation holds back history a live replica has not yet acked,
+        // so a reconnect resumes instead of re-seeding.
+        let outcome = checkpoint::checkpoint_with_floor(
+            &inner.catalog,
+            &inner.wal,
+            inner.snapshots.as_ref(),
+            inner.replication.min_acked(),
+        )
+        .map_err(|e| ServerError::Execution(e.to_string()))?;
         // The quiesce guard is still held: the database is still, so this
         // is the one safe moment to reclaim dead versions.
         let gc = checkpoint::vacuum(&inner.catalog, inner.txn.mgr());
@@ -182,6 +220,13 @@ impl ThreadedServer {
         self.inner.pool_size
     }
 
+    /// The WAL-shipping hub (primary side of replication): replica
+    /// subscriptions, the shipping pump, and the acked-LSN floor that
+    /// clamps checkpoint truncation.
+    pub fn replication_hub(&self) -> &Arc<ReplicationHub> {
+        &self.inner.replication
+    }
+
     pub(crate) fn catalog(&self) -> &Arc<Catalog> {
         &self.inner.catalog
     }
@@ -197,8 +242,12 @@ impl ThreadedServer {
     /// observe `Closed`), later submissions get `ShuttingDown`.
     pub fn shutdown(&self) {
         self.inner.queue.close();
+        self.inner.stop.store(true, Ordering::Release);
         for w in self.workers.lock().drain(..) {
             let _ = w.join();
+        }
+        if let Some(p) = self.pump.lock().take() {
+            let _ = p.join();
         }
     }
 }

@@ -39,6 +39,10 @@ pub enum ServerError {
     /// The statement writes (DML/DDL) inside a `BEGIN READ ONLY`
     /// transaction; only reads may run until `COMMIT`/`ROLLBACK`.
     ReadOnly,
+    /// The statement writes on a read-only replica (or opens a read-write
+    /// transaction there). Replicas apply shipped WAL only; retry against
+    /// the primary.
+    ReadOnlyReplica,
     /// The server is overloaded (connect queue full, §5.2).
     Overloaded,
     /// The server is shutting down.
@@ -60,6 +64,7 @@ impl ServerError {
             ServerError::Execution(_) => ErrorCode::Exec,
             ServerError::TxnAborted => ErrorCode::TxnAborted,
             ServerError::ReadOnly => ErrorCode::ReadOnly,
+            ServerError::ReadOnlyReplica => ErrorCode::ReadOnlyReplica,
             ServerError::Overloaded => ErrorCode::Overloaded,
             ServerError::ShuttingDown => ErrorCode::Shutdown,
             ServerError::UnknownPrepared(_) => ErrorCode::UnknownPrepared,
@@ -78,6 +83,13 @@ impl fmt::Display for ServerError {
             }
             ServerError::ReadOnly => {
                 write!(f, "cannot execute a write statement in a read-only transaction")
+            }
+            ServerError::ReadOnlyReplica => {
+                write!(
+                    f,
+                    "this server is a read-only replica; \
+                     writes (and BEGIN without READ ONLY) must go to the primary"
+                )
             }
             ServerError::Overloaded => write!(f, "server overloaded"),
             ServerError::ShuttingDown => write!(f, "server shutting down"),
@@ -185,6 +197,11 @@ pub struct ServerConfig {
     /// during an idle moment. `None` disables automatic checkpoints
     /// (the `CHECKPOINT` command still works).
     pub checkpoint_segments: Option<u64>,
+    /// Per-replica outbox capacity in framed lines: how far a replica's
+    /// feed may fall behind the shipping pump before the replica is
+    /// evicted rather than buffered further (bounded-queue policy, like
+    /// every other stage).
+    pub replication_outbox: usize,
 }
 
 impl Default for ServerConfig {
@@ -202,6 +219,7 @@ impl Default for ServerConfig {
             lock_timeout: Duration::from_secs(2),
             wal_segment_pages: staged_storage::DEFAULT_SEGMENT_PAGES,
             checkpoint_segments: None,
+            replication_outbox: crate::replication::DEFAULT_OUTBOX_CAPACITY,
         }
     }
 }

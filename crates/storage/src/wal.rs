@@ -164,6 +164,27 @@ impl LogRecord {
             | LogRecord::Abort { xid } => *xid,
         }
     }
+
+    /// Serialize to the WAL's on-disk record layout. This is the payload
+    /// format replication ships over the wire (`WALREC` lines), so a
+    /// replica persists byte-identical records into its own log.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    /// Decode one record from [`to_bytes`](Self::to_bytes) output. The
+    /// buffer must contain exactly one record (no trailing bytes), which
+    /// is what the wire framing guarantees per `WALREC` line.
+    pub fn from_bytes(buf: &[u8]) -> StorageResult<LogRecord> {
+        let (record, used) = Self::decode(buf)?;
+        if used != buf.len() {
+            return Err(StorageError::Corrupt(format!(
+                "log record used {used} of {} bytes",
+                buf.len()
+            )));
+        }
+        Ok(record)
+    }
 }
 
 impl LogRecord {
@@ -1053,6 +1074,18 @@ mod tests {
         assert!(LogRecord::decode(&[]).is_err());
         assert!(LogRecord::decode(&[2, 1]).is_err());
         assert!(LogRecord::decode(&[9, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn record_bytes_round_trip() {
+        for r in sample_records() {
+            let bytes = r.to_bytes();
+            assert_eq!(LogRecord::from_bytes(&bytes).unwrap(), r);
+            // Trailing garbage is corruption, not silently ignored.
+            let mut long = bytes.clone();
+            long.push(0);
+            assert!(LogRecord::from_bytes(&long).is_err());
+        }
     }
 
     #[test]

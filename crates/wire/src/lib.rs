@@ -54,6 +54,10 @@ pub enum ErrorCode {
     UnknownPrepared,
     /// The request line violated the wire protocol itself.
     Proto,
+    /// The statement writes on a read-only replica. Replicas apply shipped
+    /// WAL from their primary and refuse all local writes; retry the
+    /// statement against the primary.
+    ReadOnlyReplica,
 }
 
 impl ErrorCode {
@@ -68,6 +72,7 @@ impl ErrorCode {
             ErrorCode::Shutdown => "SHUTDOWN",
             ErrorCode::UnknownPrepared => "UNKNOWN_PREPARED",
             ErrorCode::Proto => "PROTO",
+            ErrorCode::ReadOnlyReplica => "READ_ONLY_REPLICA",
         }
     }
 
@@ -82,6 +87,7 @@ impl ErrorCode {
             "SHUTDOWN" => ErrorCode::Shutdown,
             "UNKNOWN_PREPARED" => ErrorCode::UnknownPrepared,
             "PROTO" => ErrorCode::Proto,
+            "READ_ONLY_REPLICA" => ErrorCode::ReadOnlyReplica,
             _ => return None,
         })
     }
@@ -110,6 +116,17 @@ pub enum Command {
     /// `QUERY <sql>` (or the `BEGIN`/`COMMIT`/`ROLLBACK` shorthands) — run
     /// one SQL statement under the connection's session.
     Query(String),
+    /// `REPLICATE <segment:offset>` — turn this connection into a WAL
+    /// shipping feed. The server streams `WALREC` lines for every
+    /// committed record at or above the given LSN, punctuated by `WALEOF`
+    /// watermarks; the client sends `ACK <lsn>` lines upstream. The
+    /// connection never returns to request/response framing.
+    Replicate {
+        /// Resume segment (the replica's durable applied LSN).
+        segment: u64,
+        /// Resume offset within the segment.
+        offset: u64,
+    },
 }
 
 /// Parse one request line into a [`Command`].
@@ -152,6 +169,13 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "BEGIN" | "COMMIT" | "ROLLBACK" => Ok(Command::Query(upper)),
         "QUERY" if rest.is_empty() => Err("QUERY requires a SQL statement".into()),
         "QUERY" => Ok(Command::Query(rest.to_string())),
+        "REPLICATE" if rest.is_empty() => {
+            Err("REPLICATE requires a from-LSN (segment:offset)".into())
+        }
+        "REPLICATE" => {
+            let (segment, offset) = parse_lsn(rest)?;
+            Ok(Command::Replicate { segment, offset })
+        }
         "" => Err("empty command".into()),
         other => Err(format!("unknown command {other}")),
     }
@@ -226,6 +250,145 @@ pub fn unescape_message(wire: &str) -> String {
     out
 }
 
+/// Format an LSN for the wire: `segment:offset` (matches the storage
+/// crate's `Lsn` display form, so both sides print the same spelling).
+pub fn format_lsn(segment: u64, offset: u64) -> String {
+    format!("{segment}:{offset}")
+}
+
+/// Parse a wire LSN (`segment:offset`) into its two parts.
+pub fn parse_lsn(s: &str) -> Result<(u64, u64), String> {
+    let (seg, off) = s.split_once(':').ok_or_else(|| format!("bad LSN {s:?} (want seg:off)"))?;
+    let segment = seg.parse::<u64>().map_err(|_| format!("bad LSN segment {seg:?}"))?;
+    let offset = off.parse::<u64>().map_err(|_| format!("bad LSN offset {off:?}"))?;
+    Ok((segment, offset))
+}
+
+const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 (RFC 4648, `=` padded). WAL record payloads are binary;
+/// base64 keeps `WALREC` lines inside the protocol's printable-text,
+/// newline-delimited framing without escaping games.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = u32::from(b[0]) << 16 | u32::from(b[1]) << 8 | u32::from(b[2]);
+        out.push(BASE64_ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(BASE64_ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            BASE64_ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 { BASE64_ALPHABET[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// Undo [`base64_encode`]. Rejects bad characters, bad length and
+/// misplaced padding — a corrupted `WALREC` payload must fail loudly, not
+/// decode to garbage bytes.
+pub fn base64_decode(s: &str) -> Result<Vec<u8>, String> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!("base64 length {} not a multiple of 4", bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return Err("misplaced base64 padding".into());
+        }
+        let mut n = 0u32;
+        for &c in &chunk[..4 - pad] {
+            let v = match c {
+                b'A'..=b'Z' => c - b'A',
+                b'a'..=b'z' => c - b'a' + 26,
+                b'0'..=b'9' => c - b'0' + 52,
+                b'+' => 62,
+                b'/' => 63,
+                _ => return Err(format!("bad base64 byte {c:#04x}")),
+            };
+            n = n << 6 | u32::from(v);
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// One downstream frame of the replication feed (primary → replica).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplFrame {
+    /// `WALREC <lsn> <base64-payload>` — one WAL record at that LSN.
+    Record {
+        /// Segment part of the record's LSN.
+        segment: u64,
+        /// Offset part of the record's LSN.
+        offset: u64,
+        /// The record's encoded bytes (see `LogRecord::to_bytes`).
+        payload: Vec<u8>,
+    },
+    /// `WALEOF <lsn>` — watermark: everything below `lsn` has been
+    /// shipped; the feed is idle until the next commit.
+    Eof {
+        /// Segment part of the watermark LSN.
+        segment: u64,
+        /// Offset part of the watermark LSN.
+        offset: u64,
+    },
+}
+
+/// Build a `WALREC` line (no trailing newline).
+pub fn encode_walrec(segment: u64, offset: u64, payload: &[u8]) -> String {
+    format!("WALREC {} {}", format_lsn(segment, offset), base64_encode(payload))
+}
+
+/// Build a `WALEOF` watermark line (no trailing newline).
+pub fn encode_waleof(segment: u64, offset: u64) -> String {
+    format!("WALEOF {}", format_lsn(segment, offset))
+}
+
+/// Build the upstream `ACK` line a replica sends once records at or below
+/// the LSN are durable and applied (no trailing newline).
+pub fn encode_ack(segment: u64, offset: u64) -> String {
+    format!("ACK {}", format_lsn(segment, offset))
+}
+
+/// Parse the LSN out of an upstream `ACK` line.
+pub fn parse_ack(line: &str) -> Result<(u64, u64), String> {
+    let rest = line
+        .trim_end_matches(['\r', '\n'])
+        .strip_prefix("ACK ")
+        .ok_or_else(|| format!("expected ACK line, got {line:?}"))?;
+    parse_lsn(rest.trim())
+}
+
+/// Parse one downstream replication-feed line into a [`ReplFrame`].
+pub fn parse_repl_frame(line: &str) -> Result<ReplFrame, String> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if let Some(rest) = line.strip_prefix("WALREC ") {
+        let (lsn, b64) = rest.split_once(' ').ok_or_else(|| format!("bad WALREC line {line:?}"))?;
+        let (segment, offset) = parse_lsn(lsn)?;
+        let payload = base64_decode(b64)?;
+        Ok(ReplFrame::Record { segment, offset, payload })
+    } else if let Some(rest) = line.strip_prefix("WALEOF ") {
+        let (segment, offset) = parse_lsn(rest.trim())?;
+        Ok(ReplFrame::Eof { segment, offset })
+    } else {
+        Err(format!("unexpected replication frame {line:?}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +408,10 @@ mod tests {
             parse_command("QUERY SELECT * FROM t").unwrap(),
             Command::Query("SELECT * FROM t".into())
         );
+        assert_eq!(
+            parse_command("replicate 3:128").unwrap(),
+            Command::Replicate { segment: 3, offset: 128 }
+        );
     }
 
     #[test]
@@ -256,6 +423,52 @@ mod tests {
         assert!(parse_command("BEGIN work").is_err());
         assert!(parse_command("BEGIN READ").is_err());
         assert!(parse_command("EXPLODE").is_err());
+        assert!(parse_command("REPLICATE").is_err());
+        assert!(parse_command("REPLICATE soon").is_err());
+        assert!(parse_command("REPLICATE 1:2:3").is_err());
+    }
+
+    #[test]
+    fn base64_round_trips() {
+        let cases: &[&[u8]] =
+            &[b"", b"f", b"fo", b"foo", b"foob", b"fooba", b"foobar", b"\x00\xff"];
+        for raw in cases {
+            let enc = base64_encode(raw);
+            assert_eq!(base64_decode(&enc).unwrap(), *raw, "case {raw:?}");
+        }
+        // Known vectors (RFC 4648 §10).
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        // Every byte value survives.
+        let all: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(base64_decode(&base64_encode(&all)).unwrap(), all);
+    }
+
+    #[test]
+    fn bad_base64_is_rejected() {
+        assert!(base64_decode("abc").is_err()); // length not 4k
+        assert!(base64_decode("ab=c").is_err()); // padding inside a chunk
+        assert!(base64_decode("a===").is_err()); // too much padding
+        assert!(base64_decode("Zm9v YQ==").is_err()); // bad byte
+        assert!(base64_decode("Zm==AAAA").is_err()); // padding not in last chunk
+    }
+
+    #[test]
+    fn repl_frames_round_trip() {
+        let rec = encode_walrec(2, 4096, b"\x01\x02\xff");
+        assert_eq!(
+            parse_repl_frame(&rec).unwrap(),
+            ReplFrame::Record { segment: 2, offset: 4096, payload: vec![1, 2, 255] }
+        );
+        let eof = encode_waleof(7, 0);
+        assert_eq!(parse_repl_frame(&eof).unwrap(), ReplFrame::Eof { segment: 7, offset: 0 });
+        assert_eq!(parse_ack(&encode_ack(7, 8)).unwrap(), (7, 8));
+        assert!(parse_repl_frame("WALREC 1:2").is_err());
+        assert!(parse_repl_frame("NOPE 1:2").is_err());
+        assert!(parse_ack("WALEOF 1:2").is_err());
+        assert_eq!(parse_lsn(&format_lsn(9, 10)).unwrap(), (9, 10));
+        assert!(parse_lsn("9").is_err());
+        assert!(parse_lsn("a:b").is_err());
     }
 
     #[test]
@@ -302,6 +515,7 @@ mod tests {
             ErrorCode::Shutdown,
             ErrorCode::UnknownPrepared,
             ErrorCode::Proto,
+            ErrorCode::ReadOnlyReplica,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }

@@ -17,6 +17,24 @@ impl<T> fmt::Display for SendError<T> {
     }
 }
 
+/// Why a `try_send` delivered nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity; the value is handed back.
+    Full(T),
+    /// All receivers are gone; the value is handed back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Receiving from an empty channel with no remaining senders fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
@@ -108,6 +126,25 @@ impl<T> Sender<T> {
         }
         if inner.receivers == 0 {
             return Err(SendError(value));
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Deliver `value` without blocking: a bounded channel at capacity
+    /// hands the value back as [`TrySendError::Full`] instead of waiting
+    /// for space.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.0.lock();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.0.capacity {
+            if inner.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
         }
         inner.queue.push_back(value);
         drop(inner);
@@ -311,6 +348,17 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         assert!(t.join().unwrap());
         assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
