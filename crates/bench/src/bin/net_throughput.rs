@@ -10,14 +10,18 @@
 //! between the two is the cost of the wire (framing, syscalls, the `net`
 //! admission stage).
 //!
-//! Usage: `net_throughput [quick] [--clients N] [--transfers N]
+//! Usage: `net_throughput [quick|scale] [--clients N] [--transfers N]
 //!                        [--partitions N]`
 //!
 //! `quick` (CI smoke) runs 4 clients × 20 transfers on 2 partitions for
 //! both servers and asserts the balance-sum invariant; the full run scales
-//! the client count up. Always exits non-zero if any invariant breaks, so
-//! CI can use it as a correctness smoke test too. EXPERIMENTS.md documents
-//! how to read the output.
+//! the client count up. `scale` (PR 10) drives 1,000 closed-loop clients
+//! through the event-driven front end and asserts that serving them
+//! spawned no per-connection threads — the whole fleet reads and writes
+//! through the single `net-loop` poll thread (DESIGN.md §16). Always
+//! exits non-zero if any invariant breaks, so CI can use it as a
+//! correctness smoke test too. EXPERIMENTS.md documents how to read the
+//! output.
 
 use staged_dbclient::Client;
 use staged_planner::PlannerConfig;
@@ -59,8 +63,22 @@ fn drive(addr: std::net::SocketAddr, clients: usize, transfers: usize, parts: us
         let handles: Vec<_> = (0..clients)
             .map(|cid| {
                 scope.spawn(move || {
-                    let mut db = Client::connect_timeout(addr, Duration::from_secs(10))
-                        .expect("bench client connect");
+                    // A connect storm can overflow even a widened accept
+                    // queue; with the greeting covered by the timeout a
+                    // dropped connection errors instead of hanging, so
+                    // retrying is safe and keeps the fleet at full size.
+                    let mut db = None;
+                    for attempt in 0..6 {
+                        match Client::connect_timeout(addr, Duration::from_secs(10)) {
+                            Ok(c) => {
+                                db = Some(c);
+                                break;
+                            }
+                            Err(e) if attempt == 5 => panic!("bench client connect: {e:?}"),
+                            Err(_) => std::thread::sleep(Duration::from_millis(50 << attempt)),
+                        }
+                    }
+                    let mut db = db.expect("bench client connect");
                     let mut stmts = 0u64;
                     let mut state = 0x9e3779b97f4a7c15u64 ^ (cid as u64 + 1);
                     let mut next = move || {
@@ -157,9 +175,54 @@ fn bench_threaded(clients: usize, transfers: usize, parts: usize) -> (f64, f64) 
     rates
 }
 
+/// Live thread count of this process (one /proc/self/task entry per
+/// thread) — client threads included, which is why [`bench_scale`]
+/// snapshots before spawning them and after joining them.
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").expect("read /proc/self/task").count()
+}
+
+/// The connection-scale run: ≥1,000 closed-loop clients against the
+/// staged server, completing on one reader thread. The thread count is
+/// asserted around the drive — the server and its front end are
+/// in-process, so any thread-per-connection regression shows up as a
+/// post-join thread surplus.
+fn bench_scale(clients: usize, transfers: usize, parts: usize) {
+    let _ = polling::raise_nofile_limit();
+    let server = StagedServer::new(
+        accounts_catalog(parts),
+        ServerConfig { partitions: parts, ..Default::default() },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = net::serve(
+        listener,
+        Arc::clone(&server),
+        NetConfig { max_connections: clients + 4, ..Default::default() },
+    )
+    .unwrap();
+    let before = thread_count();
+    eprintln!("listening on {}", handle.local_addr());
+    let (txns, stmts) = drive(handle.local_addr(), clients, transfers, parts);
+    let after = thread_count();
+    check_invariant(handle.local_addr());
+    println!("{:>10} {txns:>14.0} {stmts:>16.0}", "staged");
+    assert!(
+        after <= before + 2,
+        "serving {clients} connections grew the thread count {before} -> {after}: \
+         the front end is no longer a single reader thread"
+    );
+    println!(
+        "threads: {before} before / {after} after serving {clients} connections \
+         (single poll loop, no per-connection threads)"
+    );
+    handle.shutdown();
+    server.shutdown();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
+    let scale = args.iter().any(|a| a == "scale");
     let flag = |name: &str, default: usize| -> usize {
         args.iter()
             .position(|a| a == name)
@@ -167,14 +230,38 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     };
-    let clients = flag("--clients", if quick { 4 } else { 8 });
-    let transfers = flag("--transfers", if quick { 20 } else { 200 });
+    let clients = flag(
+        "--clients",
+        if scale {
+            1000
+        } else if quick {
+            4
+        } else {
+            8
+        },
+    );
+    let transfers = flag(
+        "--transfers",
+        if scale {
+            2
+        } else if quick {
+            20
+        } else {
+            200
+        },
+    );
     let parts = flag("--partitions", 2);
 
     println!(
         "net_throughput: {clients} closed-loop TCP clients x {transfers} transfers, \
          {parts} partitions"
     );
+    if scale {
+        println!("{:>10} {:>14} {:>16}", "server", "txns/sec", "stmts/sec");
+        bench_scale(clients, transfers, parts);
+        println!("invariants held: SUM(bal) = {} at connection scale", ACCOUNTS * BALANCE);
+        return;
+    }
     println!("{:>10} {:>14} {:>16}", "server", "txns/sec", "stmts/sec");
     let (txns, stmts) = bench_staged(clients, transfers, parts);
     println!("{:>10} {txns:>14.0} {stmts:>16.0}", "staged");

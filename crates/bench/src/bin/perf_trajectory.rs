@@ -25,8 +25,11 @@
 //! touches the lock table, so its throughput must not collapse under
 //! write load. Since PR 9 it includes `repl_catchup_p2`: WAL records per
 //! second a replica applies while catching up from LSN zero over a real
-//! socket, with result-set parity asserted before the number is accepted
-//! (see EXPERIMENTS.md for the full metric table).
+//! socket, with result-set parity asserted before the number is accepted.
+//! Since PR 10 it includes `net_scale_p2`: the transfer mix served while
+//! the event-driven front end holds 1,000 idle connections open on its
+//! single reader thread — the connection-scale workload the `poll(2)`
+//! loop exists for (see EXPERIMENTS.md for the full metric table).
 //!
 //! Exit status 1 = at least one metric regressed more than the gate
 //! fraction below its baseline.
@@ -323,6 +326,106 @@ fn net_transfers(parts: usize) -> f64 {
         handle.shutdown();
         server.shutdown();
     })
+}
+
+/// PR 10: the transfer workload served through a crowd of idle sockets.
+/// A four-digit fleet of connections is held open by the single `net-loop`
+/// reader while the usual closed-loop subset runs transfers, so the number
+/// prices the event loop's readiness pass at connection scale — before the
+/// event-driven front end this workload needed a thread per socket.
+fn net_scale(parts: usize, idle_conns: usize) -> f64 {
+    use staged_dbclient::Client;
+    use staged_server::net::{self, NetConfig};
+
+    let _ = polling::raise_nofile_limit();
+    let cat = Arc::new(Catalog::new(BufferPool::new(Arc::new(MemDisk::new()), 2048)));
+    cat.create_table_partitioned(
+        "accounts",
+        Schema::new(vec![Column::new("id", DataType::Int), Column::new("bal", DataType::Int)]),
+        parts,
+        0,
+    )
+    .unwrap();
+    let t = cat.table("accounts").unwrap();
+    for i in 0..ACCOUNTS {
+        t.heap.insert(&Tuple::new(vec![Value::Int(i), Value::Int(100)])).unwrap();
+    }
+    cat.create_index("accounts_id", "accounts", "id").unwrap();
+    cat.analyze_table("accounts").unwrap();
+    let server = StagedServer::new(
+        Arc::clone(&cat),
+        ServerConfig {
+            mode: ExecutionMode::Staged,
+            partitions: parts,
+            lock_timeout: Duration::from_secs(2),
+            ..Default::default()
+        },
+    );
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = net::serve(
+        listener,
+        Arc::clone(&server),
+        NetConfig { max_connections: idle_conns + SESSIONS + 2, ..Default::default() },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+    let idle: Vec<Client> = (0..idle_conns)
+        .map(|_| Client::connect_timeout(addr, Duration::from_secs(10)).expect("idle connect"))
+        .collect();
+
+    let rate = best_rate((SESSIONS * TRANSFERS) as f64, || {
+        std::thread::scope(|scope| {
+            for sid in 0..SESSIONS {
+                scope.spawn(move || {
+                    let mut db =
+                        Client::connect_timeout(addr, Duration::from_secs(10)).expect("connect");
+                    let mut state = 0x9e3779b97f4a7c15u64 ^ (sid as u64 + 1);
+                    let mut next = move || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    };
+                    for _ in 0..TRANSFERS {
+                        let from = (next() % ACCOUNTS as u64) as i64;
+                        let to = (next() % ACCOUNTS as u64) as i64;
+                        let commit = next() % 4 != 0;
+                        if db.begin().is_err() {
+                            continue;
+                        }
+                        let part_of =
+                            |id: i64| staged_storage::partition_of_value(&Value::Int(id), parts);
+                        let mut stmts = [(part_of(from), from, "-"), (part_of(to), to, "+")];
+                        stmts.sort_unstable();
+                        let mut failed = false;
+                        for (_, id, op) in stmts {
+                            if db
+                                .query(&format!(
+                                    "UPDATE accounts SET bal = bal {op} 1 WHERE id = {id}"
+                                ))
+                                .is_err()
+                            {
+                                failed = true;
+                                break;
+                            }
+                        }
+                        let _ = if failed || !commit { db.rollback() } else { db.commit() };
+                    }
+                    let _ = db.quit();
+                });
+            }
+        });
+    });
+    let out = server.execute_sql("SELECT SUM(bal) FROM accounts").unwrap();
+    assert_eq!(
+        out.rows[0].to_string(),
+        format!("[{}]", ACCOUNTS * 100),
+        "sum invariant broken through the idle fleet"
+    );
+    drop(idle);
+    handle.shutdown();
+    server.shutdown();
+    rate
 }
 
 /// The cohort-scheduling workload (PR 5): small scan-aggregates pipelined
@@ -691,7 +794,7 @@ fn main() {
     let flag = |name: &str| -> Option<String> {
         args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
     };
-    let out_path = flag("--out").unwrap_or_else(|| "BENCH_9.json".into());
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_10.json".into());
     let baseline_path = flag("--baseline");
     let gate: f64 = flag("--gate").and_then(|g| g.parse().ok()).unwrap_or(0.25);
 
@@ -715,6 +818,7 @@ fn main() {
     push("oltp_transfers_p1", "txns_per_sec", oltp_transfers(1));
     push("oltp_transfers_p4", "txns_per_sec", oltp_transfers(4));
     push("net_transfers_p2", "txns_per_sec", net_transfers(2));
+    push("net_scale_p2", "txns_per_sec", net_scale(2, 1000));
     push("batch_p2", "stmts_per_sec", batch_queries(2));
     push("wal_recovery_p2", "recoveries_per_sec", wal_recovery(2));
     push("mixed_htap_p2", "scans_per_sec", mixed_htap(2));

@@ -11,8 +11,9 @@
 //! Shell meta-commands: `\ping`, `\stats`, `\replica` (the replication
 //! rows of `\stats`: shipping counters on a primary, apply counters on a
 //! replica), `\checkpoint`, `\begin ro` (shorthand for `BEGIN READ ONLY`),
-//! `\q` (everything else is sent as SQL). Exit status is 0 when every
-//! statement succeeded, 1 otherwise.
+//! `\subscribe TABLE [where PREDICATE]` (stream committed changes until
+//! interrupted), `\q` (everything else is sent as SQL). Exit status is 0
+//! when every statement succeeded, 1 otherwise.
 
 use staged_dbclient::{Client, ClientError};
 use std::io::{BufRead, IsTerminal, Write};
@@ -83,6 +84,9 @@ fn main() {
             ),
             "\\checkpoint" => print_result(client.checkpoint(), failed),
             "\\begin ro" => print_result(client.begin_read_only(), failed),
+            cmd if cmd == "\\subscribe" || cmd.starts_with("\\subscribe ") => {
+                run_subscribe(client, cmd["\\subscribe".len()..].trim(), failed)
+            }
             sql => print_result(client.query(sql.trim_end_matches(';')), failed),
         }
         true
@@ -111,6 +115,62 @@ fn main() {
 
     let _ = client.quit();
     std::process::exit(if failed { 1 } else { 0 });
+}
+
+/// `\subscribe TABLE [where PREDICATE]`: stream committed changes to the
+/// terminal, one per line, until the server closes the feed or the user
+/// interrupts the shell. `^C` simply drops the connection — the server
+/// releases the subscription on disconnect.
+fn run_subscribe(client: &mut Client, rest: &str, failed: &mut bool) {
+    let (table, predicate) = match rest.split_once(char::is_whitespace) {
+        Some((table, tail)) => {
+            let tail = tail.trim();
+            let Some(pred) = tail.strip_prefix("where ").or_else(|| tail.strip_prefix("WHERE "))
+            else {
+                *failed = true;
+                eprintln!("usage: \\subscribe TABLE [where PREDICATE]");
+                return;
+            };
+            (table, Some(pred.trim()))
+        }
+        None if rest.is_empty() => {
+            *failed = true;
+            eprintln!("usage: \\subscribe TABLE [where PREDICATE]");
+            return;
+        }
+        None => (rest, None),
+    };
+    let sub = match client.subscribe(table, predicate) {
+        Ok(sub) => sub,
+        Err(e) => {
+            *failed = true;
+            println!("error: {e}");
+            return;
+        }
+    };
+    println!("subscribed to {table}; streaming changes (^C to stop)");
+    for change in sub {
+        match change {
+            Ok(c) => {
+                let sign = match c.op {
+                    staged_wire::ChangeOp::Insert => '+',
+                    staged_wire::ChangeOp::Delete => '-',
+                };
+                let fields: Vec<String> = c
+                    .fields
+                    .iter()
+                    .map(|f| f.clone().unwrap_or_else(|| "NULL".to_string()))
+                    .collect();
+                println!("{sign} {} ({})", c.table, fields.join(", "));
+            }
+            Err(e) => {
+                *failed = true;
+                eprintln!("fatal: {e}");
+                return;
+            }
+        }
+    }
+    println!("feed closed by server");
 }
 
 fn print_result(res: Result<staged_dbclient::QueryResult, ClientError>, failed: &mut bool) {

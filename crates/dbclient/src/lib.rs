@@ -130,12 +130,21 @@ impl Client {
     }
 
     /// Like [`connect`](Self::connect) with a connect timeout (applied to
-    /// each resolved address in turn until one succeeds).
+    /// each resolved address in turn until one succeeds). The timeout also
+    /// covers the `HELLO` greeting read: a TCP handshake can succeed
+    /// against a server that will never serve the socket (accept-queue
+    /// overflow drops it silently), and without a deadline on the greeting
+    /// such a connection hangs forever instead of erroring.
     pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> ClientResult<Self> {
         let mut last: Option<std::io::Error> = None;
         for a in addr.to_socket_addrs()? {
             match TcpStream::connect_timeout(&a, timeout) {
-                Ok(stream) => return Self::from_stream(stream),
+                Ok(stream) => {
+                    let _ = stream.set_read_timeout(Some(timeout));
+                    return Self::from_stream(stream).inspect(|client| {
+                        let _ = client.reader.get_ref().set_read_timeout(None);
+                    });
+                }
                 Err(e) => last = Some(e),
             }
         }
@@ -231,6 +240,31 @@ impl Client {
     pub fn checkpoint(&mut self) -> ClientResult<QueryResult> {
         self.send_line("CHECKPOINT")?;
         self.read_result()
+    }
+
+    /// Open a `SUBSCRIBE` change feed on this connection: every
+    /// transaction committing to `table` after this call streams back as
+    /// `CHANGE` lines, whole transactions at a time, in commit order,
+    /// optionally filtered by a `WHERE` predicate (source text, without
+    /// the keyword). The connection leaves request/response mode until
+    /// [`Subscription::unsubscribe`] — drop the subscription (or the
+    /// client) to just hang up instead; the server releases the feed
+    /// either way (PROTOCOL.md §8).
+    pub fn subscribe(
+        &mut self,
+        table: &str,
+        predicate: Option<&str>,
+    ) -> ClientResult<Subscription<'_>> {
+        let cmd = match predicate {
+            Some(p) => format!("SUBSCRIBE {table} WHERE {p}"),
+            None => format!("SUBSCRIBE {table}"),
+        };
+        self.send_line(&cmd)?;
+        let line = self.read_line()?;
+        match line.strip_prefix("OK ") {
+            Some(_) => Ok(Subscription { client: self }),
+            None => Err(Self::unexpected("OK SUBSCRIBE", &line)),
+        }
     }
 
     /// Orderly goodbye: `QUIT` → `BYE`, then the connection closes.
@@ -348,6 +382,60 @@ impl Client {
                     return Err(ClientError::Protocol(format!("unexpected response tag {other:?}")))
                 }
             }
+        }
+    }
+}
+
+/// A live `SUBSCRIBE` change feed: a streaming iterator over committed
+/// changes. Borrows the client mutably — the underlying connection speaks
+/// only the feed until [`unsubscribe`](Self::unsubscribe) returns it to
+/// request/response use.
+pub struct Subscription<'a> {
+    client: &'a mut Client,
+}
+
+impl Subscription<'_> {
+    /// Block until the next committed change arrives.
+    pub fn next_change(&mut self) -> ClientResult<wire::Change> {
+        let line = self.client.read_line()?;
+        if line.starts_with("CHANGE ") {
+            wire::parse_change(&line).map_err(ClientError::Protocol)
+        } else {
+            Err(Client::unexpected("CHANGE", &line))
+        }
+    }
+
+    /// End the feed: send `UNSUBSCRIBE`, collect the changes that were
+    /// already queued server-side (every transaction committed before the
+    /// unsubscribe is delivered), and stop at the closing `OK`. The
+    /// connection is back in request/response mode afterwards.
+    pub fn unsubscribe(self) -> ClientResult<Vec<wire::Change>> {
+        self.client.send_line("UNSUBSCRIBE")?;
+        let mut tail = Vec::new();
+        loop {
+            let line = self.client.read_line()?;
+            if line.starts_with("CHANGE ") {
+                tail.push(wire::parse_change(&line).map_err(ClientError::Protocol)?);
+            } else if line.starts_with("OK ") {
+                return Ok(tail);
+            } else {
+                return Err(Client::unexpected("OK UNSUBSCRIBE", &line));
+            }
+        }
+    }
+}
+
+impl Iterator for Subscription<'_> {
+    type Item = ClientResult<wire::Change>;
+
+    /// Blocking stream of changes; ends (`None`) when the server closes
+    /// the feed — eviction of a subscriber that stopped reading, or
+    /// server shutdown.
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_change() {
+            Ok(c) => Some(Ok(c)),
+            Err(ClientError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => None,
+            Err(e) => Some(Err(e)),
         }
     }
 }

@@ -21,21 +21,30 @@
 //! the architectural comparison is apples-to-apples.
 //!
 //! The [`net`] module opens both servers to real TCP traffic with the text
-//! wire protocol of `PROTOCOL.md`: the staged server admits network
-//! statements through a dedicated `net` stage (bounded-queue back-pressure
-//! all the way to the socket), the threaded baseline serves
-//! thread-per-connection, and the two answer byte-identical responses.
+//! wire protocol of `PROTOCOL.md`. Since PR 10 the front end is
+//! **event-driven**: one reader thread multiplexes every connection with a
+//! `poll(2)` readiness loop (the thread-per-connection reader is gone for
+//! both servers), parses line frames incrementally from per-connection
+//! buffers, and submits statements without blocking — the staged server
+//! admits through its bounded `net` stage, the threaded baseline through
+//! its pool queue, and when either queue is full the loop simply stops
+//! reading that socket, so back-pressure reaches TCP. The two servers
+//! still answer byte-identical responses.
 //!
 //! The [`replication`] module adds STAR-style asymmetric roles on top:
 //! either server acts as a **primary**, shipping committed WAL records to
 //! subscribed [`ReplicaServer`]s over a `REPLICATE` feed (a dedicated
 //! `replication` stage on the staged server), while replicas apply the
-//! feed transactionally and serve snapshot reads only.
+//! feed transactionally and serve snapshot reads only. The [`reactivity`]
+//! module reuses the same bounded-outbox machinery to serve `SUBSCRIBE`
+//! change feeds: committed changes stream to clients as `CHANGE` lines,
+//! whole transactions at a time, in commit order.
 
 #![deny(missing_docs)]
 
 pub mod net;
 pub mod pipeline;
+pub mod reactivity;
 pub mod replication;
 pub mod session;
 pub mod staged_server;
@@ -43,6 +52,7 @@ pub mod threaded;
 pub mod types;
 
 pub use net::{serve, NetConfig, NetHandle, NetStats};
+pub use reactivity::{ReactivityHub, SubscriptionStats};
 pub use replication::{
     ReplicaConfig, ReplicaServer, ReplicaSession, ReplicaStatus, ReplicationHub,
 };

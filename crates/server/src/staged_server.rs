@@ -1,6 +1,7 @@
 //! The staged DBMS server (paper Figure 3, top row).
 
 use crate::pipeline::{self, Exec, Parsed, PlannedAction};
+use crate::reactivity::ReactivityHub;
 use crate::replication::ReplicationHub;
 use crate::session::{StatementCtx, TxnRuntime};
 use crate::types::{ExecutionMode, Response, ServerConfig, ServerError};
@@ -106,6 +107,9 @@ struct ServerShared {
     /// `replication` stage pumps committed records to them from its idle
     /// hook.
     replication: Arc<ReplicationHub>,
+    /// Subscription hub: `SUBSCRIBE` change feeds, sourced from the same
+    /// WAL and pumped from the same `replication` stage idle hook.
+    reactivity: Arc<ReactivityHub>,
 }
 
 /// The staged server.
@@ -464,6 +468,9 @@ impl StageLogic<SPacket> for ReplicationStage {
 
     fn on_idle(&self, _ctx: &StageCtx<'_, SPacket>) {
         self.shared.replication.pump();
+        // The subscription hub shares the stage: same source (the WAL),
+        // same bounded-outbox discipline, same eviction cadence.
+        self.shared.reactivity.pump();
     }
 }
 
@@ -584,6 +591,11 @@ impl StagedServer {
         let wal = Arc::new(wal);
         let replication =
             Arc::new(ReplicationHub::new(Arc::clone(&wal), config.replication_outbox));
+        let reactivity = Arc::new(ReactivityHub::new(
+            Arc::clone(&wal),
+            Arc::clone(&catalog),
+            config.subscription_outbox,
+        ));
         let engine = StagedEngine::new(ctx.clone(), config.engine.clone());
         let txn = TxnRuntime::for_catalog(&catalog);
         let shared = Arc::new(ServerShared {
@@ -601,6 +613,7 @@ impl StagedServer {
             checkpointing: AtomicBool::new(false),
             auto_pending: AtomicBool::new(false),
             replication,
+            reactivity,
         });
         let mut b = StagedRuntime::<SPacket>::builder();
         let cohort = config.max_cohort;
@@ -731,6 +744,27 @@ impl StagedServer {
         }
     }
 
+    /// Non-blocking network admission: [`submit_admitted`] without the
+    /// blocking enqueue. `Err(Overloaded)` when the `net` stage's bounded
+    /// queue is full — the event-driven front end translates that into
+    /// *not reading the socket*, so the overload propagates to TCP flow
+    /// control instead of parking a thread (DESIGN.md §16).
+    ///
+    /// [`submit_admitted`]: Self::submit_admitted
+    pub fn try_submit_admitted(
+        &self,
+        sql: impl Into<String>,
+        session: Option<u64>,
+    ) -> Result<Receiver<Response>, ServerError> {
+        let (tx, rx) = bounded(1);
+        let pkt = SPacket::new(PacketBody::Raw(sql.into()), session, tx);
+        match self.runtime.try_enqueue(self.net_id, pkt) {
+            Ok(()) => Ok(rx),
+            Err(EnqueueError::Full(_)) => Err(ServerError::Overloaded),
+            Err(EnqueueError::Closed(_)) => Err(ServerError::ShuttingDown),
+        }
+    }
+
     /// Open a client session: statements run through the handle share the
     /// session's transaction state (`BEGIN` … `COMMIT`/`ROLLBACK`), and
     /// dropping the handle aborts any transaction still open, releasing
@@ -782,12 +816,20 @@ impl StagedServer {
     /// WAL below the snapshot's LSN. The response message starts with
     /// `CHECKPOINT` on success.
     pub fn checkpoint(&self) -> Response {
+        self.submit_checkpoint().recv().unwrap_or(Err(ServerError::ShuttingDown))
+    }
+
+    /// Start a checkpoint through the checkpoint stage without waiting:
+    /// the receiver completes when the checkpoint does. This is the
+    /// network front end's path — the event loop must never block behind
+    /// a quiesce.
+    pub fn submit_checkpoint(&self) -> Receiver<Response> {
         let (tx, rx) = bounded(1);
         let pkt = SPacket::new(PacketBody::Checkpoint { auto: false }, None, tx);
         if let Err(e) = self.runtime.enqueue(self.checkpoint_id, pkt) {
             let _ = e.into_packet().reply.send(Err(ServerError::ShuttingDown));
         }
-        rx.recv().unwrap_or(Err(ServerError::ShuttingDown))
+        rx
     }
 
     /// What recovery found and did when this server was built (how many
@@ -807,6 +849,12 @@ impl StagedServer {
     /// clamps checkpoint truncation.
     pub fn replication_hub(&self) -> &Arc<ReplicationHub> {
         &self.shared.replication
+    }
+
+    /// The subscription hub (`SUBSCRIBE` change feeds): registrations,
+    /// bounded per-subscriber outboxes, and the change pump.
+    pub fn reactivity_hub(&self) -> &Arc<ReactivityHub> {
+        &self.shared.reactivity
     }
 
     pub(crate) fn catalog(&self) -> &Arc<Catalog> {
@@ -881,6 +929,17 @@ impl StagedSession {
             .submit_admitted(sql, Some(self.sid))
             .recv()
             .unwrap_or(Err(ServerError::ShuttingDown))
+    }
+
+    /// Non-blocking admission at the `net` stage: `Err(Overloaded)` when
+    /// the admission queue is full. The event-driven front end turns that
+    /// refusal into *not reading the socket*, so overload propagates to
+    /// TCP flow control instead of parking a thread.
+    pub fn try_submit_admitted(
+        &self,
+        sql: impl Into<String>,
+    ) -> Result<Receiver<Response>, ServerError> {
+        self.server.try_submit_admitted(sql, Some(self.sid))
     }
 }
 

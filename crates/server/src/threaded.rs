@@ -8,11 +8,13 @@
 //! demonstrates.
 
 use crate::pipeline::{self, Exec, Parsed, PlannedAction};
+use crate::reactivity::ReactivityHub;
 use crate::replication::ReplicationHub;
 use crate::session::{StatementCtx, TxnRuntime};
 use crate::types::{QueryOutput, Request, RequestBody, Response, ServerError};
 use crossbeam::channel::{bounded, Receiver};
 use parking_lot::Mutex;
+use staged_core::error::EnqueueError;
 use staged_core::queue::{Dequeued, StageQueue};
 use staged_engine::checkpoint;
 use staged_engine::context::ExecContext;
@@ -40,6 +42,9 @@ struct Inner {
     /// dedicated `repl-pump` thread — the monolithic counterpart of the
     /// staged server's `replication` stage.
     replication: Arc<ReplicationHub>,
+    /// `SUBSCRIBE` change-feed hub, pumped by the same `repl-pump`
+    /// thread that drives WAL shipping.
+    reactivity: Arc<ReactivityHub>,
     /// Stops the `repl-pump` thread at shutdown.
     stop: AtomicBool,
 }
@@ -52,6 +57,24 @@ impl Inner {
             let _ = e.into_packet().reply.send(Err(ServerError::ShuttingDown));
         }
         rx
+    }
+
+    /// Non-blocking submission for the event-driven front end: a full
+    /// pool queue is reported as `Overloaded` instead of blocking the
+    /// caller, so the network loop can stop reading the socket and let
+    /// back-pressure reach TCP.
+    fn try_submit(
+        &self,
+        sql: String,
+        session: Option<u64>,
+    ) -> Result<Receiver<Response>, ServerError> {
+        let (tx, rx) = bounded(1);
+        let req = Request { body: RequestBody::Sql(sql), session, reply: tx };
+        match self.queue.try_enqueue(req) {
+            Ok(()) => Ok(rx),
+            Err(EnqueueError::Full(_)) => Err(ServerError::Overloaded),
+            Err(EnqueueError::Closed(_)) => Err(ServerError::ShuttingDown),
+        }
     }
 }
 
@@ -112,6 +135,11 @@ impl ThreadedServer {
             Arc::clone(&wal),
             crate::replication::DEFAULT_OUTBOX_CAPACITY,
         ));
+        let reactivity = Arc::new(ReactivityHub::new(
+            Arc::clone(&wal),
+            Arc::clone(&catalog),
+            crate::replication::DEFAULT_OUTBOX_CAPACITY,
+        ));
         let txn = TxnRuntime::for_catalog(&catalog);
         let inner = Arc::new(Inner {
             ctx,
@@ -125,6 +153,7 @@ impl ThreadedServer {
             served: AtomicU64::new(0),
             pool_size: pool_size.max(1),
             replication,
+            reactivity,
             stop: AtomicBool::new(false),
         });
         let workers = (0..pool_size.max(1))
@@ -147,6 +176,7 @@ impl ThreadedServer {
                 .spawn(move || {
                     while !inner.stop.load(Ordering::Acquire) {
                         inner.replication.pump();
+                        inner.reactivity.pump();
                         std::thread::sleep(Duration::from_millis(5));
                     }
                 })
@@ -227,6 +257,12 @@ impl ThreadedServer {
         &self.inner.replication
     }
 
+    /// The subscription hub (`SUBSCRIBE` change feeds): registrations,
+    /// bounded per-subscriber outboxes, and the change pump.
+    pub fn reactivity_hub(&self) -> &Arc<ReactivityHub> {
+        &self.inner.reactivity
+    }
+
     pub(crate) fn catalog(&self) -> &Arc<Catalog> {
         &self.inner.catalog
     }
@@ -284,6 +320,14 @@ impl ThreadedSession {
     /// Submit SQL under this session.
     pub fn submit(&self, sql: impl Into<String>) -> Receiver<Response> {
         self.inner.submit(sql.into(), Some(self.sid))
+    }
+
+    /// Non-blocking submit under this session: `Err(Overloaded)` when the
+    /// pool queue is full. This is the event-driven front end's admission
+    /// path — the refusal lets the network loop stop reading the socket
+    /// instead of blocking a thread on the queue.
+    pub fn try_submit(&self, sql: impl Into<String>) -> Result<Receiver<Response>, ServerError> {
+        self.inner.try_submit(sql.into(), Some(self.sid))
     }
 
     /// Run one statement to completion under this session.

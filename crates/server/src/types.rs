@@ -202,6 +202,11 @@ pub struct ServerConfig {
     /// evicted rather than buffered further (bounded-queue policy, like
     /// every other stage).
     pub replication_outbox: usize,
+    /// Per-subscriber outbox capacity in `CHANGE` lines: how far a
+    /// `SUBSCRIBE` feed may fall behind the commit stream before the
+    /// subscriber is evicted rather than buffered further (same
+    /// bounded-queue policy as replication).
+    pub subscription_outbox: usize,
 }
 
 impl Default for ServerConfig {
@@ -220,6 +225,7 @@ impl Default for ServerConfig {
             wal_segment_pages: staged_storage::DEFAULT_SEGMENT_PAGES,
             checkpoint_segments: None,
             replication_outbox: crate::replication::DEFAULT_OUTBOX_CAPACITY,
+            subscription_outbox: crate::replication::DEFAULT_OUTBOX_CAPACITY,
         }
     }
 }

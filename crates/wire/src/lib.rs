@@ -127,6 +127,22 @@ pub enum Command {
         /// Resume offset within the segment.
         offset: u64,
     },
+    /// `SUBSCRIBE <table> [WHERE <predicate>]` — turn this connection into
+    /// a change feed: after the `OK`, every transaction that commits a
+    /// change to `table` (optionally filtered by the predicate) is streamed
+    /// as `CHANGE` lines, in commit order, whole transactions at a time.
+    /// Only `UNSUBSCRIBE`, `PING` and `QUIT` are accepted while subscribed.
+    Subscribe {
+        /// The table to watch.
+        table: String,
+        /// Optional `WHERE` predicate source text (without the keyword),
+        /// bound against the table's columns server-side.
+        predicate: Option<String>,
+    },
+    /// `UNSUBSCRIBE` — end the connection's change feed and return to
+    /// request/response framing. Answered `OK UNSUBSCRIBE`; `CHANGE` lines
+    /// already in flight may still arrive before the `OK`.
+    Unsubscribe,
 }
 
 /// Parse one request line into a [`Command`].
@@ -176,6 +192,26 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             let (segment, offset) = parse_lsn(rest)?;
             Ok(Command::Replicate { segment, offset })
         }
+        "SUBSCRIBE" if rest.is_empty() => Err("SUBSCRIBE requires a table name".into()),
+        "SUBSCRIBE" => {
+            let (table, tail) = match rest.find(char::is_whitespace) {
+                Some(i) => (&rest[..i], rest[i + 1..].trim_start()),
+                None => (rest, ""),
+            };
+            if tail.is_empty() {
+                return Ok(Command::Subscribe { table: table.to_string(), predicate: None });
+            }
+            let (kw, pred) = match tail.find(char::is_whitespace) {
+                Some(i) => (&tail[..i], tail[i + 1..].trim_start()),
+                None => (tail, ""),
+            };
+            if !kw.eq_ignore_ascii_case("WHERE") || pred.is_empty() {
+                return Err("SUBSCRIBE takes a table name and an optional WHERE clause".into());
+            }
+            Ok(Command::Subscribe { table: table.to_string(), predicate: Some(pred.to_string()) })
+        }
+        "UNSUBSCRIBE" if !rest.is_empty() => Err("UNSUBSCRIBE takes no argument".into()),
+        "UNSUBSCRIBE" => Ok(Command::Unsubscribe),
         "" => Err("empty command".into()),
         other => Err(format!("unknown command {other}")),
     }
@@ -373,6 +409,96 @@ pub fn parse_ack(line: &str) -> Result<(u64, u64), String> {
     parse_lsn(rest.trim())
 }
 
+/// The kind of row change a `CHANGE` line carries. An SQL `UPDATE`
+/// surfaces as a `DELETE` of the old row followed by an `INSERT` of the
+/// new one, mirroring how the storage layer logs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeOp {
+    /// A row was inserted.
+    Insert,
+    /// A row was deleted.
+    Delete,
+}
+
+impl ChangeOp {
+    /// The op's wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ChangeOp::Insert => "INSERT",
+            ChangeOp::Delete => "DELETE",
+        }
+    }
+
+    /// Parse a wire spelling back into an op.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "INSERT" => Some(ChangeOp::Insert),
+            "DELETE" => Some(ChangeOp::Delete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ChangeOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One parsed `CHANGE` line of a subscription feed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Change {
+    /// The table the change happened in.
+    pub table: String,
+    /// Whether the row was inserted or deleted.
+    pub op: ChangeOp,
+    /// The row's fields, decoded; `None` is SQL NULL. Fields use the same
+    /// encoding as `ROW` result lines.
+    pub fields: Vec<Option<String>>,
+}
+
+/// Build a `CHANGE <table> <op> <fields…>` line (no trailing newline).
+/// Fields are tab-separated and escaped exactly like `ROW` result fields;
+/// `None` encodes as the NULL marker.
+pub fn encode_change(table: &str, op: ChangeOp, fields: &[Option<String>]) -> String {
+    let mut out = format!("CHANGE {table} {op}");
+    for f in fields {
+        out.push('\t');
+        match f {
+            Some(v) => out.push_str(&escape_field(v)),
+            None => out.push_str(NULL_FIELD),
+        }
+    }
+    out
+}
+
+/// Parse one subscription-feed `CHANGE` line built by [`encode_change`].
+pub fn parse_change(line: &str) -> Result<Change, String> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let rest = line
+        .strip_prefix("CHANGE ")
+        .ok_or_else(|| format!("expected CHANGE line, got {line:?}"))?;
+    // Header is space-separated up to the first tab; fields follow.
+    let (header, tail) = match rest.find('\t') {
+        Some(i) => (&rest[..i], Some(&rest[i + 1..])),
+        None => (rest, None),
+    };
+    let (table, op_word) =
+        header.split_once(' ').ok_or_else(|| format!("bad CHANGE header {header:?}"))?;
+    let op = ChangeOp::parse(op_word.trim()).ok_or_else(|| format!("bad CHANGE op {op_word:?}"))?;
+    let mut fields = Vec::new();
+    if let Some(tail) = tail {
+        for f in tail.split('\t') {
+            if f == NULL_FIELD {
+                fields.push(None);
+            } else {
+                fields.push(Some(unescape_field(f)?));
+            }
+        }
+    }
+    Ok(Change { table: table.to_string(), op, fields })
+}
+
 /// Parse one downstream replication-feed line into a [`ReplFrame`].
 pub fn parse_repl_frame(line: &str) -> Result<ReplFrame, String> {
     let line = line.trim_end_matches(['\r', '\n']);
@@ -469,6 +595,54 @@ mod tests {
         assert_eq!(parse_lsn(&format_lsn(9, 10)).unwrap(), (9, 10));
         assert!(parse_lsn("9").is_err());
         assert!(parse_lsn("a:b").is_err());
+    }
+
+    #[test]
+    fn subscribe_commands_parse() {
+        assert_eq!(
+            parse_command("SUBSCRIBE accounts").unwrap(),
+            Command::Subscribe { table: "accounts".into(), predicate: None }
+        );
+        assert_eq!(
+            parse_command("subscribe accounts where bal > 100 AND id < 7").unwrap(),
+            Command::Subscribe {
+                table: "accounts".into(),
+                predicate: Some("bal > 100 AND id < 7".into())
+            }
+        );
+        assert_eq!(parse_command("UNSUBSCRIBE").unwrap(), Command::Unsubscribe);
+        assert!(parse_command("SUBSCRIBE").is_err());
+        assert!(parse_command("SUBSCRIBE t WHERE").is_err());
+        assert!(parse_command("SUBSCRIBE t HAVING x").is_err());
+        assert!(parse_command("UNSUBSCRIBE t").is_err());
+    }
+
+    #[test]
+    fn change_lines_round_trip() {
+        let line = encode_change(
+            "accounts",
+            ChangeOp::Insert,
+            &[Some("1".into()), None, Some("tab\there".into())],
+        );
+        assert_eq!(line, "CHANGE accounts INSERT\t1\t\\N\ttab\\there");
+        assert_eq!(
+            parse_change(&line).unwrap(),
+            Change {
+                table: "accounts".into(),
+                op: ChangeOp::Insert,
+                fields: vec![Some("1".into()), None, Some("tab\there".into())],
+            }
+        );
+        // Zero-column rows keep the header-only form.
+        let bare = encode_change("t", ChangeOp::Delete, &[]);
+        assert_eq!(parse_change(&bare).unwrap().fields, Vec::<Option<String>>::new());
+        assert!(parse_change("ROW 1").is_err());
+        assert!(parse_change("CHANGE accounts UPSERT\t1").is_err());
+        assert!(parse_change("CHANGE accounts").is_err());
+        for op in [ChangeOp::Insert, ChangeOp::Delete] {
+            assert_eq!(ChangeOp::parse(op.as_str()), Some(op));
+        }
+        assert_eq!(ChangeOp::parse("MERGE"), None);
     }
 
     #[test]

@@ -63,10 +63,18 @@ pub enum RecvTimeoutError {
     Disconnected,
 }
 
+/// Callback fired after a message is delivered (or the channel
+/// disconnects): lets a poll(2)-style event loop sleep on file
+/// descriptors yet wake instantly when a channel it watches becomes
+/// ready. Real crossbeam solves this with `Select`; the shim exposes
+/// this narrower hook instead.
+pub type WakeHook = Arc<dyn Fn() + Send + Sync>;
+
 struct Inner<T> {
     queue: VecDeque<T>,
     senders: usize,
     receivers: usize,
+    wake: Option<WakeHook>,
 }
 
 struct Shared<T> {
@@ -107,7 +115,7 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
 
 fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1, wake: None }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
         capacity,
@@ -128,8 +136,12 @@ impl<T> Sender<T> {
             return Err(SendError(value));
         }
         inner.queue.push_back(value);
+        let wake = inner.wake.clone();
         drop(inner);
         self.0.not_empty.notify_one();
+        if let Some(wake) = wake {
+            wake();
+        }
         Ok(())
     }
 
@@ -147,8 +159,12 @@ impl<T> Sender<T> {
             }
         }
         inner.queue.push_back(value);
+        let wake = inner.wake.clone();
         drop(inner);
         self.0.not_empty.notify_one();
+        if let Some(wake) = wake {
+            wake();
+        }
         Ok(())
     }
 }
@@ -165,8 +181,14 @@ impl<T> Drop for Sender<T> {
         let mut inner = self.0.lock();
         inner.senders -= 1;
         if inner.senders == 0 {
+            let wake = inner.wake.clone();
             drop(inner);
             self.0.not_empty.notify_all();
+            // Disconnection is a readiness event too: a watcher must learn
+            // that `recv` would now fail rather than sleep through it.
+            if let Some(wake) = wake {
+                wake();
+            }
         }
     }
 }
@@ -256,6 +278,14 @@ impl<T> Receiver<T> {
     /// Blocking iterator over messages; ends when the channel disconnects.
     pub fn iter(&self) -> Iter<'_, T> {
         Iter { rx: self }
+    }
+
+    /// Attach a [`WakeHook`] fired after every delivery on this channel
+    /// (and on sender-side disconnection). One hook per channel; a second
+    /// call replaces the first. The hook runs on the **sender's** thread,
+    /// outside the channel lock — keep it as cheap as a pipe write.
+    pub fn set_wake_hook(&self, hook: WakeHook) {
+        self.0.lock().wake = Some(hook);
     }
 }
 
@@ -389,6 +419,23 @@ mod tests {
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
         drop(tx);
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn wake_hook_fires_on_send_and_disconnect() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (tx, rx) = unbounded();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        rx.set_wake_hook(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        drop(tx);
+        assert_eq!(fired.load(Ordering::SeqCst), 3, "disconnect must wake too");
+        assert_eq!(rx.recv(), Ok(1));
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Offline shim standing in for a readiness-polling crate: a thin, safe
+//! wrapper over the classic `poll(2)` system call, written against raw
+//! file descriptors so it needs neither `libc` nor `mio` (this workspace
+//! builds with no network access; see `shims/README.md`).
+//!
+//! The API is the smallest surface an event loop needs:
+//!
+//! - [`PollFd`] pairs a raw fd with the *interest* you register
+//!   ([`Interest::READ`], [`Interest::WRITE`], or both).
+//! - [`poll`] blocks up to a timeout and fills in each entry's revents;
+//!   afterwards [`PollFd::readable`], [`PollFd::writable`] and
+//!   [`PollFd::hangup`] report what the kernel saw.
+//! - [`raise_nofile_limit`] bumps `RLIMIT_NOFILE` to its hard cap, so the
+//!   connection-scale tests can open thousands of sockets on boxes whose
+//!   soft default is 1024.
+//!
+//! Only Unix is supported for real; on other targets [`poll`] returns an
+//! error so callers can degrade gracefully (none of this repo's CI targets
+//! hit that path).
+
+#![deny(missing_docs)]
+
+use std::io;
+
+/// What to watch a descriptor for. Combine with [`Interest::and`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(i16);
+
+impl Interest {
+    /// Wake when the descriptor is readable (`POLLIN`).
+    pub const READ: Interest = Interest(POLLIN);
+    /// Wake when the descriptor is writable (`POLLOUT`).
+    pub const WRITE: Interest = Interest(POLLOUT);
+    /// Watch for nothing actively; errors and hangups are always reported.
+    pub const NONE: Interest = Interest(0);
+
+    /// Union of two interests.
+    #[must_use]
+    pub fn and(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+/// One registered descriptor: the fd, the interest, and (after a
+/// [`poll`] call) the readiness the kernel reported.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Register `fd` with the given interest.
+    pub fn new(fd: i32, interest: Interest) -> PollFd {
+        PollFd { fd, events: interest.0, revents: 0 }
+    }
+
+    /// The raw descriptor this entry watches.
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// True if the last [`poll`] reported the fd readable (or in an
+    /// error/hangup state, which a read will surface as EOF/error —
+    /// exactly what a read-driven loop wants).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// True if the last [`poll`] reported the fd writable.
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// True if the peer hung up or the fd is in an error state.
+    pub fn hangup(&self) -> bool {
+        self.revents & (POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// True if any readiness at all was reported.
+    pub fn ready(&self) -> bool {
+        self.revents != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::PollFd;
+    use std::io;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    pub fn poll_impl(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: PollFd is #[repr(C)] with the exact pollfd layout
+        // (int fd; short events; short revents) and the slice length is
+        // passed as nfds, so the kernel writes only within bounds.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(rc as usize)
+    }
+
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+
+    const RLIMIT_NOFILE: i32 = 7; // Linux; macOS uses 8 but CI targets Linux.
+
+    pub fn raise_nofile_impl() -> io::Result<u64> {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        // SAFETY: plain C struct out-parameter of the documented shape.
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if lim.cur < lim.max {
+            let want = RLimit { cur: lim.max, max: lim.max };
+            // SAFETY: raising the soft limit to the hard limit is always
+            // permitted for an unprivileged process.
+            if unsafe { setrlimit(RLIMIT_NOFILE, &want) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            return Ok(lim.max);
+        }
+        Ok(lim.cur)
+    }
+}
+
+/// Block until at least one registered fd is ready or `timeout_ms`
+/// elapses (`0` = return immediately, negative = wait forever). Returns
+/// the number of entries with any readiness set; inspect each
+/// [`PollFd`]'s accessors afterwards. `EINTR` is swallowed and reported
+/// as zero ready fds so callers can simply loop.
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    #[cfg(unix)]
+    {
+        sys::poll_impl(fds, timeout_ms)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (fds, timeout_ms);
+        Err(io::Error::new(io::ErrorKind::Unsupported, "polling shim requires unix"))
+    }
+}
+
+/// Raise the process `RLIMIT_NOFILE` soft limit to its hard cap and
+/// return the resulting limit. Used by the connection-scale tests and
+/// benches, which open a few thousand loopback sockets.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    #[cfg(unix)]
+    {
+        sys::raise_nofile_impl()
+    }
+    #[cfg(not(unix))]
+    {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "polling shim requires unix"))
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn timeout_returns_zero_when_nothing_is_ready() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), Interest::READ)];
+        let n = poll(&mut fds, 10).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn data_arrival_reports_readable_and_eof_reports_hangup_or_read() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut served, _) = listener.accept().unwrap();
+
+        client.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(served.as_raw_fd(), Interest::READ)];
+        let n = poll(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        let mut buf = [0u8; 8];
+        assert_eq!(served.read(&mut buf).unwrap(), 1);
+
+        drop(client);
+        let mut fds = [PollFd::new(served.as_raw_fd(), Interest::READ)];
+        poll(&mut fds, 1000).unwrap();
+        // EOF shows up as readable (read returns 0) and usually as hangup.
+        assert!(fds[0].readable());
+        assert_eq!(served.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn connected_socket_is_writable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut fds = [PollFd::new(client.as_raw_fd(), Interest::WRITE)];
+        let n = poll(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+    }
+
+    #[test]
+    fn nofile_limit_is_raised_to_the_hard_cap() {
+        let lim = raise_nofile_limit().unwrap();
+        assert!(lim >= 1024);
+        // Idempotent: a second call reports the same (now-raised) limit.
+        assert_eq!(raise_nofile_limit().unwrap(), lim);
+    }
+}

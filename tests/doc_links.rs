@@ -152,3 +152,46 @@ fn concurrency_doc_covers_the_mvcc_surface() {
         assert!(proto.contains(anchor), "PROTOCOL.md lost its {anchor:?} coverage");
     }
 }
+
+#[test]
+fn subscription_and_front_end_docs_cover_the_surface() {
+    // PR 10's push surface and event loop are documented where each
+    // audience looks: the wire contract in PROTOCOL.md §8, the design
+    // rationale in DESIGN.md §16, the crate tour in ARCHITECTURE.md, and
+    // the measurements in EXPERIMENTS.md — so neither the change-feed
+    // guarantees nor the admission policy can change silently.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let proto = std::fs::read_to_string(root.join("PROTOCOL.md")).unwrap();
+    for anchor in [
+        "§8 Subscriptions",
+        "SUBSCRIBE <table> [WHERE <predicate>]",
+        "UNSUBSCRIBE",
+        "CHANGE <table> <op>",
+        "Whole transactions, in commit order",
+        "Subscriptions start now",
+        "evicted",
+        "`subscriptions`",
+        "§9 What the protocol deliberately omits",
+    ] {
+        assert!(proto.contains(anchor), "PROTOCOL.md lost its {anchor:?} coverage");
+    }
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap();
+    for anchor in [
+        "§16 The event-driven front end",
+        "net-loop",
+        "max_inflight",
+        "ReactivityHub",
+        "Back-pressure as dropped interest",
+        "The completion waker",
+    ] {
+        assert!(design.contains(anchor), "DESIGN.md lost its {anchor:?} coverage");
+    }
+    let arch = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).unwrap();
+    for anchor in ["reactivity.rs", "event-driven TCP front end", "net-loop"] {
+        assert!(arch.contains(anchor), "ARCHITECTURE.md lost its {anchor:?} coverage");
+    }
+    let exp = std::fs::read_to_string(root.join("EXPERIMENTS.md")).unwrap();
+    for anchor in ["net_scale_p2", "scale", "thread count"] {
+        assert!(exp.contains(anchor), "EXPERIMENTS.md lost its {anchor:?} coverage");
+    }
+}
